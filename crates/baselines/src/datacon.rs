@@ -1,0 +1,181 @@
+//! DATACON (Song et al., ISMM '20): data-content-aware redirection.
+//!
+//! The controller keeps pools of free segments whose cells were reset to
+//! all-zeros or all-ones. An incoming write is redirected to the pool
+//! matching its majority bit value, so only the minority bits need
+//! programming. Freed segments are re-reset in the background; those
+//! reset flips are charged to the scheme when enabled (they happen off
+//! the critical path but still wear the cells).
+
+use crate::scheme::PlacementScheme;
+use e2nvm_sim::bitops::popcount;
+use e2nvm_sim::SegmentId;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// The DATACON placement scheme.
+#[derive(Debug, Clone)]
+pub struct Datacon {
+    zeros: VecDeque<SegmentId>,
+    ones: VecDeque<SegmentId>,
+    /// Flips spent re-resetting recycled segments (background wear).
+    pub reset_flips: u64,
+    /// When true, recycled segments are counted as reset to the polarity
+    /// of their majority content (fewest reset flips).
+    charge_resets: bool,
+}
+
+impl Datacon {
+    /// Create an empty scheme. `charge_resets` controls whether the
+    /// background reset flips are accumulated in
+    /// [`Datacon::reset_flips`].
+    pub fn new(charge_resets: bool) -> Self {
+        Self {
+            zeros: VecDeque::new(),
+            ones: VecDeque::new(),
+            reset_flips: 0,
+            charge_resets,
+        }
+    }
+
+    /// Pool sizes `(zeros, ones)` (diagnostics).
+    pub fn pool_sizes(&self) -> (usize, usize) {
+        (self.zeros.len(), self.ones.len())
+    }
+
+    fn classify(content: &[u8]) -> bool {
+        // true = majority ones.
+        let bits = (content.len() * 8) as u64;
+        popcount(content) * 2 >= bits
+    }
+}
+
+impl Default for Datacon {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl PlacementScheme for Datacon {
+    fn name(&self) -> &'static str {
+        "DATACON"
+    }
+
+    fn initialize(&mut self, free: &[(SegmentId, Vec<u8>)], _rng: &mut StdRng) {
+        self.zeros.clear();
+        self.ones.clear();
+        for (seg, content) in free {
+            // Initialization models the maintenance pass: every free
+            // segment is reset toward its majority polarity.
+            if Self::classify(content) {
+                if self.charge_resets {
+                    let bits = (content.len() * 8) as u64;
+                    self.reset_flips += bits - popcount(content);
+                }
+                self.ones.push_back(*seg);
+            } else {
+                if self.charge_resets {
+                    self.reset_flips += popcount(content);
+                }
+                self.zeros.push_back(*seg);
+            }
+        }
+    }
+
+    fn choose(&mut self, data: &[u8]) -> Option<SegmentId> {
+        let want_ones = Self::classify(data);
+        let (primary, fallback) = if want_ones {
+            (&mut self.ones, &mut self.zeros)
+        } else {
+            (&mut self.zeros, &mut self.ones)
+        };
+        primary.pop_front().or_else(|| fallback.pop_front())
+    }
+
+    fn recycle(&mut self, seg: SegmentId, content: &[u8]) {
+        // Background reset to the cheaper polarity.
+        let bits = (content.len() * 8) as u64;
+        let ones = popcount(content);
+        if ones * 2 >= bits {
+            if self.charge_resets {
+                self.reset_flips += bits - ones;
+            }
+            self.ones.push_back(seg);
+        } else {
+            if self.charge_resets {
+                self.reset_flips += ones;
+            }
+            self.zeros.push_back(seg);
+        }
+    }
+
+    fn free_count(&self) -> usize {
+        self.zeros.len() + self.ones.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2nvm_ml::rng::seeded;
+
+    fn seg(i: usize) -> SegmentId {
+        SegmentId(i)
+    }
+
+    #[test]
+    fn routes_by_majority() {
+        let mut d = Datacon::new(false);
+        let mut rng = seeded(1);
+        d.initialize(
+            &[
+                (seg(0), vec![0x00; 8]), // zeros pool
+                (seg(1), vec![0xFF; 8]), // ones pool
+            ],
+            &mut rng,
+        );
+        assert_eq!(d.pool_sizes(), (1, 1));
+        // Mostly-ones data -> segment 1.
+        assert_eq!(d.choose(&[0xFF, 0xFF, 0xFF, 0x0F]), Some(seg(1)));
+        // Mostly-zeros data -> segment 0.
+        assert_eq!(d.choose(&[0x01, 0x00, 0x00, 0x00]), Some(seg(0)));
+        assert_eq!(d.choose(&[0x00; 4]), None);
+    }
+
+    #[test]
+    fn falls_back_to_other_pool() {
+        let mut d = Datacon::new(false);
+        let mut rng = seeded(2);
+        d.initialize(&[(seg(3), vec![0x00; 4])], &mut rng);
+        // Wants ones pool but only zeros available.
+        assert_eq!(d.choose(&[0xFF; 4]), Some(seg(3)));
+    }
+
+    #[test]
+    fn recycle_counts_reset_flips() {
+        let mut d = Datacon::new(true);
+        // 3 ones out of 16 bits -> reset to zeros costs 3 flips.
+        d.recycle(seg(0), &[0b0000_0111, 0x00]);
+        assert_eq!(d.reset_flips, 3);
+        assert_eq!(d.pool_sizes(), (1, 0));
+        // 13 ones -> reset to ones costs 3 flips.
+        d.recycle(seg(1), &[0xFF, 0b1111_1000]);
+        assert_eq!(d.reset_flips, 6);
+        assert_eq!(d.pool_sizes(), (1, 1));
+    }
+
+    #[test]
+    fn free_count_tracks_pools() {
+        let mut d = Datacon::new(false);
+        let mut rng = seeded(3);
+        d.initialize(
+            &[(seg(0), vec![0u8; 2]), (seg(1), vec![0xFFu8; 2])],
+            &mut rng,
+        );
+        assert_eq!(d.free_count(), 2);
+        d.choose(&[0u8; 2]);
+        assert_eq!(d.free_count(), 1);
+        d.recycle(seg(0), &[0u8; 2]);
+        assert_eq!(d.free_count(), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! DCW — data-comparison write (Yang et al., ISCAS '07).
+//!
+//! The original hardware technique: read the old content, write only the
+//! differing bits. In this workspace the simulated media already performs
+//! the comparison, so DCW's encoding is the identity — it is the
+//! *baseline* every other scheme is measured against (the paper's k=1
+//! anchor in Figure 10, where "E2-NVM, PNW, and DCW are the same").
+
+use crate::scheme::{InPlaceScheme, InPlaceWrite};
+
+/// The identity RBW scheme.
+#[derive(Debug, Default, Clone)]
+pub struct Dcw;
+
+impl InPlaceScheme for Dcw {
+    fn name(&self) -> &'static str {
+        "DCW"
+    }
+
+    fn encode(&mut self, _addr: usize, _old_stored: &[u8], new: &[u8]) -> InPlaceWrite {
+        InPlaceWrite {
+            stored: new.to_vec(),
+            aux_bits_flipped: 0,
+        }
+    }
+
+    fn decode(&self, _addr: usize, stored: &[u8]) -> Vec<u8> {
+        stored.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2nvm_sim::bitops::hamming;
+
+    #[test]
+    fn identity_roundtrip() {
+        let mut s = Dcw;
+        let old = vec![0xAAu8; 16];
+        let new = vec![0x5Bu8; 16];
+        let w = s.encode(0, &old, &new);
+        assert_eq!(w.stored, new);
+        assert_eq!(w.aux_bits_flipped, 0);
+        assert_eq!(s.decode(0, &w.stored), new);
+    }
+
+    #[test]
+    fn flips_equal_raw_hamming() {
+        let mut s = Dcw;
+        let old = [0b1111_0000u8];
+        let new = [0b0000_1111u8];
+        let w = s.encode(3, &old, &new);
+        assert_eq!(hamming(&old, &w.stored), 8);
+    }
+}

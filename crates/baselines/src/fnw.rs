@@ -1,0 +1,181 @@
+//! FNW — Flip-N-Write (Cho & Lee, MICRO '09).
+//!
+//! Per W-bit word, compare the new word against the stored word; if more
+//! than W/2 bits differ, store the *complement* and set a per-word flag
+//! bit. Guarantees at most W/2 + 1 flips per word.
+
+use crate::scheme::{InPlaceScheme, InPlaceWrite};
+use e2nvm_sim::bitops::hamming;
+use std::collections::HashMap;
+
+/// Flip-N-Write with a configurable word size in bytes (default 4 =
+/// 32-bit words, the granularity of the original paper).
+#[derive(Debug, Clone)]
+pub struct FlipNWrite {
+    word_bytes: usize,
+    /// Per-address flag vectors (one bool per word).
+    flags: HashMap<usize, Vec<bool>>,
+}
+
+impl FlipNWrite {
+    /// Create with the given word size in bytes.
+    ///
+    /// # Panics
+    /// Panics if `word_bytes == 0`.
+    pub fn new(word_bytes: usize) -> Self {
+        assert!(word_bytes > 0, "FlipNWrite: word_bytes must be > 0");
+        Self {
+            word_bytes,
+            flags: HashMap::new(),
+        }
+    }
+
+    fn words(&self, len: usize) -> usize {
+        len.div_ceil(self.word_bytes)
+    }
+}
+
+impl Default for FlipNWrite {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl InPlaceScheme for FlipNWrite {
+    fn name(&self) -> &'static str {
+        "FNW"
+    }
+
+    fn encode(&mut self, addr: usize, old_stored: &[u8], new: &[u8]) -> InPlaceWrite {
+        assert_eq!(old_stored.len(), new.len(), "FNW: length mismatch");
+        let n_words = self.words(new.len());
+        let flags = self
+            .flags
+            .entry(addr)
+            .or_insert_with(|| vec![false; n_words]);
+        if flags.len() < n_words {
+            flags.resize(n_words, false);
+        }
+        let mut stored = Vec::with_capacity(new.len());
+        let mut aux = 0u64;
+        for (w, chunk) in new.chunks(self.word_bytes).enumerate() {
+            let lo = w * self.word_bytes;
+            let hi = lo + chunk.len();
+            let old_word = &old_stored[lo..hi];
+            let word_bits = (chunk.len() * 8) as u64;
+            let plain = hamming(old_word, chunk);
+            let flipped_candidate: Vec<u8> = chunk.iter().map(|&b| !b).collect();
+            let inverted = hamming(old_word, &flipped_candidate);
+            // Choosing inversion also costs the flag bit if it changes.
+            let use_flip = inverted < plain;
+            if use_flip != flags[w] {
+                aux += 1;
+                flags[w] = use_flip;
+            }
+            if use_flip {
+                stored.extend_from_slice(&flipped_candidate);
+            } else {
+                stored.extend_from_slice(chunk);
+            }
+            debug_assert!(hamming(old_word, &stored[lo..hi]) <= word_bits / 2 + 1);
+        }
+        InPlaceWrite {
+            stored,
+            aux_bits_flipped: aux,
+        }
+    }
+
+    fn decode(&self, addr: usize, stored: &[u8]) -> Vec<u8> {
+        let empty = Vec::new();
+        let flags = self.flags.get(&addr).unwrap_or(&empty);
+        let mut out = Vec::with_capacity(stored.len());
+        for (w, chunk) in stored.chunks(self.word_bytes).enumerate() {
+            let flipped = flags.get(w).copied().unwrap_or(false);
+            if flipped {
+                out.extend(chunk.iter().map(|&b| !b));
+            } else {
+                out.extend_from_slice(chunk);
+            }
+        }
+        out
+    }
+
+    fn aux_bits_per_word(&self) -> u32 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_with_inversion() {
+        let mut s = FlipNWrite::new(4);
+        let old = vec![0x00u8; 8];
+        // First word nearly all ones -> inversion pays off.
+        let new = vec![0xFF, 0xFF, 0xFF, 0x0F, 0x00, 0x00, 0x00, 0x01];
+        let w = s.encode(0, &old, &new);
+        assert_eq!(s.decode(0, &w.stored), new);
+        // Word 0 stored inverted: 28 raw flips become 4.
+        assert_eq!(hamming(&old[..4], &w.stored[..4]), 4);
+        // Word 1 stored plain.
+        assert_eq!(&w.stored[4..], &new[4..]);
+        assert_eq!(w.aux_bits_flipped, 1);
+    }
+
+    #[test]
+    fn never_worse_than_half_word_plus_flag() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut s = FlipNWrite::new(4);
+        let mut stored = vec![0u8; 32];
+        for round in 0..100 {
+            let new: Vec<u8> = (0..32).map(|_| rng.gen()).collect();
+            let w = s.encode(7, &stored, &new);
+            let data_flips = hamming(&stored, &w.stored);
+            let bound = 8 * (16 + 1); // 8 words * (W/2 data flips + flag)
+            assert!(
+                data_flips + w.aux_bits_flipped <= bound,
+                "round {round}: {} flips",
+                data_flips + w.aux_bits_flipped
+            );
+            assert_eq!(s.decode(7, &w.stored), new);
+            stored = w.stored;
+        }
+    }
+
+    #[test]
+    fn sequence_of_writes_maintains_flags() {
+        let mut s = FlipNWrite::new(2);
+        let mut stored = vec![0u8; 4];
+        for new in [
+            vec![0xFFu8, 0xFF, 0x00, 0x00],
+            vec![0x00u8, 0x00, 0xFF, 0xFF],
+            vec![0xF0u8, 0x0F, 0xAA, 0x55],
+        ] {
+            let w = s.encode(1, &stored, &new);
+            assert_eq!(s.decode(1, &w.stored), new);
+            stored = w.stored;
+        }
+    }
+
+    #[test]
+    fn addresses_are_independent() {
+        let mut s = FlipNWrite::new(4);
+        let old = vec![0u8; 4];
+        let w1 = s.encode(0, &old, &[0xFF, 0xFF, 0xFF, 0xFF]);
+        let w2 = s.encode(1, &old, &[0x01, 0x00, 0x00, 0x00]);
+        assert_eq!(s.decode(0, &w1.stored), vec![0xFF, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(s.decode(1, &w2.stored), vec![0x01, 0x00, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn tail_word_smaller_than_word_size() {
+        let mut s = FlipNWrite::new(4);
+        let old = vec![0u8; 6];
+        let new = vec![0xFFu8; 6];
+        let w = s.encode(0, &old, &new);
+        assert_eq!(s.decode(0, &w.stored), new);
+    }
+}

@@ -1,0 +1,31 @@
+//! # e2nvm-baselines — the write schemes E2-NVM is compared against
+//!
+//! Two families, matching the paper's §5.2 taxonomy:
+//!
+//! * **RBW / bit-flip-optimized in-place schemes** ([`InPlaceScheme`]):
+//!   [`Dcw`], [`FlipNWrite`], [`MinShift`], [`Captopril`]. They rewrite a
+//!   fixed address, transforming data (inversion, rotation, hot-bit
+//!   weighting) to minimize flips; auxiliary metadata flips are charged.
+//! * **Placement schemes** ([`PlacementScheme`]): [`Datacon`],
+//!   [`HammingTree`], [`Pnw`] (K-means or PCA+K-means). They choose the
+//!   destination address by content similarity. The E2-NVM engine in
+//!   `e2nvm-core` plugs into the same trait via an adapter in the bench
+//!   crate, so every figure compares like with like.
+
+pub mod captopril;
+pub mod datacon;
+pub mod dcw;
+pub mod fnw;
+pub mod hamming_tree;
+pub mod minshift;
+pub mod pnw;
+pub mod scheme;
+
+pub use captopril::Captopril;
+pub use datacon::Datacon;
+pub use dcw::Dcw;
+pub use fnw::FlipNWrite;
+pub use hamming_tree::HammingTree;
+pub use minshift::MinShift;
+pub use pnw::{Pnw, PnwMode};
+pub use scheme::{InPlaceScheme, InPlaceWrite, PlacementScheme};

@@ -1,0 +1,254 @@
+//! PNW — Predict-aNd-Write (Kargar, Litz & Nawab, ICDE '21), the
+//! clustering-based memory-aware baseline the paper improves on.
+//!
+//! PNW clusters free memory segments with **K-means directly in bit
+//! space**, or — for large segments where raw K-means is too slow — with
+//! **PCA followed by K-means**. Incoming writes are routed to a free
+//! segment of the predicted cluster. The two modes are the two non-VAE
+//! curves of the paper's Figure 4.
+
+use crate::scheme::PlacementScheme;
+use e2nvm_ml::data::bytes_to_features;
+use e2nvm_ml::data::segments_to_matrix;
+use e2nvm_ml::{KMeans, Matrix, Pca};
+use e2nvm_sim::SegmentId;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// Dimensionality-reduction mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PnwMode {
+    /// K-means on the raw bit features.
+    RawKMeans,
+    /// PCA to `p` components, then K-means (the mode PNW must use for
+    /// kilobyte-plus items).
+    PcaKMeans {
+        /// Retained principal components.
+        components: usize,
+    },
+}
+
+/// The PNW placement scheme.
+pub struct Pnw {
+    mode: PnwMode,
+    k: usize,
+    kmeans_iters: usize,
+    pca: Option<Pca>,
+    model: Option<KMeans>,
+    pools: Vec<VecDeque<SegmentId>>,
+    /// Wall-clock spent in the last `initialize` (model training).
+    pub last_train: std::time::Duration,
+}
+
+impl Pnw {
+    /// Create with `k` clusters in the given mode.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, mode: PnwMode) -> Self {
+        assert!(k > 0, "Pnw: k must be >= 1");
+        Self {
+            mode,
+            k,
+            kmeans_iters: 30,
+            pca: None,
+            model: None,
+            pools: Vec::new(),
+            last_train: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn features(&self, data: &[u8]) -> Vec<f32> {
+        let raw = bytes_to_features(data);
+        match &self.pca {
+            Some(pca) => pca.transform_one(&raw),
+            None => raw,
+        }
+    }
+
+    fn predict(&self, data: &[u8]) -> Option<usize> {
+        let model = self.model.as_ref()?;
+        Some(model.predict(&self.features(data)))
+    }
+}
+
+impl PlacementScheme for Pnw {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            PnwMode::RawKMeans => "PNW(K-means)",
+            PnwMode::PcaKMeans { .. } => "PNW(PCA+K-means)",
+        }
+    }
+
+    fn initialize(&mut self, free: &[(SegmentId, Vec<u8>)], rng: &mut StdRng) {
+        let start = std::time::Instant::now();
+        self.pools = (0..self.k).map(|_| VecDeque::new()).collect();
+        if free.is_empty() {
+            self.model = None;
+            self.pca = None;
+            self.last_train = start.elapsed();
+            return;
+        }
+        let contents: Vec<&[u8]> = free.iter().map(|(_, c)| c.as_slice()).collect();
+        let raw = segments_to_matrix(&contents);
+        let (features, pca): (Matrix, Option<Pca>) = match self.mode {
+            PnwMode::RawKMeans => (raw, None),
+            PnwMode::PcaKMeans { components } => {
+                let pca = Pca::fit(&raw, components, 10, rng);
+                (pca.transform(&raw), Some(pca))
+            }
+        };
+        self.pca = pca;
+        let fit = KMeans::fit(&features, self.k, self.kmeans_iters, rng);
+        for ((seg, _), &cluster) in free.iter().zip(&fit.assignments) {
+            self.pools[cluster].push_back(*seg);
+        }
+        self.model = Some(fit.model);
+        self.last_train = start.elapsed();
+    }
+
+    fn choose(&mut self, data: &[u8]) -> Option<SegmentId> {
+        let model = self.model.as_ref()?;
+        // One feature computation; nearest-first fallback when the
+        // predicted pool is empty.
+        let features = self.features(data);
+        for c in model.clusters_by_distance(&features) {
+            if let Some(seg) = self.pools[c].pop_front() {
+                return Some(seg);
+            }
+        }
+        None
+    }
+
+    fn recycle(&mut self, seg: SegmentId, content: &[u8]) {
+        let Some(cluster) = self.predict(content) else {
+            // No model yet: park in pool 0.
+            if let Some(pool) = self.pools.first_mut() {
+                pool.push_back(seg);
+            } else {
+                self.pools = vec![VecDeque::from([seg])];
+            }
+            return;
+        };
+        self.pools[cluster].push_back(seg);
+    }
+
+    fn free_count(&self) -> usize {
+        self.pools.iter().map(VecDeque::len).sum()
+    }
+
+    fn prediction_macs(&self) -> u64 {
+        let Some(model) = &self.model else { return 0 };
+        let feat_dim = model.centroids().cols();
+        let pca_macs = self
+            .pca
+            .as_ref()
+            .map(|p| (p.components().rows() * p.p()) as u64)
+            .unwrap_or(0);
+        pca_macs + (self.k * feat_dim) as u64
+    }
+}
+
+impl std::fmt::Debug for Pnw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pnw")
+            .field("mode", &self.mode)
+            .field("k", &self.k)
+            .field("free", &self.free_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2nvm_ml::rng::seeded;
+    use rand::Rng;
+
+    fn seg(i: usize) -> SegmentId {
+        SegmentId(i)
+    }
+
+    /// Two obvious content families: low bytes and high bytes.
+    fn two_family_pool(rng: &mut StdRng) -> Vec<(SegmentId, Vec<u8>)> {
+        (0..40)
+            .map(|i| {
+                let base: u8 = if i % 2 == 0 { 0x00 } else { 0xFF };
+                let content: Vec<u8> = (0..16)
+                    .map(|_| if rng.gen::<f32>() < 0.1 { !base } else { base })
+                    .collect();
+                (seg(i), content)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routes_to_matching_family() {
+        let mut rng = seeded(1);
+        let pool = two_family_pool(&mut rng);
+        let mut pnw = Pnw::new(2, PnwMode::RawKMeans);
+        pnw.initialize(&pool, &mut rng);
+        // Queries from each family must pick a segment of that family.
+        let chosen_zero = pnw.choose(&[0x00u8; 16]).unwrap();
+        assert_eq!(chosen_zero.index() % 2, 0, "zero query got ones segment");
+        let chosen_ones = pnw.choose(&[0xFFu8; 16]).unwrap();
+        assert_eq!(chosen_ones.index() % 2, 1, "ones query got zeros segment");
+    }
+
+    #[test]
+    fn pca_mode_matches_raw_on_easy_data() {
+        let mut rng = seeded(2);
+        let pool = two_family_pool(&mut rng);
+        let mut pnw = Pnw::new(2, PnwMode::PcaKMeans { components: 4 });
+        pnw.initialize(&pool, &mut rng);
+        let chosen = pnw.choose(&[0xFFu8; 16]).unwrap();
+        assert_eq!(chosen.index() % 2, 1);
+        assert!(pnw.prediction_macs() > 0);
+    }
+
+    #[test]
+    fn pool_drains_and_falls_back() {
+        let mut rng = seeded(3);
+        let pool: Vec<_> = (0..4).map(|i| (seg(i), vec![0u8; 8])).collect();
+        let mut pnw = Pnw::new(2, PnwMode::RawKMeans);
+        pnw.initialize(&pool, &mut rng);
+        let mut taken = 0;
+        while pnw.choose(&[0xFFu8; 8]).is_some() {
+            taken += 1;
+        }
+        assert_eq!(taken, 4, "fallback must drain all pools");
+        assert_eq!(pnw.free_count(), 0);
+    }
+
+    #[test]
+    fn recycle_reclassifies() {
+        let mut rng = seeded(4);
+        let pool = two_family_pool(&mut rng);
+        let mut pnw = Pnw::new(2, PnwMode::RawKMeans);
+        pnw.initialize(&pool, &mut rng);
+        let n = pnw.free_count();
+        let s = pnw.choose(&[0x00u8; 16]).unwrap();
+        assert_eq!(pnw.free_count(), n - 1);
+        pnw.recycle(s, &[0xFFu8; 16]);
+        assert_eq!(pnw.free_count(), n);
+        // It should now be served for a ones query (it sits in the ones
+        // cluster's pool; exact position depends on queue order, so just
+        // check availability).
+        assert!(pnw.choose(&[0xFFu8; 16]).is_some());
+    }
+
+    #[test]
+    fn empty_initialize_is_safe() {
+        let mut rng = seeded(5);
+        let mut pnw = Pnw::new(3, PnwMode::RawKMeans);
+        pnw.initialize(&[], &mut rng);
+        assert_eq!(pnw.choose(&[0u8; 4]), None);
+        pnw.recycle(seg(7), &[0u8; 4]);
+        assert_eq!(pnw.free_count(), 1);
+    }
+}

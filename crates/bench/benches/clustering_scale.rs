@@ -1,0 +1,108 @@
+//! Microbenchmark behind Figure 4: training cost of the three
+//! clustering pipelines as feature count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e2nvm_ml::data::segments_to_matrix;
+use e2nvm_ml::rng::seeded;
+use e2nvm_ml::{ClusterModel, DecConfig, KMeans, Pca, VaeConfig};
+use e2nvm_workloads::DatasetKind;
+use std::hint::black_box;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_scale");
+    group.sample_size(10);
+    let n = 128;
+    let k = 10;
+    for features in [128usize, 512, 2048] {
+        let mut rng = seeded(features as u64);
+        let items = DatasetKind::MnistLike.generate_sized(n, features / 8, &mut rng);
+        let matrix = segments_to_matrix(&items);
+
+        group.bench_with_input(
+            BenchmarkId::new("kmeans_raw", features),
+            &features,
+            |b, _| {
+                b.iter(|| black_box(KMeans::fit(&matrix, k, 15, &mut rng)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pca_kmeans", features),
+            &features,
+            |b, _| {
+                b.iter(|| {
+                    let pca = Pca::fit(&matrix, 12, 8, &mut rng);
+                    let reduced = pca.transform(&matrix);
+                    black_box(KMeans::fit(&reduced, k, 15, &mut rng))
+                });
+            },
+        );
+        let dec = DecConfig {
+            vae: VaeConfig {
+                input_dim: features,
+                hidden: vec![48],
+                latent_dim: 8,
+                lr: 3e-3,
+                beta: 0.1,
+            },
+            k,
+            pretrain_epochs: 4,
+            joint_epochs: 1,
+            gamma: 0.2,
+            batch: 64,
+            kmeans_iters: 15,
+            soft_assignment: false,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("vae_kmeans", features),
+            &features,
+            |b, _| {
+                b.iter(|| black_box(ClusterModel::train(&dec, &matrix, None, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    // Serving-path cost: one prediction through each trained pipeline.
+    let mut rng = seeded(9);
+    let items = DatasetKind::MnistLike.generate_sized(128, 64, &mut rng);
+    let matrix = segments_to_matrix(&items);
+    let query = e2nvm_ml::data::bytes_to_features(&items[0]);
+
+    let raw = KMeans::fit(&matrix, 10, 20, &mut rng);
+    c.bench_function("predict/kmeans_raw", |b| {
+        b.iter(|| black_box(raw.model.predict(black_box(&query))));
+    });
+
+    let pca = Pca::fit(&matrix, 12, 8, &mut rng);
+    let reduced = pca.transform(&matrix);
+    let pk = KMeans::fit(&reduced, 10, 20, &mut rng);
+    c.bench_function("predict/pca_kmeans", |b| {
+        b.iter(|| black_box(pk.model.predict(&pca.transform_one(black_box(&query)))));
+    });
+
+    let dec = DecConfig {
+        vae: VaeConfig {
+            input_dim: 512,
+            hidden: vec![48],
+            latent_dim: 8,
+            lr: 3e-3,
+            beta: 0.1,
+        },
+        k: 10,
+        pretrain_epochs: 3,
+        joint_epochs: 1,
+        gamma: 0.2,
+        batch: 64,
+        kmeans_iters: 15,
+        soft_assignment: false,
+    };
+    let (model, _) = ClusterModel::train(&dec, &matrix, None, &mut rng);
+    c.bench_function("predict/vae_kmeans", |b| {
+        b.iter(|| black_box(model.predict(black_box(&query))));
+    });
+}
+
+criterion_group!(benches, bench_clustering, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmark behind Figure 1: device write cost as a function of
+//! content difference (line skipping + DCW).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e2nvm_sim::{DeviceConfig, NvmDevice, SegmentId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_overwrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_overwrite");
+    group.sample_size(30);
+    let cfg = DeviceConfig::builder()
+        .segment_bytes(256)
+        .num_segments(4)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    for diff_pct in [0usize, 25, 50, 100] {
+        let old: Vec<u8> = (0..256).map(|_| rng.gen()).collect();
+        let mut new = old.clone();
+        let flips = 2048 * diff_pct / 100;
+        for bit in 0..flips {
+            new[bit / 8] ^= 1 << (bit % 8);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("write_256B", diff_pct),
+            &diff_pct,
+            |b, _| {
+                let mut dev = NvmDevice::new(cfg.clone());
+                dev.seed_segment(SegmentId(0), &old).unwrap();
+                b.iter(|| {
+                    // Restore then overwrite so every iteration measures
+                    // the same transition.
+                    dev.seed_segment(SegmentId(0), &old).unwrap();
+                    black_box(dev.write(SegmentId(0), black_box(&new)).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_swap(c: &mut Criterion) {
+    let cfg = DeviceConfig::builder()
+        .segment_bytes(256)
+        .num_segments(4)
+        .build()
+        .unwrap();
+    c.bench_function("device_swap_segments", |b| {
+        let mut dev = NvmDevice::new(cfg.clone());
+        dev.seed_segment(SegmentId(0), &[0xAAu8; 256]).unwrap();
+        dev.seed_segment(SegmentId(1), &[0x55u8; 256]).unwrap();
+        b.iter(|| black_box(dev.swap_segments(SegmentId(0), SegmentId(1)).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_overwrite, bench_swap);
+criterion_main!(benches);

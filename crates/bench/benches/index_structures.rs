@@ -1,0 +1,78 @@
+//! Microbenchmark behind Figure 12: per-operation cost of each NVM
+//! index structure over the direct node store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use e2nvm_kvstore::{
+    BPlusTree, DirectNodeStore, FpTree, NoveLsm, NvmKvStore, PathHashing, WiscKey,
+};
+use e2nvm_sim::{DeviceConfig, MemoryController, NvmDevice};
+use std::hint::black_box;
+
+fn store(segments: usize, seg_bytes: usize) -> DirectNodeStore {
+    let dev = NvmDevice::new(
+        DeviceConfig::builder()
+            .segment_bytes(seg_bytes)
+            .num_segments(segments)
+            .build()
+            .unwrap(),
+    );
+    DirectNodeStore::new(MemoryController::without_wear_leveling(dev))
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_put_overwrite");
+    group.sample_size(30);
+    let value = [0xA5u8; 16];
+    let mut run = |name: &str, kv: &mut dyn NvmKvStore| {
+        // Preload so puts hit a warm structure.
+        for key in 0..48u64 {
+            kv.put(key.wrapping_mul(0x9E37) % 977, &value).unwrap();
+        }
+        let mut key = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                key = (key + 1) % 977;
+                black_box(kv.put(black_box(key), black_box(&value)).is_ok())
+            });
+        });
+    };
+    run("btree", &mut BPlusTree::new(store(512, 256)));
+    run("fptree", &mut FpTree::new(store(512, 256), 16));
+    run(
+        "path_hashing",
+        &mut PathHashing::new(store(512, 256), 1024, 4, 16).unwrap(),
+    );
+    run("wisckey", &mut WiscKey::new(store(512, 256)));
+    run("novelsm", &mut NoveLsm::new(store(512, 256), 4));
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_get");
+    group.sample_size(30);
+    let value = [0x3Cu8; 16];
+    let mut run = |name: &str, kv: &mut dyn NvmKvStore| {
+        for key in 0..64u64 {
+            kv.put(key, &value).unwrap();
+        }
+        let mut key = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                key = (key + 1) % 64;
+                black_box(kv.get(black_box(key)).unwrap())
+            });
+        });
+    };
+    run("btree", &mut BPlusTree::new(store(256, 256)));
+    run("fptree", &mut FpTree::new(store(256, 256), 16));
+    run(
+        "path_hashing",
+        &mut PathHashing::new(store(256, 256), 256, 4, 16).unwrap(),
+    );
+    run("wisckey", &mut WiscKey::new(store(256, 256)));
+    run("novelsm", &mut NoveLsm::new(store(256, 256), 4));
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmark behind Figure 14: cost of generating padded model
+//! inputs with each strategy (the learned LSTM path is the expensive
+//! one, matching the paper's complexity-vs-accuracy trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e2nvm_core::{Padder, PaddingLocation, PaddingType};
+use e2nvm_ml::rng::seeded;
+use e2nvm_workloads::DatasetKind;
+use std::hint::black_box;
+
+fn bench_padding_types(c: &mut Criterion) {
+    let mut rng = seeded(1);
+    let segments = DatasetKind::MnistLike.generate_sized(32, 64, &mut rng);
+    let value = &segments[0][..40]; // 320 of 512 bits
+    let target_bits = 512;
+
+    let mut group = c.benchmark_group("pad_320_to_512_bits");
+    for ptype in PaddingType::ALL {
+        let mut padder = Padder::new(PaddingLocation::End, ptype);
+        padder.observe(&segments[1]);
+        padder.set_memory_ratio(0.4);
+        if ptype == PaddingType::Learned {
+            padder.train_learned(&segments, 5, &mut rng);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(ptype.name()), &ptype, |b, _| {
+            b.iter(|| black_box(padder.pad(black_box(value), target_bits, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_learned_training(c: &mut Criterion) {
+    let mut rng = seeded(2);
+    let segments = DatasetKind::MnistLike.generate_sized(32, 64, &mut rng);
+    c.bench_function("learned_padder_train_5_epochs", |b| {
+        b.iter(|| {
+            let mut padder = Padder::new(PaddingLocation::End, PaddingType::Learned);
+            padder.train_learned(black_box(&segments), 5, &mut rng);
+            black_box(padder)
+        });
+    });
+}
+
+criterion_group!(benches, bench_padding_types, bench_learned_training);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmark behind Figures 16 and 18: per-epoch VAE training cost
+//! vs segment count, and the serving-path prediction cost of a trained
+//! engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use e2nvm_bench::systems::{seeded_device, E2System};
+use e2nvm_ml::data::segments_to_matrix;
+use e2nvm_ml::rng::seeded;
+use e2nvm_ml::{Vae, VaeConfig};
+use e2nvm_sim::WearTracking;
+use e2nvm_workloads::DatasetKind;
+use std::hint::black_box;
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vae_train_epoch");
+    group.sample_size(10);
+    for n in [128usize, 512, 2048] {
+        let mut rng = seeded(n as u64);
+        let items = DatasetKind::ImagenetLike.generate_sized(n, 64, &mut rng);
+        let features = segments_to_matrix(&items);
+        let mut vae = Vae::new(
+            VaeConfig {
+                input_dim: 512,
+                hidden: vec![64],
+                latent_dim: 8,
+                lr: 3e-3,
+                beta: 0.1,
+            },
+            &mut rng,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(vae.train_epoch(&features, 64, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_place(c: &mut Criterion) {
+    let mut rng = seeded(7);
+    let items = DatasetKind::MnistLike.generate_sized(128, 64, &mut rng);
+    let dev = seeded_device(64, 128, WearTracking::None, &items);
+    let mut sys = E2System::new(dev, E2System::quick_config(64, 8), 0.5).expect("e2");
+    let engine = sys.engine_mut();
+    let queries = DatasetKind::MnistLike.generate_sized(64, 64, &mut rng);
+    let mut i = 0;
+    c.bench_function("engine_place_and_recycle_64B", |b| {
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            let (seg, report) = engine.place_value(black_box(&queries[i])).expect("place");
+            engine.recycle_segment(seg).expect("recycle");
+            black_box(report)
+        });
+    });
+}
+
+criterion_group!(benches, bench_epoch, bench_engine_place);
+criterion_main!(benches);

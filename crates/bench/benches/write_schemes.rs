@@ -1,0 +1,74 @@
+//! Microbenchmark behind Figure 10: per-write CPU cost of each write
+//! scheme (encode/choose), separate from the device-side flip counts
+//! the figure reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use e2nvm_baselines::{
+    Captopril, Datacon, Dcw, FlipNWrite, HammingTree, InPlaceScheme, MinShift, PlacementScheme,
+    Pnw, PnwMode,
+};
+use e2nvm_ml::rng::seeded;
+use e2nvm_sim::SegmentId;
+use e2nvm_workloads::DatasetKind;
+use std::hint::black_box;
+
+fn bench_inplace(c: &mut Criterion) {
+    let mut rng = seeded(1);
+    let items = DatasetKind::MnistLike.generate_sized(64, 64, &mut rng);
+    let old = &items[0];
+    let mut group = c.benchmark_group("inplace_encode_64B");
+    let mut run = |name: &str, scheme: &mut dyn InPlaceScheme| {
+        let mut i = 0;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i = (i + 1) % items.len();
+                black_box(scheme.encode(0, black_box(old), black_box(&items[i])))
+            });
+        });
+    };
+    run("dcw", &mut Dcw);
+    run("fnw", &mut FlipNWrite::default());
+    run("minshift", &mut MinShift::default());
+    run("captopril", &mut Captopril::default());
+    group.finish();
+}
+
+fn bench_placement_choose(c: &mut Criterion) {
+    let mut rng = seeded(2);
+    let items = DatasetKind::MnistLike.generate_sized(128, 64, &mut rng);
+    let free: Vec<(SegmentId, Vec<u8>)> = items
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (SegmentId(i), c.clone()))
+        .collect();
+    let queries = DatasetKind::MnistLike.generate_sized(64, 64, &mut rng);
+
+    let mut group = c.benchmark_group("placement_choose_64B");
+    let mut run = |name: &str, scheme: &mut dyn PlacementScheme| {
+        let mut srng = seeded(3);
+        scheme.initialize(&free, &mut srng);
+        let mut i = 0;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                // choose + recycle keeps the pool stable across iters.
+                let seg = scheme
+                    .choose(black_box(&queries[i]))
+                    .expect("pool nonempty");
+                scheme.recycle(seg, &items[seg.index()]);
+                black_box(seg)
+            });
+        });
+    };
+    run("datacon", &mut Datacon::new(false));
+    run("hamming_tree", &mut HammingTree::new());
+    run("pnw_raw", &mut Pnw::new(10, PnwMode::RawKMeans));
+    run(
+        "pnw_pca",
+        &mut Pnw::new(10, PnwMode::PcaKMeans { components: 12 }),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_inplace, bench_placement_choose);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! One submodule per paper figure group; every function returns a
+//! [`crate::Table`] that the `experiments` binary prints and saves.
+
+pub mod ablations;
+pub mod device;
+pub mod engine;
+pub mod model;
+pub mod padding;
+pub mod structures;

@@ -1,0 +1,37 @@
+//! # e2nvm-bench — the experiment harness
+//!
+//! One module per concern: [`table`] renders/persists result tables,
+//! [`systems`] wraps every write scheme behind one streaming interface,
+//! and [`figures`] regenerates each figure of the paper (see DESIGN.md
+//! §4 for the experiment index). The `experiments` binary drives it:
+//!
+//! ```text
+//! cargo run -p e2nvm-bench --release --bin experiments -- all --quick
+//! cargo run -p e2nvm-bench --release --bin experiments -- fig10 fig12
+//! ```
+
+pub mod figures;
+pub mod systems;
+pub mod table;
+
+pub use systems::{seeded_device, stream, E2System, InPlaceSystem, PlacementSystem, WriteSystem};
+pub use table::{fmt, Table};
+
+/// Global knob: quick mode shrinks pools/epochs so the full suite runs
+/// in minutes; full mode uses larger (still laptop-scale) sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Quick (CI-sized) runs.
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Pick between the quick and full value.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}

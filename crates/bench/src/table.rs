@@ -1,0 +1,153 @@
+//! Plain-text table + CSV output for experiment results.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id ("fig01", ...).
+    pub id: String,
+    /// Human title (what the paper's figure shows).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes printed under the table (scaling factors,
+    /// observations to compare against the paper).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "table {}: row width mismatch",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("=== {} — {} ===\n", self.id, self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write as `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float compactly.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_counts() {
+        let mut t = Table::new("t1", "demo", &["k", "flips"]);
+        t.row(vec!["1".into(), "123.4".into()]);
+        t.row(vec!["30".into(), "5".into()]);
+        t.note("scaled 1:100");
+        let s = t.render();
+        assert!(s.contains("t1"));
+        assert!(s.contains("flips"));
+        assert!(s.contains("scaled 1:100"));
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("t2", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("e2nvm_table_test");
+        let mut t = Table::new("t3", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t3.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.25), "42.2");
+        assert_eq!(fmt(1.23456), "1.235");
+    }
+}

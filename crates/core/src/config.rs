@@ -1,0 +1,165 @@
+//! E2-NVM engine configuration.
+
+use crate::padding::{PaddingLocation, PaddingType};
+use e2nvm_ml::{DecConfig, VaeConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`crate::E2Engine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E2Config {
+    /// Number of clusters K (see [`crate::kselect`] for choosing it).
+    pub k: usize,
+    /// Segment size in bytes — must match the device the engine runs on.
+    pub segment_bytes: usize,
+    /// Latent dimensionality of the VAE (paper: ~10).
+    pub latent_dim: usize,
+    /// Encoder hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// VAE pretraining epochs.
+    pub pretrain_epochs: usize,
+    /// Joint VAE+K-means fine-tuning epochs.
+    pub joint_epochs: usize,
+    /// Cluster-loss weight γ.
+    pub gamma: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// KL weight β.
+    pub beta: f32,
+    /// Cap on training-set size: at most this many free segments are
+    /// sampled for (re)training (§4.1.4's incremental indexing).
+    pub train_sample_cap: usize,
+    /// Retraining trigger: retrain when any cluster's free list drops
+    /// below this many addresses (§4.1.4 "minimum threshold").
+    pub retrain_min_free: usize,
+    /// Where padding bits are placed for sub-segment values.
+    pub padding_location: PaddingLocation,
+    /// How padding bits are generated.
+    pub padding_type: PaddingType,
+    /// RNG seed for model init, shuffling, and padding randomness.
+    pub seed: u64,
+}
+
+impl Default for E2Config {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            segment_bytes: 256,
+            latent_dim: 10,
+            hidden: vec![128],
+            pretrain_epochs: 15,
+            joint_epochs: 5,
+            gamma: 0.1,
+            batch: 64,
+            lr: 2e-3,
+            beta: 0.3,
+            train_sample_cap: 4096,
+            retrain_min_free: 2,
+            padding_location: PaddingLocation::End,
+            padding_type: PaddingType::Learned,
+            seed: 0xE211,
+        }
+    }
+}
+
+impl E2Config {
+    /// Model input width in bit-features.
+    pub fn input_bits(&self) -> usize {
+        self.segment_bytes * 8
+    }
+
+    /// The derived joint-training configuration.
+    pub fn dec_config(&self) -> DecConfig {
+        DecConfig {
+            vae: VaeConfig {
+                input_dim: self.input_bits(),
+                hidden: self.hidden.clone(),
+                latent_dim: self.latent_dim,
+                lr: self.lr,
+                beta: self.beta,
+            },
+            k: self.k,
+            pretrain_epochs: self.pretrain_epochs,
+            joint_epochs: self.joint_epochs,
+            gamma: self.gamma,
+            batch: self.batch,
+            kmeans_iters: 25,
+            soft_assignment: false,
+        }
+    }
+
+    /// Validate basic constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be >= 1".into());
+        }
+        if self.segment_bytes == 0 {
+            return Err("segment_bytes must be > 0".into());
+        }
+        if self.latent_dim == 0 {
+            return Err("latent_dim must be > 0".into());
+        }
+        if self.batch == 0 {
+            return Err("batch must be > 0".into());
+        }
+        Ok(())
+    }
+
+    /// A small/fast configuration for tests and quick demos.
+    pub fn fast(segment_bytes: usize, k: usize) -> Self {
+        Self {
+            k,
+            segment_bytes,
+            latent_dim: 4,
+            hidden: vec![32],
+            pretrain_epochs: 8,
+            joint_epochs: 3,
+            train_sample_cap: 1024,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(E2Config::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_fields_caught() {
+        for cfg in [
+            E2Config {
+                k: 0,
+                ..E2Config::default()
+            },
+            E2Config {
+                segment_bytes: 0,
+                ..E2Config::default()
+            },
+            E2Config {
+                latent_dim: 0,
+                ..E2Config::default()
+            },
+            E2Config {
+                batch: 0,
+                ..E2Config::default()
+            },
+        ] {
+            assert!(cfg.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn dec_config_derives_dims() {
+        let cfg = E2Config::fast(64, 5);
+        let dec = cfg.dec_config();
+        assert_eq!(dec.vae.input_dim, 512);
+        assert_eq!(dec.k, 5);
+        assert_eq!(cfg.input_bits(), 512);
+    }
+}

@@ -1,0 +1,273 @@
+//! The Cluster-to-Memory **Dynamic Address Pool** (paper §3.3.1): a map
+//! from cluster id to the list of free memory segments belonging to that
+//! cluster.
+//!
+//! PUT pops the *first* available address of the predicted cluster (the
+//! paper deliberately does not search within a cluster: "we just take
+//! the first available address in the cluster knowing that it will have
+//! a very similar content"); DELETE recycles addresses back. A
+//! membership table enforces that no address is ever in two pools or
+//! handed out twice, and a minimum-threshold check drives the
+//! background-retraining trigger of §4.1.4.
+
+use e2nvm_sim::SegmentId;
+use std::collections::VecDeque;
+
+/// Error type for pool misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DapError {
+    /// The segment is already in the pool (double free).
+    AlreadyFree(SegmentId),
+    /// The cluster id is out of range.
+    BadCluster {
+        /// The offending cluster id.
+        cluster: usize,
+        /// Number of clusters in the pool.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for DapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DapError::AlreadyFree(seg) => write!(f, "segment {seg} is already free"),
+            DapError::BadCluster { cluster, k } => {
+                write!(f, "cluster {cluster} out of range (k = {k})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DapError {}
+
+/// The dynamic address pool.
+#[derive(Debug, Clone)]
+pub struct DynamicAddressPool {
+    pools: VecVecDeque,
+    /// `membership[seg] == Some(cluster)` iff the segment is free and
+    /// parked in that cluster's pool.
+    membership: Vec<Option<u32>>,
+    min_threshold: usize,
+}
+
+type VecVecDeque = Vec<VecDeque<SegmentId>>;
+
+impl DynamicAddressPool {
+    /// An empty pool with `k` clusters covering `num_segments` segment
+    /// ids. `min_threshold` is the per-cluster low-water mark that
+    /// triggers retraining.
+    pub fn new(k: usize, num_segments: usize, min_threshold: usize) -> Self {
+        assert!(k > 0, "DynamicAddressPool: k must be >= 1");
+        Self {
+            pools: (0..k).map(|_| VecDeque::new()).collect(),
+            membership: vec![None; num_segments],
+            min_threshold,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Total free segments.
+    pub fn free_count(&self) -> usize {
+        self.pools.iter().map(VecDeque::len).sum()
+    }
+
+    /// Free segments in one cluster.
+    pub fn cluster_len(&self, cluster: usize) -> usize {
+        self.pools.get(cluster).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Park a free segment in `cluster`'s pool.
+    pub fn push(&mut self, cluster: usize, seg: SegmentId) -> Result<(), DapError> {
+        if cluster >= self.pools.len() {
+            return Err(DapError::BadCluster {
+                cluster,
+                k: self.pools.len(),
+            });
+        }
+        let slot = &mut self.membership[seg.index()];
+        if slot.is_some() {
+            return Err(DapError::AlreadyFree(seg));
+        }
+        *slot = Some(cluster as u32);
+        self.pools[cluster].push_back(seg);
+        Ok(())
+    }
+
+    /// The first free address of `cluster` without removing it.
+    pub fn peek_head(&self, cluster: usize) -> Option<SegmentId> {
+        self.pools.get(cluster)?.front().copied()
+    }
+
+    /// Take the first free address of `cluster`, if any.
+    pub fn pop(&mut self, cluster: usize) -> Option<SegmentId> {
+        let seg = self.pools.get_mut(cluster)?.pop_front()?;
+        self.membership[seg.index()] = None;
+        Some(seg)
+    }
+
+    /// Take the first free address following a nearest-first cluster
+    /// order (fallback when the predicted cluster is empty).
+    pub fn pop_with_fallback(&mut self, order: &[usize]) -> Option<SegmentId> {
+        order.iter().find_map(|&c| self.pop(c))
+    }
+
+    /// The first cluster whose free list is at or below the threshold,
+    /// if any — the retraining trigger.
+    pub fn below_threshold(&self) -> Option<usize> {
+        self.pools
+            .iter()
+            .position(|p| p.len() <= self.min_threshold)
+    }
+
+    /// Rebuild the pool from scratch with a new cluster count and
+    /// assignment list (after retraining).
+    pub fn rebuild(&mut self, k: usize, assignments: &[(SegmentId, usize)]) {
+        assert!(k > 0, "rebuild: k must be >= 1");
+        self.pools = (0..k).map(|_| VecDeque::new()).collect();
+        self.membership.iter_mut().for_each(|m| *m = None);
+        for &(seg, cluster) in assignments {
+            self.push(cluster, seg)
+                .expect("rebuild: duplicate segment in assignments");
+        }
+    }
+
+    /// Estimated DRAM footprint of the pool in bytes: one address slot
+    /// per free segment plus the membership table — the quantity the
+    /// paper's Figure 7 plots against segment count.
+    pub fn memory_bytes(&self) -> usize {
+        let slots: usize = self
+            .pools
+            .iter()
+            .map(|p| p.capacity() * std::mem::size_of::<SegmentId>())
+            .sum();
+        slots + self.membership.len() * std::mem::size_of::<Option<u32>>()
+    }
+
+    /// Whether `seg` is currently free.
+    pub fn is_free(&self, seg: SegmentId) -> bool {
+        self.membership
+            .get(seg.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
+    }
+
+    /// Per-cluster occupancy snapshot.
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.pools.iter().map(VecDeque::len).collect()
+    }
+
+    /// All currently free segments (order unspecified).
+    pub fn free_segments(&self) -> Vec<SegmentId> {
+        self.membership
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.map(|_| SegmentId(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(i: usize) -> SegmentId {
+        SegmentId(i)
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut dap = DynamicAddressPool::new(2, 10, 0);
+        dap.push(0, seg(3)).unwrap();
+        dap.push(0, seg(5)).unwrap();
+        assert_eq!(dap.pop(0), Some(seg(3)));
+        assert_eq!(dap.pop(0), Some(seg(5)));
+        assert_eq!(dap.pop(0), None);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut dap = DynamicAddressPool::new(2, 10, 0);
+        dap.push(0, seg(1)).unwrap();
+        assert_eq!(dap.push(1, seg(1)), Err(DapError::AlreadyFree(seg(1))));
+        assert_eq!(dap.push(0, seg(1)), Err(DapError::AlreadyFree(seg(1))));
+        // After pop it can be pushed again (possibly elsewhere).
+        dap.pop(0);
+        dap.push(1, seg(1)).unwrap();
+        assert_eq!(dap.cluster_len(1), 1);
+    }
+
+    #[test]
+    fn bad_cluster_rejected() {
+        let mut dap = DynamicAddressPool::new(2, 4, 0);
+        assert!(matches!(
+            dap.push(7, seg(0)),
+            Err(DapError::BadCluster { cluster: 7, k: 2 })
+        ));
+    }
+
+    #[test]
+    fn fallback_order_respected() {
+        let mut dap = DynamicAddressPool::new(3, 10, 0);
+        dap.push(2, seg(9)).unwrap();
+        // Cluster 0 and 1 empty; order [0, 1, 2] must reach cluster 2.
+        assert_eq!(dap.pop_with_fallback(&[0, 1, 2]), Some(seg(9)));
+        assert_eq!(dap.pop_with_fallback(&[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn threshold_detection() {
+        let mut dap = DynamicAddressPool::new(2, 10, 1);
+        dap.push(0, seg(0)).unwrap();
+        dap.push(0, seg(1)).unwrap();
+        dap.push(1, seg(2)).unwrap();
+        dap.push(1, seg(3)).unwrap();
+        // Both clusters above threshold (2 > 1).
+        assert_eq!(dap.below_threshold(), None);
+        dap.pop(1);
+        // Cluster 1 now at threshold.
+        assert_eq!(dap.below_threshold(), Some(1));
+    }
+
+    #[test]
+    fn rebuild_replaces_everything() {
+        let mut dap = DynamicAddressPool::new(2, 10, 0);
+        dap.push(0, seg(0)).unwrap();
+        dap.push(1, seg(1)).unwrap();
+        dap.rebuild(3, &[(seg(5), 2), (seg(6), 0)]);
+        assert_eq!(dap.k(), 3);
+        assert_eq!(dap.free_count(), 2);
+        assert!(!dap.is_free(seg(0)));
+        assert!(dap.is_free(seg(5)));
+        assert_eq!(dap.occupancy(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_segments() {
+        let small = DynamicAddressPool::new(4, 1_000, 0);
+        let large = DynamicAddressPool::new(4, 100_000, 0);
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn conservation_under_interleaving() {
+        let mut dap = DynamicAddressPool::new(4, 64, 0);
+        for i in 0..64 {
+            dap.push(i % 4, seg(i)).unwrap();
+        }
+        let mut held = Vec::new();
+        // Interleave pops and recycles.
+        for round in 0..200 {
+            if round % 3 == 0 && !held.is_empty() {
+                let s: SegmentId = held.pop().unwrap();
+                dap.push(round % 4, s).unwrap();
+            } else if let Some(s) = dap.pop_with_fallback(&[0, 1, 2, 3]) {
+                held.push(s);
+            }
+            assert_eq!(dap.free_count() + held.len(), 64, "round {round}");
+        }
+    }
+}

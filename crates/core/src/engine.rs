@@ -1,0 +1,627 @@
+//! The E2-NVM engine: the storage layer of the paper's Figure 3, tying
+//! together the trained model, the dynamic address pool, the data index,
+//! and the NVM device behind its memory controller.
+//!
+//! * **Write** (Algorithm 1): pad → predict cluster → pop an address
+//!   from the DAP → write only the differing bits (the device model
+//!   performs the comparison) → update the index.
+//! * **Delete** (Algorithm 2): look up the address → drop the index
+//!   entry (the "flag bit" lives in DRAM) → re-classify the content and
+//!   recycle the address into the DAP.
+//! * **Read / Scan**: pure index lookups plus device reads.
+
+use crate::config::E2Config;
+use crate::dap::DynamicAddressPool;
+use crate::error::{E2Error, Result};
+use crate::incremental::IncrementalIndexer;
+use crate::model::E2Model;
+use crate::padding::Padder;
+use e2nvm_sim::{MemoryController, SegmentId, WriteReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::ops::RangeBounds;
+use std::time::Instant;
+
+/// An index entry: where a key's value lives and how long it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    seg: SegmentId,
+    len: usize,
+}
+
+/// Serving-path counters (prediction overhead, Figure 10's latency
+/// comparison).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictionStats {
+    /// Model predictions performed.
+    pub predictions: u64,
+    /// Wall-clock nanoseconds spent in padding + prediction.
+    pub total_ns: u128,
+}
+
+impl PredictionStats {
+    /// Mean prediction latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// The E2-NVM engine.
+pub struct E2Engine {
+    cfg: E2Config,
+    controller: MemoryController,
+    model: Option<E2Model>,
+    dap: DynamicAddressPool,
+    padder: Padder,
+    index: BTreeMap<u64, Entry>,
+    rng: StdRng,
+    prediction: PredictionStats,
+    incremental: Option<IncrementalIndexer>,
+}
+
+impl E2Engine {
+    /// Create an untrained engine over a controller. The controller's
+    /// segment size must match the config.
+    pub fn new(controller: MemoryController, cfg: E2Config) -> Result<Self> {
+        cfg.validate().map_err(E2Error::Config)?;
+        if controller.device().config().segment_bytes != cfg.segment_bytes {
+            return Err(E2Error::Config(format!(
+                "controller segment size {} != config segment size {}",
+                controller.device().config().segment_bytes,
+                cfg.segment_bytes
+            )));
+        }
+        let num_segments = controller.num_segments();
+        let padder = Padder::new(cfg.padding_location, cfg.padding_type);
+        Ok(Self {
+            dap: DynamicAddressPool::new(cfg.k, num_segments, cfg.retrain_min_free),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            model: None,
+            padder,
+            index: BTreeMap::new(),
+            prediction: PredictionStats::default(),
+            incremental: None,
+            controller,
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &E2Config {
+        &self.cfg
+    }
+
+    /// Snapshot the contents of every *free* segment. Before the first
+    /// training, every segment is free; afterwards the DAP's membership
+    /// table is the source of truth (placements may be made through
+    /// [`E2Engine::place_value`] by callers that keep their own index,
+    /// e.g. the node stores in `e2nvm-kvstore`, so the key index alone
+    /// cannot be trusted here).
+    fn free_snapshot(&self) -> Vec<(SegmentId, Vec<u8>)> {
+        let free: Vec<SegmentId> = if self.model.is_some() {
+            self.dap.free_segments()
+        } else {
+            (0..self.controller.num_segments()).map(SegmentId).collect()
+        };
+        free.into_iter()
+            .map(|seg| {
+                let content = self
+                    .controller
+                    .peek(seg)
+                    .expect("segment in range")
+                    .to_vec();
+                (seg, content)
+            })
+            .collect()
+    }
+
+    /// Replace the padding strategy. For [`crate::padding::PaddingType::Learned`] the
+    /// generator is retrained on the current free-segment contents.
+    pub fn set_padding(
+        &mut self,
+        location: crate::padding::PaddingLocation,
+        ptype: crate::padding::PaddingType,
+    ) {
+        self.cfg.padding_location = location;
+        self.cfg.padding_type = ptype;
+        self.padder = Padder::new(location, ptype);
+        if ptype == crate::padding::PaddingType::Learned && self.model.is_some() {
+            let contents: Vec<Vec<u8>> = self.free_snapshot().into_iter().map(|(_, c)| c).collect();
+            self.padder.train_learned(&contents, 10, &mut self.rng);
+        }
+    }
+
+    /// Train (or retrain) the model on the current free-segment contents
+    /// and rebuild the dynamic address pool. This is the synchronous
+    /// path; see [`crate::retrain`] for the background variant.
+    pub fn train(&mut self) -> Result<()> {
+        let free = self.free_snapshot();
+        if free.is_empty() {
+            return Err(E2Error::OutOfSpace);
+        }
+        let contents: Vec<Vec<u8>> = free.iter().map(|(_, c)| c.clone()).collect();
+        let model = E2Model::train(&self.cfg, &contents, &mut self.rng);
+        self.install_model(model, &free);
+        Ok(())
+    }
+
+    /// Train on only the first `initial` segments and map just those
+    /// into the address pool — the paper's §4.1.4 incremental indexing
+    /// ("starts by indexing a portion of the memory"). Grow coverage
+    /// later with [`E2Engine::index_more`].
+    pub fn train_partial(&mut self, initial: usize) -> Result<()> {
+        let total = self.controller.num_segments();
+        if initial == 0 || initial > total {
+            return Err(E2Error::Config(format!(
+                "train_partial: initial {initial} out of 1..={total}"
+            )));
+        }
+        let indexer = IncrementalIndexer::new(total, initial);
+        let free: Vec<(SegmentId, Vec<u8>)> = indexer
+            .initial_range()
+            .map(|seg| {
+                let content = self.controller.peek(seg).expect("in range").to_vec();
+                (seg, content)
+            })
+            .collect();
+        let contents: Vec<Vec<u8>> = free.iter().map(|(_, c)| c.clone()).collect();
+        let model = E2Model::train(&self.cfg, &contents, &mut self.rng);
+        self.install_model(model, &free);
+        self.incremental = Some(indexer);
+        Ok(())
+    }
+
+    /// Map up to `count` previously unmapped segments into the DAP
+    /// (classified with the current model). Returns how many were
+    /// added. A no-op (0) once coverage is complete or when the engine
+    /// was fully trained from the start.
+    pub fn index_more(&mut self, count: usize) -> Result<usize> {
+        let model = self.model.as_ref().ok_or(E2Error::NotTrained)?;
+        let Some(indexer) = &mut self.incremental else {
+            return Ok(0);
+        };
+        let new_segments = indexer.take_next(count);
+        let contents: Vec<Vec<u8>> = new_segments
+            .iter()
+            .map(|&seg| self.controller.peek(seg).expect("in range").to_vec())
+            .collect();
+        let assignments = model.classify_segments(&contents);
+        for (&seg, cluster) in new_segments.iter().zip(assignments) {
+            self.dap.push(cluster, seg)?;
+        }
+        Ok(new_segments.len())
+    }
+
+    /// Sweep the candidate Ks on the current free contents (SSE elbow +
+    /// energy valley, Figure 8) and train with the energy-optimal K.
+    /// Returns the chosen K.
+    pub fn train_auto_k(&mut self, candidates: &[usize], est_writes: u64) -> Result<usize> {
+        let free = self.free_snapshot();
+        if free.is_empty() {
+            return Err(E2Error::OutOfSpace);
+        }
+        let contents: Vec<Vec<u8>> = free.iter().map(|(_, c)| c.clone()).collect();
+        let selection = crate::kselect::sweep_k(
+            &self.cfg,
+            &contents,
+            candidates,
+            &self.controller.device().config().energy.clone(),
+            est_writes,
+            &mut self.rng,
+        );
+        self.cfg.k = selection.energy_k;
+        let model = E2Model::train(&self.cfg, &contents, &mut self.rng);
+        self.install_model(model, &free);
+        Ok(selection.energy_k)
+    }
+
+    /// Install an externally trained model (from the background
+    /// retrainer) and rebuild the DAP against the current free set.
+    pub fn install_model_now(&mut self, model: E2Model) {
+        let free = self.free_snapshot();
+        self.install_model(model, &free);
+    }
+
+    fn install_model(&mut self, model: E2Model, free: &[(SegmentId, Vec<u8>)]) {
+        let contents: Vec<Vec<u8>> = free.iter().map(|(_, c)| c.clone()).collect();
+        let assignments = model.classify_segments(&contents);
+        let pairs: Vec<(SegmentId, usize)> =
+            free.iter().map(|(seg, _)| *seg).zip(assignments).collect();
+        self.dap.rebuild(model.k(), &pairs);
+        // Refresh padding state from the snapshot.
+        let total_bits: u64 = contents.iter().map(|c| (c.len() * 8) as u64).sum();
+        let ones: u64 = contents
+            .iter()
+            .map(|c| e2nvm_sim::bitops::popcount(c))
+            .sum();
+        if total_bits > 0 {
+            self.padder
+                .set_memory_ratio(ones as f32 / total_bits as f32);
+        }
+        if self.cfg.padding_type == crate::padding::PaddingType::Learned {
+            self.padder.train_learned(&contents, 10, &mut self.rng);
+        }
+        self.model = Some(model);
+    }
+
+    /// Whether the model has been trained.
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Whether any cluster's free list has reached the retraining
+    /// threshold (§4.1.4).
+    pub fn needs_retrain(&self) -> bool {
+        self.model.is_some() && self.dap.below_threshold().is_some()
+    }
+
+    /// Low-level placement: choose a free segment for `value`, write it,
+    /// and return the segment and the device report. Does not touch the
+    /// key index (the KV layer and the benchmarks both build on this).
+    pub fn place_value(&mut self, value: &[u8]) -> Result<(SegmentId, WriteReport)> {
+        self.place_at(0, value)
+    }
+
+    /// Like [`E2Engine::place_value`], but writes `value` at a byte
+    /// `offset` within the chosen segment, leaving the rest of the
+    /// segment's (recycled) content untouched. Integrators that append
+    /// records into partially filled segments use this so the untouched
+    /// region costs no flips.
+    pub fn place_at(&mut self, offset: usize, value: &[u8]) -> Result<(SegmentId, WriteReport)> {
+        if offset + value.len() > self.cfg.segment_bytes {
+            return Err(E2Error::ValueTooLarge {
+                len: offset + value.len(),
+                segment_bytes: self.cfg.segment_bytes,
+            });
+        }
+        let model = self.model.as_ref().ok_or(E2Error::NotTrained)?;
+        let t0 = Instant::now();
+        let order = model.cluster_order(value, &self.padder, &mut self.rng);
+        self.prediction.predictions += 1;
+        self.prediction.total_ns += t0.elapsed().as_nanos();
+        let seg = self
+            .dap
+            .pop_with_fallback(&order)
+            .ok_or(E2Error::OutOfSpace)?;
+        let report = self.controller.write_at(seg, offset, value)?;
+        self.padder.observe(value);
+        Ok((seg, report))
+    }
+
+    /// Preview where [`E2Engine::place_value`] would land `value` and
+    /// how many bits the write would flip there, without consuming the
+    /// address. Integrators use this to decide between relocating a
+    /// node image and updating it in place. Returns `None` when the
+    /// pool is empty.
+    pub fn preview_placement(&mut self, value: &[u8]) -> Result<Option<(SegmentId, u64)>> {
+        if value.len() > self.cfg.segment_bytes {
+            return Err(E2Error::ValueTooLarge {
+                len: value.len(),
+                segment_bytes: self.cfg.segment_bytes,
+            });
+        }
+        let model = self.model.as_ref().ok_or(E2Error::NotTrained)?;
+        let order = model.cluster_order(value, &self.padder, &mut self.rng);
+        for c in order {
+            if let Some(seg) = self.dap.peek_head(c) {
+                let content = self.controller.peek(seg)?;
+                let flips = e2nvm_sim::bitops::hamming(&content[..value.len()], value);
+                return Ok(Some((seg, flips)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Low-level recycle: classify the segment's current content and
+    /// return it to the DAP.
+    pub fn recycle_segment(&mut self, seg: SegmentId) -> Result<()> {
+        let content = self.controller.peek(seg)?.to_vec();
+        let model = self.model.as_ref().ok_or(E2Error::NotTrained)?;
+        let cluster = model.predict_features(&e2nvm_ml::data::bytes_to_features(&content));
+        self.dap.push(cluster, seg)?;
+        Ok(())
+    }
+
+    /// PUT / UPDATE (Algorithm 1). Returns the device write report.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> Result<WriteReport> {
+        let (seg, report) = self.place_value(value)?;
+        if let Some(old) = self.index.insert(
+            key,
+            Entry {
+                seg,
+                len: value.len(),
+            },
+        ) {
+            // The key's previous segment becomes free again.
+            self.recycle_segment(old.seg)?;
+        }
+        Ok(report)
+    }
+
+    /// GET: read the value back.
+    pub fn get(&mut self, key: u64) -> Result<Vec<u8>> {
+        let entry = *self.index.get(&key).ok_or(E2Error::KeyNotFound(key))?;
+        let mut data = self.controller.read(entry.seg)?;
+        data.truncate(entry.len);
+        Ok(data)
+    }
+
+    /// DELETE (Algorithm 2). Returns true if the key existed.
+    pub fn delete(&mut self, key: u64) -> Result<bool> {
+        let Some(entry) = self.index.remove(&key) else {
+            return Ok(false);
+        };
+        self.recycle_segment(entry.seg)?;
+        Ok(true)
+    }
+
+    /// SCAN: all key/value pairs with keys in `range`, in key order.
+    pub fn scan<R: RangeBounds<u64>>(&mut self, range: R) -> Result<Vec<(u64, Vec<u8>)>> {
+        let entries: Vec<(u64, Entry)> = self.index.range(range).map(|(&k, &e)| (k, e)).collect();
+        entries
+            .into_iter()
+            .map(|(k, e)| {
+                let mut data = self.controller.read(e.seg)?;
+                data.truncate(e.len);
+                Ok((k, data))
+            })
+            .collect()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Free segments available for placement.
+    pub fn free_count(&self) -> usize {
+        self.dap.free_count()
+    }
+
+    /// Device statistics (flips, energy, latency).
+    pub fn device_stats(&self) -> &e2nvm_sim::DeviceStats {
+        self.controller.stats()
+    }
+
+    /// Reset device statistics (e.g. after a warm-up phase).
+    pub fn reset_device_stats(&mut self) {
+        self.controller.reset_stats();
+    }
+
+    /// Prediction-path counters.
+    pub fn prediction_stats(&self) -> PredictionStats {
+        self.prediction
+    }
+
+    /// Estimated DRAM footprint of the DAP (Figure 7's y-axis).
+    pub fn dap_memory_bytes(&self) -> usize {
+        self.dap.memory_bytes()
+    }
+
+    /// Modeled multiply-accumulates per prediction.
+    pub fn predict_macs(&self) -> u64 {
+        self.model.as_ref().map(E2Model::predict_macs).unwrap_or(0)
+    }
+
+    /// The trained model, if any.
+    pub fn model(&self) -> Option<&E2Model> {
+        self.model.as_ref()
+    }
+
+    /// Borrow the controller (seeding, wear inspection).
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.controller
+    }
+
+    /// Borrow the controller immutably.
+    pub fn controller(&self) -> &MemoryController {
+        &self.controller
+    }
+
+    /// Snapshot the free-segment contents (for the background
+    /// retrainer).
+    pub fn training_snapshot(&self) -> Vec<Vec<u8>> {
+        self.free_snapshot().into_iter().map(|(_, c)| c).collect()
+    }
+}
+
+impl std::fmt::Debug for E2Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("E2Engine")
+            .field("trained", &self.model.is_some())
+            .field("keys", &self.index.len())
+            .field("free", &self.dap.free_count())
+            .field("k", &self.cfg.k)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e2nvm_sim::{DeviceConfig, NvmDevice};
+    use rand::Rng;
+
+    fn engine(num_segments: usize, seg_bytes: usize, k: usize) -> E2Engine {
+        let dev = NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(seg_bytes)
+                .num_segments(num_segments)
+                .build()
+                .unwrap(),
+        );
+        let cfg = E2Config {
+            pretrain_epochs: 6,
+            joint_epochs: 2,
+            padding_type: crate::padding::PaddingType::Zero,
+            ..E2Config::fast(seg_bytes, k)
+        };
+        E2Engine::new(MemoryController::without_wear_leveling(dev), cfg).unwrap()
+    }
+
+    fn seed_two_families(e: &mut E2Engine, rng: &mut StdRng) {
+        let n = e.controller.num_segments();
+        let bytes = e.cfg.segment_bytes;
+        for i in 0..n {
+            let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
+            let content: Vec<u8> = (0..bytes)
+                .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
+                .collect();
+            e.controller_mut().seed(SegmentId(i), &content).unwrap();
+        }
+    }
+
+    #[test]
+    fn untrained_engine_rejects_ops() {
+        let mut e = engine(8, 32, 2);
+        assert_eq!(e.put(1, &[0u8; 16]), Err(E2Error::NotTrained));
+        assert!(!e.is_trained());
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut e = engine(32, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        assert!(e.is_trained());
+        e.put(7, b"hello world").unwrap();
+        assert_eq!(e.get(7).unwrap(), b"hello world");
+        assert_eq!(e.len(), 1);
+        assert!(e.delete(7).unwrap());
+        assert!(!e.delete(7).unwrap());
+        assert_eq!(e.get(7), Err(E2Error::KeyNotFound(7)));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn update_recycles_old_segment() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut e = engine(16, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        let before = e.free_count();
+        e.put(1, &[0xAAu8; 32]).unwrap();
+        assert_eq!(e.free_count(), before - 1);
+        // Update: new segment taken, old one returned.
+        e.put(1, &[0x55u8; 32]).unwrap();
+        assert_eq!(e.free_count(), before - 1);
+        assert_eq!(e.get(1).unwrap(), vec![0x55u8; 32]);
+    }
+
+    #[test]
+    fn placement_prefers_similar_content() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut e = engine(64, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        // Writing all-zeros content must land on a zeros-family segment
+        // (even index) — that is the whole point of E2-NVM.
+        let (seg, report) = e.place_value(&[0u8; 32]).unwrap();
+        assert_eq!(seg.index() % 2, 0, "zeros value placed on ones segment");
+        // Few flips: the old content is already ~95% zeros.
+        assert!(
+            report.bits_flipped < 64,
+            "too many flips: {}",
+            report.bits_flipped
+        );
+        let (_, report_ones) = e.place_value(&[0xFFu8; 32]).unwrap();
+        assert!(report_ones.bits_flipped < 64);
+    }
+
+    #[test]
+    fn scan_returns_sorted_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut e = engine(32, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        for k in [5u64, 1, 9, 3] {
+            e.put(k, &k.to_le_bytes()).unwrap();
+        }
+        let result = e.scan(2..=8).unwrap();
+        let keys: Vec<u64> = result.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![3, 5]);
+        assert_eq!(result[0].1, 3u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn out_of_space_detected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut e = engine(8, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        for k in 0..8u64 {
+            e.put(k, &[1u8; 8]).unwrap();
+        }
+        assert_eq!(e.put(99, &[1u8; 8]), Err(E2Error::OutOfSpace));
+        // Deleting frees space again.
+        e.delete(0).unwrap();
+        e.put(99, &[1u8; 8]).unwrap();
+    }
+
+    #[test]
+    fn value_too_large_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut e = engine(8, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        assert!(matches!(
+            e.put(1, &[0u8; 33]),
+            Err(E2Error::ValueTooLarge { len: 33, .. })
+        ));
+    }
+
+    #[test]
+    fn needs_retrain_when_cluster_drains() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut e = engine(12, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        assert!(!e.needs_retrain());
+        // Drain most of the pool.
+        for k in 0..9u64 {
+            e.put(k, &[0u8; 32]).unwrap();
+        }
+        assert!(e.needs_retrain());
+    }
+
+    #[test]
+    fn prediction_stats_accumulate() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut e = engine(16, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        e.put(1, &[0u8; 8]).unwrap();
+        e.put(2, &[0u8; 8]).unwrap();
+        let s = e.prediction_stats();
+        assert_eq!(s.predictions, 2);
+        assert!(s.mean_ns() > 0.0);
+        assert!(e.predict_macs() > 0);
+    }
+
+    #[test]
+    fn mismatched_segment_size_rejected() {
+        let dev = NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(64)
+                .num_segments(8)
+                .build()
+                .unwrap(),
+        );
+        let cfg = E2Config::fast(32, 2);
+        assert!(matches!(
+            E2Engine::new(MemoryController::without_wear_leveling(dev), cfg),
+            Err(E2Error::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the E2-NVM engine.
+
+use crate::dap::DapError;
+use e2nvm_sim::SimError;
+
+/// Errors returned by [`crate::E2Engine`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum E2Error {
+    /// The engine has not been trained yet (call
+    /// [`crate::E2Engine::train`]).
+    NotTrained,
+    /// The dynamic address pool has no free segment left.
+    OutOfSpace,
+    /// The value does not fit in one segment.
+    ValueTooLarge {
+        /// Bytes supplied.
+        len: usize,
+        /// Segment capacity.
+        segment_bytes: usize,
+    },
+    /// The key was not found (DELETE/GET on absent key where an error is
+    /// expected).
+    KeyNotFound(u64),
+    /// An underlying device error.
+    Sim(SimError),
+    /// An address-pool invariant violation.
+    Dap(DapError),
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for E2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            E2Error::NotTrained => write!(f, "engine not trained yet"),
+            E2Error::OutOfSpace => write!(f, "no free segments in the dynamic address pool"),
+            E2Error::ValueTooLarge { len, segment_bytes } => write!(
+                f,
+                "value of {len} bytes exceeds segment size {segment_bytes}"
+            ),
+            E2Error::KeyNotFound(k) => write!(f, "key {k} not found"),
+            E2Error::Sim(e) => write!(f, "device error: {e}"),
+            E2Error::Dap(e) => write!(f, "address pool error: {e}"),
+            E2Error::Config(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for E2Error {}
+
+impl From<SimError> for E2Error {
+    fn from(e: SimError) -> Self {
+        E2Error::Sim(e)
+    }
+}
+
+impl From<DapError> for E2Error {
+    fn from(e: DapError) -> Self {
+        E2Error::Dap(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, E2Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: E2Error = SimError::InvalidConfig("x".into()).into();
+        assert!(matches!(e, E2Error::Sim(_)));
+        assert!(e.to_string().contains("device error"));
+        let e: E2Error = DapError::AlreadyFree(e2nvm_sim::SegmentId(3)).into();
+        assert!(e.to_string().contains("address pool"));
+        assert!(E2Error::OutOfSpace.to_string().contains("free segments"));
+        assert!(E2Error::ValueTooLarge {
+            len: 10,
+            segment_bytes: 4
+        }
+        .to_string()
+        .contains("10"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Incremental indexing (paper §4.1.4): "instead of indexing the whole
+//! NVM device at the beginning, a dynamic incremental approach can be
+//! adopted, which starts by indexing a portion of the memory, and as
+//! time progresses, more addresses that were not initially mapped can
+//! be added incrementally to DAP."
+//!
+//! [`IncrementalIndexer`] tracks which segments the engine has mapped
+//! and feeds unmapped ones in batches.
+
+use e2nvm_sim::SegmentId;
+
+/// Tracks the frontier between mapped and not-yet-mapped segments.
+#[derive(Debug, Clone)]
+pub struct IncrementalIndexer {
+    total: usize,
+    mapped: usize,
+}
+
+impl IncrementalIndexer {
+    /// Start with the first `initial` of `total` segments mapped.
+    ///
+    /// # Panics
+    /// Panics if `initial > total`.
+    pub fn new(total: usize, initial: usize) -> Self {
+        assert!(initial <= total, "IncrementalIndexer: initial > total");
+        Self {
+            total,
+            mapped: initial,
+        }
+    }
+
+    /// Segments mapped so far.
+    pub fn mapped(&self) -> usize {
+        self.mapped
+    }
+
+    /// Segments not yet mapped.
+    pub fn remaining(&self) -> usize {
+        self.total - self.mapped
+    }
+
+    /// Whether everything is mapped.
+    pub fn is_complete(&self) -> bool {
+        self.mapped == self.total
+    }
+
+    /// The initially-mapped id range.
+    pub fn initial_range(&self) -> impl Iterator<Item = SegmentId> {
+        (0..self.mapped).map(SegmentId)
+    }
+
+    /// Take up to `count` previously unmapped segment ids, advancing the
+    /// frontier.
+    pub fn take_next(&mut self, count: usize) -> Vec<SegmentId> {
+        let take = count.min(self.remaining());
+        let start = self.mapped;
+        self.mapped += take;
+        (start..start + take).map(SegmentId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_advances() {
+        let mut ix = IncrementalIndexer::new(10, 4);
+        assert_eq!(ix.mapped(), 4);
+        assert_eq!(ix.remaining(), 6);
+        assert_eq!(ix.initial_range().count(), 4);
+        let batch = ix.take_next(3);
+        assert_eq!(batch, vec![SegmentId(4), SegmentId(5), SegmentId(6)]);
+        assert_eq!(ix.mapped(), 7);
+        // Over-asking is clamped.
+        let rest = ix.take_next(100);
+        assert_eq!(rest.len(), 3);
+        assert!(ix.is_complete());
+        assert!(ix.take_next(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial > total")]
+    fn bad_initial_rejected() {
+        IncrementalIndexer::new(3, 4);
+    }
+}

@@ -1,0 +1,263 @@
+//! The E2-NVM model: a trained VAE encoder + K-means centroids, with
+//! byte-level prediction helpers that route values through the padder.
+
+use crate::config::E2Config;
+use crate::padding::Padder;
+use e2nvm_ml::data::{segments_to_matrix, subsample_rows, train_val_split};
+use e2nvm_ml::persist::{Persist, PersistError, Reader, Writer};
+use e2nvm_ml::{ClusterModel, Matrix, TrainingHistory};
+use rand::Rng;
+use std::path::Path;
+
+/// A trained placement model.
+#[derive(Debug, Clone)]
+pub struct E2Model {
+    cluster: ClusterModel,
+    input_bits: usize,
+    history: TrainingHistory,
+}
+
+impl E2Model {
+    /// Train on a snapshot of memory-segment contents. Honors the
+    /// config's `train_sample_cap` and holds out 10 % for validation
+    /// loss curves.
+    ///
+    /// # Panics
+    /// Panics if `contents` is empty or segment sizes disagree with the
+    /// config.
+    pub fn train<R: Rng>(cfg: &E2Config, contents: &[Vec<u8>], rng: &mut R) -> Self {
+        assert!(!contents.is_empty(), "E2Model::train: no training data");
+        assert!(
+            contents.iter().all(|c| c.len() == cfg.segment_bytes),
+            "E2Model::train: contents must be whole segments"
+        );
+        let all = segments_to_matrix(contents);
+        let capped = subsample_rows(&all, cfg.train_sample_cap, rng);
+        let (train, val) = train_val_split(&capped, 0.1, rng);
+        let val_opt: Option<&Matrix> = (val.rows() > 0).then_some(&val);
+        let (cluster, history) = ClusterModel::train(&cfg.dec_config(), &train, val_opt, rng);
+        Self {
+            cluster,
+            input_bits: cfg.input_bits(),
+            history,
+        }
+    }
+
+    /// Predict the cluster for a (padded) feature vector.
+    pub fn predict_features(&self, features: &[f32]) -> usize {
+        debug_assert_eq!(features.len(), self.input_bits);
+        self.cluster.predict(features)
+    }
+
+    /// Pad a value and predict its cluster (Algorithm 1, step 1).
+    pub fn predict_value<R: Rng>(&self, value: &[u8], padder: &Padder, rng: &mut R) -> usize {
+        let features = padder.pad(value, self.input_bits, rng);
+        self.cluster.predict(&features)
+    }
+
+    /// Pad a value and return the clusters in nearest-first order — the
+    /// order the DAP uses for fallback.
+    pub fn cluster_order<R: Rng>(&self, value: &[u8], padder: &Padder, rng: &mut R) -> Vec<usize> {
+        let features = padder.pad(value, self.input_bits, rng);
+        self.cluster.clusters_by_distance(&features)
+    }
+
+    /// Classify whole segments (no padding needed).
+    pub fn classify_segments(&self, contents: &[Vec<u8>]) -> Vec<usize> {
+        if contents.is_empty() {
+            return Vec::new();
+        }
+        let m = segments_to_matrix(contents);
+        self.cluster.predict_batch(&m)
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.cluster.k()
+    }
+
+    /// Model input width in bit-features.
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// Training history (loss curves for Figure 9).
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// Multiply-accumulates per prediction (CPU-energy model input).
+    pub fn predict_macs(&self) -> u64 {
+        self.cluster.predict_macs()
+    }
+
+    /// Multiply-accumulates for one retraining epoch on `n` samples.
+    pub fn train_macs_per_epoch(&self, n: usize) -> u64 {
+        self.cluster.vae().train_macs_per_epoch(n)
+    }
+
+    /// Serialize the serving artifact (encoder + centroids + input
+    /// width). The training history is not persisted — a loaded model
+    /// serves predictions.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_header();
+        w.u64(self.input_bits as u64);
+        Persist::encode(&self.cluster, &mut w);
+        w.into_bytes()
+    }
+
+    /// Deserialize a model previously produced by [`E2Model::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::with_header(buf)?;
+        let input_bits = r.u64()? as usize;
+        let cluster = <ClusterModel as Persist>::decode(&mut r)?;
+        if cluster.input_dim() != input_bits {
+            return Err(PersistError::BadLength(input_bits as u64));
+        }
+        Ok(Self {
+            cluster,
+            input_bits,
+            history: TrainingHistory::default(),
+        })
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::padding::{PaddingLocation, PaddingType};
+    use e2nvm_ml::rng::seeded;
+
+    fn clustered_segments(n_per: usize, seg_bytes: usize, rng: &mut impl Rng) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for cls in 0..2u8 {
+            let base = if cls == 0 { 0x00 } else { 0xFF };
+            for _ in 0..n_per {
+                out.push(
+                    (0..seg_bytes)
+                        .map(|_| if rng.gen::<f32>() < 0.08 { !base } else { base })
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    fn quick_cfg() -> E2Config {
+        E2Config {
+            pretrain_epochs: 8,
+            joint_epochs: 2,
+            ..E2Config::fast(16, 2)
+        }
+    }
+
+    #[test]
+    fn train_and_separate() {
+        let mut rng = seeded(1);
+        let contents = clustered_segments(40, 16, &mut rng);
+        let model = E2Model::train(&quick_cfg(), &contents, &mut rng);
+        assert_eq!(model.k(), 2);
+        assert_eq!(model.input_bits(), 128);
+        let assigns = model.classify_segments(&contents);
+        // The two families must land in different clusters (majority).
+        let zeros_cluster = assigns[..40].iter().fold([0usize; 2], |mut acc, &c| {
+            acc[c] += 1;
+            acc
+        });
+        let ones_cluster = assigns[40..].iter().fold([0usize; 2], |mut acc, &c| {
+            acc[c] += 1;
+            acc
+        });
+        let zmaj = if zeros_cluster[0] > zeros_cluster[1] {
+            0
+        } else {
+            1
+        };
+        let omaj = if ones_cluster[0] > ones_cluster[1] {
+            0
+        } else {
+            1
+        };
+        assert_ne!(zmaj, omaj, "families not separated");
+    }
+
+    #[test]
+    fn padded_prediction_consistent_with_full() {
+        let mut rng = seeded(2);
+        let contents = clustered_segments(40, 16, &mut rng);
+        let model = E2Model::train(&quick_cfg(), &contents, &mut rng);
+        let padder = Padder::new(PaddingLocation::End, PaddingType::Zero);
+        // A full-size mostly-zero value and a half-size one (zero-padded)
+        // should map to the same cluster.
+        let full = model.predict_value(&[0u8; 16], &padder, &mut rng);
+        let half = model.predict_value(&[0u8; 8], &padder, &mut rng);
+        assert_eq!(full, half);
+    }
+
+    #[test]
+    fn cluster_order_starts_with_prediction() {
+        let mut rng = seeded(3);
+        let contents = clustered_segments(30, 16, &mut rng);
+        let model = E2Model::train(&quick_cfg(), &contents, &mut rng);
+        let padder = Padder::new(PaddingLocation::End, PaddingType::Zero);
+        let value = vec![0xFFu8; 16];
+        let pred = model.predict_value(&value, &padder, &mut rng);
+        let order = model.cluster_order(&value, &padder, &mut rng);
+        assert_eq!(order[0], pred);
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn persistence_roundtrip_preserves_predictions() {
+        let mut rng = seeded(9);
+        let contents = clustered_segments(30, 16, &mut rng);
+        let model = E2Model::train(&quick_cfg(), &contents, &mut rng);
+        let loaded = E2Model::from_bytes(&model.to_bytes()).unwrap();
+        assert_eq!(loaded.k(), model.k());
+        assert_eq!(loaded.input_bits(), model.input_bits());
+        assert_eq!(
+            loaded.classify_segments(&contents),
+            model.classify_segments(&contents)
+        );
+    }
+
+    #[test]
+    fn save_load_file_roundtrip() {
+        let mut rng = seeded(10);
+        let contents = clustered_segments(20, 16, &mut rng);
+        let model = E2Model::train(&quick_cfg(), &contents, &mut rng);
+        let path = std::env::temp_dir().join("e2nvm_model_test.bin");
+        model.save(&path).unwrap();
+        let loaded = E2Model::load(&path).unwrap();
+        assert_eq!(
+            loaded.classify_segments(&contents),
+            model.classify_segments(&contents)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn history_recorded() {
+        let mut rng = seeded(4);
+        let contents = clustered_segments(30, 16, &mut rng);
+        let cfg = quick_cfg();
+        let model = E2Model::train(&cfg, &contents, &mut rng);
+        assert_eq!(
+            model.history().train.len(),
+            cfg.pretrain_epochs + cfg.joint_epochs
+        );
+        assert!(!model.history().validation.is_empty());
+    }
+}

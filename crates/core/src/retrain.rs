@@ -1,0 +1,217 @@
+//! Background retraining (paper §4.1.4): "we set a minimum threshold to
+//! number of addresses in each cluster and will trigger the re-training
+//! process in the background when one of the clusters reaches the
+//! threshold. After the new model is ready, we switch to the new model."
+//!
+//! A worker thread receives free-segment snapshots over a crossbeam
+//! channel, trains a fresh [`E2Model`], and sends it back; the engine
+//! polls and installs it without ever blocking the serving path.
+
+use crate::config::E2Config;
+use crate::model::E2Model;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::thread::JoinHandle;
+
+struct TrainRequest {
+    cfg: E2Config,
+    contents: Vec<Vec<u8>>,
+    seed: u64,
+}
+
+/// Handle to the background training worker.
+pub struct BackgroundRetrainer {
+    tx: Sender<TrainRequest>,
+    rx: Receiver<E2Model>,
+    handle: Option<JoinHandle<()>>,
+    pending: bool,
+    /// Models trained so far (diagnostics).
+    pub completed: u64,
+}
+
+impl BackgroundRetrainer {
+    /// Spawn the worker thread.
+    pub fn spawn() -> Self {
+        let (req_tx, req_rx) = bounded::<TrainRequest>(1);
+        let (model_tx, model_rx) = bounded::<E2Model>(1);
+        let handle = std::thread::Builder::new()
+            .name("e2nvm-retrainer".into())
+            .spawn(move || {
+                while let Ok(req) = req_rx.recv() {
+                    let mut rng = StdRng::seed_from_u64(req.seed);
+                    let model = E2Model::train(&req.cfg, &req.contents, &mut rng);
+                    if model_tx.send(model).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn retrainer thread");
+        Self {
+            tx: req_tx,
+            rx: model_rx,
+            handle: Some(handle),
+            pending: false,
+            completed: 0,
+        }
+    }
+
+    /// Whether a retraining request is in flight.
+    pub fn is_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Submit a snapshot for retraining. Returns false (and does
+    /// nothing) if a request is already in flight or the snapshot is
+    /// empty.
+    pub fn submit(&mut self, cfg: &E2Config, contents: Vec<Vec<u8>>, seed: u64) -> bool {
+        if self.pending || contents.is_empty() {
+            return false;
+        }
+        let sent = self
+            .tx
+            .try_send(TrainRequest {
+                cfg: cfg.clone(),
+                contents,
+                seed,
+            })
+            .is_ok();
+        self.pending = sent;
+        sent
+    }
+
+    /// Non-blocking poll: the freshly trained model, if ready.
+    pub fn try_take(&mut self) -> Option<E2Model> {
+        match self.rx.try_recv() {
+            Ok(model) => {
+                self.pending = false;
+                self.completed += 1;
+                Some(model)
+            }
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                self.pending = false;
+                None
+            }
+        }
+    }
+
+    /// Blocking wait for the in-flight model (tests / shutdown paths).
+    pub fn wait(&mut self) -> Option<E2Model> {
+        if !self.pending {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(model) => {
+                self.pending = false;
+                self.completed += 1;
+                Some(model)
+            }
+            Err(_) => {
+                self.pending = false;
+                None
+            }
+        }
+    }
+}
+
+impl Drop for BackgroundRetrainer {
+    fn drop(&mut self) {
+        // Close the request channel so the worker exits, then join.
+        let (dead_tx, _) = bounded(0);
+        self.tx = dead_tx;
+        if let Some(handle) = self.handle.take() {
+            // Drain a possibly in-flight model so the worker's send
+            // doesn't block forever on the bounded channel.
+            let _ = self.rx.try_recv();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for BackgroundRetrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackgroundRetrainer")
+            .field("pending", &self.pending)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn contents(n: usize, bytes: usize) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..n)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
+                (0..bytes)
+                    .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn quick_cfg() -> E2Config {
+        E2Config {
+            pretrain_epochs: 3,
+            joint_epochs: 1,
+            ..E2Config::fast(16, 2)
+        }
+    }
+
+    #[test]
+    fn train_in_background_and_take() {
+        let mut bg = BackgroundRetrainer::spawn();
+        assert!(!bg.is_pending());
+        assert!(bg.submit(&quick_cfg(), contents(24, 16), 7));
+        assert!(bg.is_pending());
+        // Duplicate submissions are rejected while pending.
+        assert!(!bg.submit(&quick_cfg(), contents(24, 16), 8));
+        let model = bg.wait().expect("model trained");
+        assert_eq!(model.k(), 2);
+        assert!(!bg.is_pending());
+        assert_eq!(bg.completed, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_rejected() {
+        let mut bg = BackgroundRetrainer::spawn();
+        assert!(!bg.submit(&quick_cfg(), Vec::new(), 1));
+    }
+
+    #[test]
+    fn try_take_eventually_succeeds() {
+        let mut bg = BackgroundRetrainer::spawn();
+        bg.submit(&quick_cfg(), contents(24, 16), 3);
+        let mut model = None;
+        for _ in 0..500 {
+            if let Some(m) = bg.try_take() {
+                model = Some(m);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(model.is_some(), "model never arrived");
+    }
+
+    #[test]
+    fn sequential_retrains() {
+        let mut bg = BackgroundRetrainer::spawn();
+        for round in 0..2 {
+            assert!(bg.submit(&quick_cfg(), contents(24, 16), round));
+            assert!(bg.wait().is_some());
+        }
+        assert_eq!(bg.completed, 2);
+    }
+
+    #[test]
+    fn drop_while_pending_does_not_hang() {
+        let mut bg = BackgroundRetrainer::spawn();
+        bg.submit(&quick_cfg(), contents(24, 16), 5);
+        drop(bg); // must not deadlock
+    }
+}

@@ -1,0 +1,245 @@
+//! Batched small-value writes (paper §4.1.4): "batching can be applied
+//! so that small writes are grouped together to form larger writes to
+//! memory segments. This way, E2-NVM needs to map the free memory
+//! locations based on the batch size rather than the key-value pair
+//! size."
+//!
+//! [`BatchedWriter`] owns an [`E2Engine`] and an accumulator; small
+//! puts buffer in DRAM until a segment-sized batch is full, then one
+//! placement decision stores the whole batch.
+
+use crate::batch::BatchAccumulator;
+use crate::engine::E2Engine;
+use crate::error::{E2Error, Result};
+use e2nvm_sim::SegmentId;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct ItemLoc {
+    seg: SegmentId,
+    offset: usize,
+    len: usize,
+}
+
+/// Batching layer over the engine for values much smaller than a
+/// segment.
+pub struct BatchedWriter {
+    engine: E2Engine,
+    acc: BatchAccumulator,
+    /// key -> placed location.
+    placed: HashMap<u64, ItemLoc>,
+    /// Live item count per segment (for recycling fully dead segments).
+    live: HashMap<SegmentId, usize>,
+    /// Keys currently in the open (unplaced) batch.
+    pending: HashMap<u64, (usize, usize)>,
+}
+
+impl BatchedWriter {
+    /// Wrap a *trained* engine.
+    ///
+    /// # Panics
+    /// Panics if the engine has not been trained.
+    pub fn new(engine: E2Engine) -> Self {
+        assert!(engine.is_trained(), "BatchedWriter: engine must be trained");
+        let capacity = engine.config().segment_bytes;
+        Self {
+            engine,
+            acc: BatchAccumulator::new(capacity),
+            placed: HashMap::new(),
+            live: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Buffer one small value; places a full batch as a single
+    /// segment-sized write when the buffer fills.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> Result<()> {
+        if value.len() > self.engine.config().segment_bytes {
+            return Err(E2Error::ValueTooLarge {
+                len: value.len(),
+                segment_bytes: self.engine.config().segment_bytes,
+            });
+        }
+        self.remove_key(key)?;
+        if let Some(batch) = self.acc.push(key, value) {
+            self.place_batch(batch)?;
+        }
+        let (_, off, len) = *self.acc.items().last().expect("push appended the item");
+        self.pending.insert(key, (off, len));
+        Ok(())
+    }
+
+    /// Force the open batch out to NVM (e.g. before shutdown).
+    pub fn flush(&mut self) -> Result<()> {
+        if let Some(batch) = self.acc.flush() {
+            self.place_batch(batch)?;
+        }
+        Ok(())
+    }
+
+    fn place_batch(&mut self, batch: crate::batch::Batch) -> Result<()> {
+        let (seg, _report) = self.engine.place_value(&batch.data)?;
+        let mut live = 0;
+        for &(key, offset, len) in &batch.items {
+            // Only keys still current (not overwritten while pending).
+            if self.pending.remove(&key) == Some((offset, len)) {
+                self.placed.insert(key, ItemLoc { seg, offset, len });
+                live += 1;
+            }
+        }
+        if live > 0 {
+            self.live.insert(seg, live);
+        } else {
+            self.engine.recycle_segment(seg)?;
+        }
+        Ok(())
+    }
+
+    fn remove_key(&mut self, key: u64) -> Result<()> {
+        self.pending.remove(&key);
+        if let Some(loc) = self.placed.remove(&key) {
+            let count = self
+                .live
+                .get_mut(&loc.seg)
+                .expect("live count tracks placed segments");
+            *count -= 1;
+            if *count == 0 {
+                self.live.remove(&loc.seg);
+                self.engine.recycle_segment(loc.seg)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a value back (from the open batch or from NVM).
+    pub fn get(&mut self, key: u64) -> Result<Vec<u8>> {
+        if let Some(&(offset, len)) = self.pending.get(&key) {
+            return Ok(self.acc.peek()[offset..offset + len].to_vec());
+        }
+        let loc = *self.placed.get(&key).ok_or(E2Error::KeyNotFound(key))?;
+        let data = self.engine.controller_mut().read(loc.seg)?;
+        Ok(data[loc.offset..loc.offset + loc.len].to_vec())
+    }
+
+    /// Delete a key; returns whether it existed. Fully dead segments go
+    /// back to the address pool.
+    pub fn delete(&mut self, key: u64) -> Result<bool> {
+        let existed = self.pending.contains_key(&key) || self.placed.contains_key(&key);
+        self.remove_key(key)?;
+        Ok(existed)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.pending.len() + self.placed.len()
+    }
+
+    /// Whether no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the engine (stats).
+    pub fn engine(&self) -> &E2Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::E2Config;
+    use crate::padding::PaddingType;
+    use e2nvm_sim::{DeviceConfig, MemoryController, NvmDevice};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn writer(segments: usize, seg_bytes: usize) -> BatchedWriter {
+        let dev = NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(seg_bytes)
+                .num_segments(segments)
+                .build()
+                .unwrap(),
+        );
+        let mut controller = MemoryController::without_wear_leveling(dev);
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..segments {
+            let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
+            let content: Vec<u8> = (0..seg_bytes)
+                .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
+                .collect();
+            controller.seed(e2nvm_sim::SegmentId(i), &content).unwrap();
+        }
+        let cfg = E2Config {
+            pretrain_epochs: 5,
+            joint_epochs: 1,
+            padding_type: PaddingType::Zero,
+            ..E2Config::fast(seg_bytes, 2)
+        };
+        let mut engine = E2Engine::new(controller, cfg).unwrap();
+        engine.train().unwrap();
+        BatchedWriter::new(engine)
+    }
+
+    #[test]
+    fn small_puts_amortize_into_few_placements() {
+        let mut w = writer(32, 64);
+        // 16 values of 14 bytes -> 4 segments (4 per 64B batch), not 16.
+        for key in 0..16u64 {
+            w.put(key, &[key as u8; 14]).unwrap();
+        }
+        w.flush().unwrap();
+        let writes = w.engine().device_stats().writes;
+        assert!(writes <= 5, "expected ~4 batch writes, got {writes}");
+        for key in 0..16u64 {
+            assert_eq!(w.get(key).unwrap(), vec![key as u8; 14], "key {key}");
+        }
+    }
+
+    #[test]
+    fn pending_values_readable_before_flush() {
+        let mut w = writer(16, 64);
+        w.put(7, b"unflushed").unwrap();
+        assert_eq!(w.get(7).unwrap(), b"unflushed");
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_supersedes_old_copy() {
+        let mut w = writer(32, 64);
+        w.put(1, &[0xAAu8; 20]).unwrap();
+        w.flush().unwrap();
+        w.put(1, &[0xBBu8; 20]).unwrap();
+        assert_eq!(w.get(1).unwrap(), vec![0xBBu8; 20]);
+        w.flush().unwrap();
+        assert_eq!(w.get(1).unwrap(), vec![0xBBu8; 20]);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn dead_segments_recycled() {
+        let mut w = writer(16, 64);
+        let free_before = w.engine().free_count();
+        for key in 0..4u64 {
+            w.put(key, &[1u8; 14]).unwrap();
+        }
+        w.flush().unwrap();
+        assert_eq!(w.engine().free_count(), free_before - 1);
+        for key in 0..4u64 {
+            assert!(w.delete(key).unwrap());
+        }
+        assert_eq!(w.engine().free_count(), free_before);
+        assert!(w.is_empty());
+        assert!(!w.delete(0).unwrap());
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mut w = writer(16, 64);
+        assert!(matches!(
+            w.put(1, &[0u8; 65]),
+            Err(E2Error::ValueTooLarge { .. })
+        ));
+    }
+}

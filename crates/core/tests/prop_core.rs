@@ -1,0 +1,139 @@
+//! Property tests for the core invariants DESIGN.md calls out:
+//! padding output width and stored-bytes neutrality, DAP conservation
+//! under interleaved traffic, and batch accumulator integrity.
+
+use e2nvm_core::{BatchAccumulator, DynamicAddressPool, Padder, PaddingLocation, PaddingType};
+use e2nvm_sim::SegmentId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_location() -> impl Strategy<Value = PaddingLocation> {
+    prop_oneof![
+        Just(PaddingLocation::Beginning),
+        Just(PaddingLocation::Middle),
+        Just(PaddingLocation::End),
+    ]
+}
+
+fn any_type() -> impl Strategy<Value = PaddingType> {
+    prop_oneof![
+        Just(PaddingType::Zero),
+        Just(PaddingType::One),
+        Just(PaddingType::Random),
+        Just(PaddingType::InputBased),
+        Just(PaddingType::DatasetBased),
+        Just(PaddingType::MemoryBased),
+        Just(PaddingType::Learned), // untrained: falls back gracefully
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Padding always produces exactly the model width, values are
+    /// bits, and the data bits appear intact at the configured
+    /// location.
+    #[test]
+    fn padding_width_and_data_intact(
+        data in proptest::collection::vec(any::<u8>(), 1..24),
+        extra_bytes in 0usize..16,
+        loc in any_location(),
+        ptype in any_type(),
+        ratio in 0.0f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        let target_bits = (data.len() + extra_bytes) * 8;
+        let mut padder = Padder::new(loc, ptype);
+        padder.observe(&data);
+        padder.set_memory_ratio(ratio);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = padder.pad(&data, target_bits, &mut rng);
+        prop_assert_eq!(out.len(), target_bits);
+        prop_assert!(out.iter().all(|&b| b == 0.0 || b == 1.0));
+        // Locate the data bits.
+        let q = target_bits - data.len() * 8;
+        let start = match loc {
+            PaddingLocation::Beginning => q,
+            PaddingLocation::Middle => q / 2,
+            PaddingLocation::End => 0,
+        };
+        let expect = e2nvm_ml::data::bytes_to_features(&data);
+        prop_assert_eq!(
+            &out[start..start + expect.len()],
+            &expect[..],
+            "data bits not intact at {:?}", loc
+        );
+    }
+
+    /// DAP conservation: across arbitrary interleavings of push/pop, no
+    /// address is lost, duplicated, or handed out twice.
+    #[test]
+    fn dap_conservation(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..8), 1..200),
+        k in 1usize..6,
+    ) {
+        let n = 64;
+        let mut dap = DynamicAddressPool::new(k, n, 0);
+        for i in 0..n {
+            dap.push(i % k, SegmentId(i)).unwrap();
+        }
+        let mut held: Vec<SegmentId> = Vec::new();
+        for (is_pop, c) in ops {
+            let cluster = c % k;
+            if is_pop {
+                if let Some(seg) = dap.pop(cluster) {
+                    prop_assert!(!dap.is_free(seg), "popped segment still free");
+                    held.push(seg);
+                }
+            } else if let Some(seg) = held.pop() {
+                dap.push(cluster, seg).unwrap();
+            }
+            prop_assert_eq!(dap.free_count() + held.len(), n);
+        }
+        // Every held segment is distinct.
+        let mut ids: Vec<usize> = held.iter().map(|s| s.index()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), held.len());
+        // Double free is always rejected.
+        if let Some(&seg) = held.first() {
+            dap.push(0, seg).unwrap();
+            prop_assert!(dap.push(0, seg).is_err());
+        }
+    }
+
+    /// Batch accumulator: items never overlap, never cross the
+    /// capacity, and every pushed byte is recoverable.
+    #[test]
+    fn batch_items_tile_the_buffer(
+        values in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..12), 1..40),
+    ) {
+        let capacity = 32;
+        let mut acc = BatchAccumulator::new(capacity);
+        let mut batches = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            if let Some(b) = acc.push(i as u64, v) {
+                batches.push(b);
+            }
+        }
+        if let Some(b) = acc.flush() {
+            batches.push(b);
+        }
+        let mut seen = 0usize;
+        for batch in &batches {
+            prop_assert!(batch.data.len() <= capacity);
+            let mut cursor = 0;
+            for &(key, off, len) in &batch.items {
+                prop_assert_eq!(off, cursor, "gap or overlap in batch");
+                prop_assert_eq!(batch.data[off..off + len].to_vec(),
+                    values[key as usize].clone());
+                cursor = off + len;
+                seen += 1;
+            }
+            prop_assert_eq!(cursor, batch.data.len());
+        }
+        prop_assert_eq!(seen, values.len(), "items lost or duplicated");
+    }
+}

@@ -1,0 +1,221 @@
+//! The paper's Figure 3 system: a persistent key-value store on hybrid
+//! DRAM-NVM built on E2-NVM — a DRAM **red-black tree** index (the
+//! "RB-Tree.put(D, A)" of Algorithm 1) over values placed by the
+//! [`E2Engine`].
+
+use crate::rbtree::RbTree;
+use crate::store::{Result, StoreError};
+use crate::traits::NvmKvStore;
+use e2nvm_core::{E2Engine, E2Error};
+use e2nvm_sim::SegmentId;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Loc {
+    seg: SegmentId,
+    len: usize,
+}
+
+impl Default for Loc {
+    fn default() -> Self {
+        Self {
+            seg: SegmentId(usize::MAX),
+            len: 0,
+        }
+    }
+}
+
+/// The E2-NVM-backed key-value store.
+pub struct E2KvStore {
+    engine: E2Engine,
+    index: RbTree<Loc>,
+}
+
+impl E2KvStore {
+    /// Build over a *trained* engine.
+    ///
+    /// # Panics
+    /// Panics if the engine has not been trained.
+    pub fn new(engine: E2Engine) -> Self {
+        assert!(engine.is_trained(), "E2KvStore: engine must be trained");
+        Self {
+            engine,
+            index: RbTree::new(),
+        }
+    }
+
+    /// Borrow the engine (retraining, stats, wear inspection).
+    pub fn engine_mut(&mut self) -> &mut E2Engine {
+        &mut self.engine
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+impl NvmKvStore for E2KvStore {
+    fn name(&self) -> &'static str {
+        "E2-NVM KV"
+    }
+
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<()> {
+        // Algorithm 1: predict -> pop address -> differential write ->
+        // index update.
+        let (seg, _report) = self.engine.place_value(value).map_err(StoreError::from)?;
+        if let Some(old) = self.index.insert(
+            key,
+            Loc {
+                seg,
+                len: value.len(),
+            },
+        ) {
+            self.engine
+                .recycle_segment(old.seg)
+                .map_err(StoreError::from)?;
+        }
+        Ok(())
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>> {
+        let Some(loc) = self.index.get(key).copied() else {
+            return Ok(None);
+        };
+        let mut data = self
+            .engine
+            .controller_mut()
+            .read(loc.seg)
+            .map_err(|e| StoreError::from(E2Error::from(e)))?;
+        data.truncate(loc.len);
+        Ok(Some(data))
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool> {
+        // Algorithm 2: index lookup -> flag reset (DRAM) -> recycle the
+        // address through the encoder back into the DAP.
+        let Some(loc) = self.index.remove(key) else {
+            return Ok(false);
+        };
+        self.engine
+            .recycle_segment(loc.seg)
+            .map_err(StoreError::from)?;
+        Ok(true)
+    }
+
+    fn scan(&mut self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        let locs: Vec<(u64, Loc)> = self
+            .index
+            .range(lo, hi)
+            .into_iter()
+            .map(|(k, loc)| (k, *loc))
+            .collect();
+        locs.into_iter()
+            .map(|(k, loc)| {
+                let mut data = self
+                    .engine
+                    .controller_mut()
+                    .read(loc.seg)
+                    .map_err(|e| StoreError::from(E2Error::from(e)))?;
+                data.truncate(loc.len);
+                Ok((k, data))
+            })
+            .collect()
+    }
+
+    fn stats(&self) -> e2nvm_sim::DeviceStats {
+        self.engine.device_stats().clone()
+    }
+
+    fn reset_stats(&mut self) {
+        self.engine.reset_device_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_against_shadow;
+    use e2nvm_core::E2Config;
+    use e2nvm_sim::{DeviceConfig, MemoryController, NvmDevice};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn store(segments: usize, seg_bytes: usize) -> E2KvStore {
+        let dev = NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(seg_bytes)
+                .num_segments(segments)
+                .build()
+                .unwrap(),
+        );
+        let cfg = E2Config {
+            pretrain_epochs: 5,
+            joint_epochs: 1,
+            padding_type: e2nvm_core::PaddingType::Zero,
+            ..E2Config::fast(seg_bytes, 2)
+        };
+        let mut engine = E2Engine::new(MemoryController::without_wear_leveling(dev), cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        for i in 0..segments {
+            let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
+            let content: Vec<u8> = (0..seg_bytes)
+                .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
+                .collect();
+            engine
+                .controller_mut()
+                .seed(SegmentId(i), &content)
+                .unwrap();
+        }
+        engine.train().unwrap();
+        E2KvStore::new(engine)
+    }
+
+    #[test]
+    fn basic_crud() {
+        let mut s = store(32, 64);
+        s.put(10, b"ten").unwrap();
+        assert_eq!(s.get(10).unwrap().unwrap(), b"ten");
+        s.put(10, b"TEN").unwrap();
+        assert_eq!(s.get(10).unwrap().unwrap(), b"TEN");
+        assert!(s.delete(10).unwrap());
+        assert!(!s.delete(10).unwrap());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn shadow_stress() {
+        let mut s = store(128, 64);
+        check_against_shadow(&mut s, 400, 12, 29).unwrap();
+    }
+
+    #[test]
+    fn scan_in_key_order() {
+        let mut s = store(32, 64);
+        for k in [4u64, 8, 2, 6] {
+            s.put(k, &k.to_le_bytes()).unwrap();
+        }
+        let keys: Vec<u64> = s.scan(3, 7).unwrap().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![4, 6]);
+    }
+
+    #[test]
+    fn deletes_recycle_capacity() {
+        let mut s = store(16, 64);
+        for k in 0..10u64 {
+            s.put(k, &[k as u8; 32]).unwrap();
+        }
+        for k in 0..10u64 {
+            s.delete(k).unwrap();
+        }
+        // All capacity back: another 10 puts must succeed.
+        for k in 100..110u64 {
+            s.put(k, &[1u8; 32]).unwrap();
+        }
+        assert_eq!(s.len(), 10);
+    }
+}

@@ -1,0 +1,32 @@
+//! # e2nvm-kvstore — persistent KV stores and NVM index structures
+//!
+//! Two roles in the reproduction:
+//!
+//! 1. The paper's own system (Figure 3): [`E2KvStore`] — a DRAM
+//!    red-black tree ([`RbTree`]) indexing values placed on NVM by the
+//!    E2-NVM engine.
+//! 2. The augmentation targets of Figure 12: [`BPlusTree`], [`WiscKey`],
+//!    [`PathHashing`], [`FpTree`], and [`NoveLsm`], each runnable over a
+//!    [`DirectNodeStore`] (update-in-place, arbitrary placement) or an
+//!    [`E2NodeStore`] (copy-on-write placement through E2-NVM) so "bare
+//!    vs plugged into E2-NVM" is a one-line switch.
+
+pub mod btree;
+pub mod e2store;
+pub mod fptree;
+pub mod novelsm;
+pub mod path_hashing;
+pub mod rbtree;
+pub mod store;
+pub mod traits;
+pub mod wisckey;
+
+pub use btree::BPlusTree;
+pub use e2store::E2KvStore;
+pub use fptree::FpTree;
+pub use novelsm::NoveLsm;
+pub use path_hashing::PathHashing;
+pub use rbtree::RbTree;
+pub use store::{DirectNodeStore, E2NodeStore, NodeId, NodeStore, StoreError};
+pub use traits::NvmKvStore;
+pub use wisckey::WiscKey;

@@ -1,0 +1,494 @@
+//! Joint VAE + K-means training (DEC/IDEC-style), the heart of the
+//! E2-NVM model (paper §3.2): "E2-NVM integrates the VAE's
+//! reconstruction loss and the K-means clustering loss to jointly train
+//! cluster label assignment and learning of suitable features for
+//! clustering."
+//!
+//! Training proceeds in two phases:
+//! 1. **Pretrain** the VAE on the raw bit features (ELBO only).
+//! 2. **Joint fine-tune**: run K-means in latent space, then for a few
+//!    epochs add the cluster-distance loss `γ · Σᵢ ‖zᵢ − μ_{c(i)}‖²` to
+//!    the ELBO gradient, re-fitting centroids between epochs.
+//!
+//! The product is a [`ClusterModel`]: the VAE *encoder* plus the K-means
+//! centroids — exactly the two artifacts the paper keeps for serving
+//! ("After training, only the encoder part of the VAE and the K-means
+//! clustering models are needed").
+
+use crate::kmeans::KMeans;
+use crate::matrix::Matrix;
+use crate::vae::{Vae, VaeConfig, VaeLosses};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the joint trainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecConfig {
+    /// VAE architecture and optimizer settings.
+    pub vae: VaeConfig,
+    /// Number of clusters K.
+    pub k: usize,
+    /// VAE pretraining epochs.
+    pub pretrain_epochs: usize,
+    /// Joint fine-tuning epochs.
+    pub joint_epochs: usize,
+    /// Weight γ of the cluster-distance loss during fine-tuning.
+    pub gamma: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Lloyd iterations per K-means (re)fit.
+    pub kmeans_iters: usize,
+    /// Joint-training flavor: hard nearest-centroid distance loss
+    /// (default, what the E2-NVM paper describes) or DEC/IDEC-style
+    /// soft assignment with a Student-t kernel and a sharpened target
+    /// distribution (the method of the paper's deep-clustering
+    /// citation, Guo et al. IJCAI '17).
+    pub soft_assignment: bool,
+}
+
+impl Default for DecConfig {
+    fn default() -> Self {
+        Self {
+            vae: VaeConfig::default(),
+            k: 10,
+            pretrain_epochs: 20,
+            joint_epochs: 10,
+            gamma: 0.1,
+            batch: 64,
+            kmeans_iters: 25,
+            soft_assignment: false,
+        }
+    }
+}
+
+/// Soft assignment q_ij ∝ (1 + ‖z_i − μ_j‖²)⁻¹ (Student-t kernel with
+/// one degree of freedom), row-normalized — DEC's similarity measure.
+pub fn soft_assignments(z: &Matrix, centroids: &Matrix) -> Matrix {
+    let (n, k) = (z.rows(), centroids.rows());
+    let mut q = Matrix::zeros(n, k);
+    for i in 0..n {
+        let mut row_sum = 0.0f32;
+        for j in 0..k {
+            let d2: f32 = z
+                .row(i)
+                .iter()
+                .zip(centroids.row(j))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            let v = 1.0 / (1.0 + d2);
+            q.set(i, j, v);
+            row_sum += v;
+        }
+        for j in 0..k {
+            q.set(i, j, q.get(i, j) / row_sum.max(f32::EPSILON));
+        }
+    }
+    q
+}
+
+/// DEC's sharpened target distribution p_ij ∝ q_ij² / f_j, where f_j is
+/// the soft cluster frequency — pushes points toward high-confidence
+/// assignments.
+#[allow(clippy::needless_range_loop)] // index style is clearer here
+pub fn target_distribution(q: &Matrix) -> Matrix {
+    let (n, k) = (q.rows(), q.cols());
+    let f: Vec<f32> = (0..k)
+        .map(|j| (0..n).map(|i| q.get(i, j)).sum::<f32>().max(f32::EPSILON))
+        .collect();
+    let mut p = Matrix::zeros(n, k);
+    for i in 0..n {
+        let mut row_sum = 0.0f32;
+        for j in 0..k {
+            let v = q.get(i, j) * q.get(i, j) / f[j];
+            p.set(i, j, v);
+            row_sum += v;
+        }
+        for j in 0..k {
+            p.set(i, j, p.get(i, j) / row_sum.max(f32::EPSILON));
+        }
+    }
+    p
+}
+
+/// Gradient of the KL(P‖Q) clustering loss w.r.t. z (DEC eq. 4, up to
+/// the constant factor folded into γ):
+/// dL/dz_i = 2γ Σ_j (q_ij − p_ij) · (z_i − μ_j) / (1 + ‖z_i − μ_j‖²).
+#[allow(clippy::needless_range_loop)] // index style is clearer here
+fn soft_grad(zb: &Matrix, centroids: &Matrix, p: &Matrix, q: &Matrix, gamma: f32) -> Matrix {
+    let (n, l) = (zb.rows(), zb.cols());
+    let k = centroids.rows();
+    let mut grad = Matrix::zeros(n, l);
+    let inv_n = 1.0 / n as f32;
+    for i in 0..n {
+        for j in 0..k {
+            let d2: f32 = zb
+                .row(i)
+                .iter()
+                .zip(centroids.row(j))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            let w = 2.0 * gamma * (q.get(i, j) - p.get(i, j)) / (1.0 + d2) * inv_n;
+            for d in 0..l {
+                let g = grad.get(i, d) + w * (zb.get(i, d) - centroids.row(j)[d]);
+                grad.set(i, d, g);
+            }
+        }
+    }
+    grad
+}
+
+/// Loss trajectory of a training run (feeds the paper's Figure 9).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// Per-epoch training losses (pretrain then joint epochs).
+    pub train: Vec<VaeLosses>,
+    /// Per-epoch validation losses (empty when no validation set given).
+    pub validation: Vec<VaeLosses>,
+    /// SSE in latent space after each K-means (re)fit.
+    pub sse: Vec<f32>,
+}
+
+/// The servable artifact: encoder + centroids.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    vae: Vae,
+    kmeans: KMeans,
+}
+
+impl ClusterModel {
+    /// Train on `data` (rows = samples of bit features in `[0, 1]`),
+    /// optionally tracking validation loss on `validation`.
+    pub fn train<R: Rng>(
+        cfg: &DecConfig,
+        data: &Matrix,
+        validation: Option<&Matrix>,
+        rng: &mut R,
+    ) -> (Self, TrainingHistory) {
+        assert!(data.rows() > 0, "ClusterModel::train: empty data");
+        let mut history = TrainingHistory::default();
+        let mut vae = Vae::new(cfg.vae.clone(), rng);
+
+        // Phase 1: ELBO-only pretraining.
+        for _ in 0..cfg.pretrain_epochs {
+            let l = vae.train_epoch(data, cfg.batch, rng);
+            history.train.push(l);
+            if let Some(v) = validation {
+                history.validation.push(vae.evaluate(v));
+            }
+        }
+
+        // Phase 2: joint fine-tuning.
+        let z = vae.latent(data);
+        let mut fit = KMeans::fit(&z, cfg.k, cfg.kmeans_iters, rng);
+        history.sse.push(fit.sse);
+        for _ in 0..cfg.joint_epochs {
+            let centroids = fit.model.centroids().clone();
+            let gamma = cfg.gamma;
+            if cfg.soft_assignment {
+                // DEC: compute the target distribution once per epoch
+                // from the full latent snapshot, then descend KL(P||Q)
+                // per batch.
+                let l = vae.train_epoch_with(data, cfg.batch, rng, |zb| {
+                    let q = soft_assignments(zb, &centroids);
+                    let p = target_distribution(&q);
+                    Some(soft_grad(zb, &centroids, &p, &q, gamma))
+                });
+                history.train.push(l);
+                if let Some(v) = validation {
+                    history.validation.push(vae.evaluate(v));
+                }
+                let z = vae.latent(data);
+                fit = KMeans::fit(&z, cfg.k, cfg.kmeans_iters, rng);
+                history.sse.push(fit.sse);
+                continue;
+            }
+            let l = vae.train_epoch_with(data, cfg.batch, rng, |zb| {
+                // dL_cluster/dz = 2γ(z − μ_c)/n for each row's nearest
+                // centroid.
+                let n = zb.rows() as f32;
+                let nearest = |x: &[f32]| -> usize {
+                    (0..centroids.rows())
+                        .min_by(|&a, &b| {
+                            let da: f32 = centroids
+                                .row(a)
+                                .iter()
+                                .zip(x)
+                                .map(|(&m, &v)| (m - v) * (m - v))
+                                .sum();
+                            let db: f32 = centroids
+                                .row(b)
+                                .iter()
+                                .zip(x)
+                                .map(|(&m, &v)| (m - v) * (m - v))
+                                .sum();
+                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .unwrap_or(0)
+                };
+                let mut grad = Matrix::zeros(zb.rows(), zb.cols());
+                for r in 0..zb.rows() {
+                    let c = nearest(zb.row(r));
+                    let mu = centroids.row(c);
+                    for (g, (&zv, &mv)) in grad.row_mut(r).iter_mut().zip(zb.row(r).iter().zip(mu))
+                    {
+                        *g = 2.0 * gamma * (zv - mv) / n;
+                    }
+                }
+                Some(grad)
+            });
+            history.train.push(l);
+            if let Some(v) = validation {
+                history.validation.push(vae.evaluate(v));
+            }
+            let z = vae.latent(data);
+            fit = KMeans::fit(&z, cfg.k, cfg.kmeans_iters, rng);
+            history.sse.push(fit.sse);
+        }
+
+        (
+            Self {
+                vae,
+                kmeans: fit.model,
+            },
+            history,
+        )
+    }
+
+    /// Predict the cluster of one feature vector (two-stage: encoder
+    /// then K-means — the prediction path whose latency Figure 10
+    /// reports).
+    pub fn predict(&self, features: &[f32]) -> usize {
+        let x = Matrix::from_vec(1, features.len(), features.to_vec());
+        let z = self.vae.latent(&x);
+        self.kmeans.predict(z.row(0))
+    }
+
+    /// Predict clusters for a batch of samples.
+    pub fn predict_batch(&self, data: &Matrix) -> Vec<usize> {
+        let z = self.vae.latent(data);
+        (0..z.rows())
+            .map(|r| self.kmeans.predict(z.row(r)))
+            .collect()
+    }
+
+    /// Clusters ordered nearest-first for a feature vector (the DAP's
+    /// fallback order).
+    pub fn clusters_by_distance(&self, features: &[f32]) -> Vec<usize> {
+        let x = Matrix::from_vec(1, features.len(), features.to_vec());
+        let z = self.vae.latent(&x);
+        self.kmeans.clusters_by_distance(z.row(0))
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.kmeans.k()
+    }
+
+    /// Input feature dimensionality the model was trained on.
+    pub fn input_dim(&self) -> usize {
+        self.vae.config().input_dim
+    }
+
+    /// Multiply-accumulates per prediction (encoder forward + centroid
+    /// scan) — feeds the CPU-energy model.
+    pub fn predict_macs(&self) -> u64 {
+        self.vae.predict_macs() + (self.kmeans.k() * self.vae.config().latent_dim) as u64
+    }
+
+    /// The underlying encoder-bearing VAE.
+    pub fn vae(&self) -> &Vae {
+        &self.vae
+    }
+
+    /// The underlying K-means model.
+    pub fn kmeans(&self) -> &KMeans {
+        &self.kmeans
+    }
+
+    /// Rebuild from persisted parts, validating that the centroids live
+    /// in the VAE's latent space.
+    pub fn from_parts(vae: Vae, kmeans: KMeans) -> Result<Self, String> {
+        if kmeans.centroids().cols() != vae.config().latent_dim {
+            return Err(format!(
+                "ClusterModel::from_parts: centroid dim {} != latent dim {}",
+                kmeans.centroids().cols(),
+                vae.config().latent_dim
+            ));
+        }
+        Ok(Self { vae, kmeans })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use crate::vae::VaeConfig;
+
+    /// Three bit-pattern classes with flip noise.
+    fn three_class_bits(n_per: usize, dim: usize, rng: &mut impl Rng) -> (Matrix, Vec<usize>) {
+        let templates: Vec<Vec<f32>> = (0..3)
+            .map(|cls| {
+                (0..dim)
+                    .map(|d| if (d / 4) % 3 == cls { 1.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (cls, t) in templates.iter().enumerate() {
+            for _ in 0..n_per {
+                rows.push(
+                    t.iter()
+                        .map(|&b| if rng.gen::<f32>() < 0.05 { 1.0 - b } else { b })
+                        .collect(),
+                );
+                labels.push(cls);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    fn quick_cfg(dim: usize, k: usize) -> DecConfig {
+        DecConfig {
+            vae: VaeConfig {
+                input_dim: dim,
+                hidden: vec![32],
+                latent_dim: 4,
+                lr: 5e-3,
+                beta: 0.2,
+            },
+            k,
+            pretrain_epochs: 15,
+            joint_epochs: 5,
+            gamma: 0.2,
+            batch: 32,
+            kmeans_iters: 20,
+            soft_assignment: false,
+        }
+    }
+
+    #[test]
+    fn clusters_align_with_classes() {
+        let mut rng = seeded(11);
+        let (data, labels) = three_class_bits(60, 48, &mut rng);
+        let (model, history) = ClusterModel::train(&quick_cfg(48, 3), &data, None, &mut rng);
+        let preds = model.predict_batch(&data);
+        // Majority label purity: each ground-truth class should map
+        // dominantly to one cluster.
+        let mut purity_total = 0.0;
+        for cls in 0..3 {
+            let mut counts = [0usize; 3];
+            for (p, &l) in preds.iter().zip(&labels) {
+                if l == cls {
+                    counts[*p] += 1;
+                }
+            }
+            purity_total += *counts.iter().max().unwrap() as f32 / 60.0;
+        }
+        let purity = purity_total / 3.0;
+        assert!(purity > 0.8, "purity={purity}");
+        assert!(!history.train.is_empty());
+        assert_eq!(history.train.len(), 20);
+    }
+
+    #[test]
+    fn validation_history_tracked() {
+        let mut rng = seeded(12);
+        let (data, _) = three_class_bits(30, 32, &mut rng);
+        let (val, _) = three_class_bits(10, 32, &mut rng);
+        let mut cfg = quick_cfg(32, 3);
+        cfg.pretrain_epochs = 4;
+        cfg.joint_epochs = 2;
+        let (_, history) = ClusterModel::train(&cfg, &data, Some(&val), &mut rng);
+        assert_eq!(history.validation.len(), 6);
+        assert_eq!(history.sse.len(), 3);
+    }
+
+    #[test]
+    fn predict_single_matches_batch() {
+        let mut rng = seeded(13);
+        let (data, _) = three_class_bits(20, 32, &mut rng);
+        let mut cfg = quick_cfg(32, 3);
+        cfg.pretrain_epochs = 3;
+        cfg.joint_epochs = 1;
+        let (model, _) = ClusterModel::train(&cfg, &data, None, &mut rng);
+        let batch = model.predict_batch(&data);
+        for (r, expected) in batch.iter().enumerate() {
+            assert_eq!(model.predict(data.row(r)), *expected);
+        }
+    }
+
+    #[test]
+    fn joint_training_reduces_sse() {
+        let mut rng = seeded(14);
+        let (data, _) = three_class_bits(60, 48, &mut rng);
+        let (_, history) = ClusterModel::train(&quick_cfg(48, 3), &data, None, &mut rng);
+        let first = history.sse.first().copied().unwrap();
+        let last = history.sse.last().copied().unwrap();
+        assert!(
+            last <= first * 1.05,
+            "joint epochs should not blow up SSE: first={first} last={last}"
+        );
+    }
+
+    #[test]
+    fn soft_assignments_are_distributions() {
+        let z = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![0.1, 0.0]]);
+        let centroids = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]);
+        let q = soft_assignments(&z, &centroids);
+        for i in 0..3 {
+            let row_sum: f32 = (0..2).map(|j| q.get(i, j)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Points near a centroid assign strongly to it.
+        assert!(q.get(0, 0) > 0.9);
+        assert!(q.get(1, 1) > 0.9);
+        let p = target_distribution(&q);
+        // Sharpening: p is at least as confident as q on the argmax.
+        assert!(p.get(0, 0) >= q.get(0, 0) - 1e-5);
+        for i in 0..3 {
+            let row_sum: f32 = (0..2).map(|j| p.get(i, j)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn soft_mode_clusters_align_with_classes() {
+        let mut rng = seeded(21);
+        let (data, labels) = three_class_bits(60, 48, &mut rng);
+        let cfg = DecConfig {
+            soft_assignment: true,
+            gamma: 0.5,
+            ..quick_cfg(48, 3)
+        };
+        let (model, history) = ClusterModel::train(&cfg, &data, None, &mut rng);
+        let preds = model.predict_batch(&data);
+        let mut purity_total = 0.0;
+        for cls in 0..3 {
+            let mut counts = [0usize; 3];
+            for (p, &l) in preds.iter().zip(&labels) {
+                if l == cls {
+                    counts[*p] += 1;
+                }
+            }
+            purity_total += *counts.iter().max().unwrap() as f32 / 60.0;
+        }
+        let purity = purity_total / 3.0;
+        assert!(purity > 0.8, "soft-mode purity={purity}");
+        assert!(!history.sse.is_empty());
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let mut rng = seeded(15);
+        let (data, _) = three_class_bits(10, 32, &mut rng);
+        let mut cfg = quick_cfg(32, 3);
+        cfg.pretrain_epochs = 1;
+        cfg.joint_epochs = 1;
+        let (model, _) = ClusterModel::train(&cfg, &data, None, &mut rng);
+        assert_eq!(model.k(), 3);
+        assert_eq!(model.input_dim(), 32);
+        assert!(model.predict_macs() > 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Loss functions used by the VAE and LSTM trainers.
+
+use crate::matrix::Matrix;
+
+/// Mean squared error over a batch (mean over all elements).
+pub fn mse(pred: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()));
+    let n = (pred.rows() * pred.cols()).max(1) as f32;
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / n
+}
+
+/// Binary cross-entropy, summed over features and averaged over the
+/// batch — the per-sample reconstruction term of the VAE's ELBO.
+/// `pred` must already be in (0, 1) (sigmoid output); values are clamped
+/// away from {0,1} for stability.
+pub fn bce(pred: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!((pred.rows(), pred.cols()), (target.rows(), target.cols()));
+    let eps = 1e-7f32;
+    let total: f32 = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum();
+    total / pred.rows().max(1) as f32
+}
+
+/// KL(q(z|x) ‖ N(0, I)) summed over latent dims, averaged over the
+/// batch: `-½ Σ (1 + logσ² − μ² − σ²)`.
+pub fn kl_gaussian(mu: &Matrix, logvar: &Matrix) -> f32 {
+    assert_eq!((mu.rows(), mu.cols()), (logvar.rows(), logvar.cols()));
+    let total: f32 = mu
+        .as_slice()
+        .iter()
+        .zip(logvar.as_slice())
+        .map(|(&m, &lv)| -0.5 * (1.0 + lv - m * m - lv.exp()))
+        .sum();
+    total / mu.rows().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_on_equal() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = Matrix::from_vec(1, 2, vec![0., 0.]);
+        let b = Matrix::from_vec(1, 2, vec![3., 4.]);
+        assert!((mse(&a, &b) - 12.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_minimized_at_target() {
+        let t = Matrix::from_vec(1, 2, vec![1., 0.]);
+        let good = Matrix::from_vec(1, 2, vec![0.99, 0.01]);
+        let bad = Matrix::from_vec(1, 2, vec![0.5, 0.5]);
+        assert!(bce(&good, &t) < bce(&bad, &t));
+        // Extreme predictions stay finite thanks to clamping.
+        let extreme = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        assert!(bce(&extreme, &t).is_finite());
+    }
+
+    #[test]
+    fn kl_zero_for_standard_normal() {
+        let mu = Matrix::zeros(3, 4);
+        let logvar = Matrix::zeros(3, 4);
+        assert!(kl_gaussian(&mu, &logvar).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_positive_otherwise() {
+        let mu = Matrix::from_vec(1, 2, vec![1.0, -2.0]);
+        let logvar = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        assert!(kl_gaussian(&mu, &logvar) > 0.0);
+    }
+}

@@ -1,0 +1,377 @@
+//! A single-layer LSTM (Hochreiter & Schmidhuber '97) with a dense
+//! sigmoid head, trained with truncated BPTT over full sequences.
+//!
+//! E2-NVM's *learned padding* (paper §4.1.3, Figure 6) uses an LSTM with
+//! a sliding window that "takes as input 64 bits and predicts 8 bits in
+//! a single step", sliding by 8 bits per prediction. In this crate the
+//! LSTM is generic: sequences of `input_dim`-wide steps, one output
+//! vector per sequence. The padding logic in `e2nvm-core` feeds it
+//! 8 timesteps of one byte each (64 bits) and reads 8 predicted bits.
+
+use crate::activation::{sigmoid, Activation};
+use crate::dense::Dense;
+use crate::loss;
+use crate::matrix::Matrix;
+use crate::optim::Adam;
+use crate::rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of an [`Lstm`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmConfig {
+    /// Features per timestep.
+    pub input_dim: usize,
+    /// Hidden state width.
+    pub hidden: usize,
+    /// Output width (bits predicted per step).
+    pub output_dim: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 8,
+            hidden: 16,
+            output_dim: 8,
+            lr: 5e-3,
+        }
+    }
+}
+
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c: Matrix,
+}
+
+/// The LSTM cell plus output head.
+pub struct Lstm {
+    cfg: LstmConfig,
+    /// `input_dim × 4H` input weights (gate order: i, f, g, o).
+    wx: Matrix,
+    /// `H × 4H` recurrent weights.
+    wh: Matrix,
+    /// `4H` bias (forget gate initialized to 1).
+    b: Vec<f32>,
+    head: Dense,
+    wx_adam: Adam,
+    wh_adam: Adam,
+    b_adam: Adam,
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Initialize with Xavier weights and forget-bias 1.
+    pub fn new<R: Rng>(cfg: LstmConfig, rng: &mut R) -> Self {
+        assert!(
+            cfg.input_dim > 0 && cfg.hidden > 0 && cfg.output_dim > 0,
+            "LstmConfig: zero dims"
+        );
+        let h = cfg.hidden;
+        let mut wx = Matrix::zeros(cfg.input_dim, 4 * h);
+        let mut wh = Matrix::zeros(h, 4 * h);
+        rng::fill_normal(rng, wx.as_mut_slice(), (1.0 / cfg.input_dim as f32).sqrt());
+        rng::fill_normal(rng, wh.as_mut_slice(), (1.0 / h as f32).sqrt());
+        let mut b = vec![0.0f32; 4 * h];
+        // Forget gate bias = 1 helps gradient flow early in training.
+        for v in &mut b[h..2 * h] {
+            *v = 1.0;
+        }
+        let head = Dense::new(h, cfg.output_dim, Activation::Sigmoid, cfg.lr, rng);
+        Self {
+            wx_adam: Adam::new(cfg.input_dim * 4 * h, cfg.lr),
+            wh_adam: Adam::new(h * 4 * h, cfg.lr),
+            b_adam: Adam::new(4 * h, cfg.lr),
+            cfg,
+            wx,
+            wh,
+            b,
+            head,
+            cache: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LstmConfig {
+        &self.cfg
+    }
+
+    fn step(&self, x: &Matrix, h_prev: &Matrix, c_prev: &Matrix) -> (Matrix, Matrix, StepCache) {
+        let hdim = self.cfg.hidden;
+        let mut z = x.matmul(&self.wx);
+        z.add_assign(&h_prev.matmul(&self.wh));
+        z.add_row_broadcast(&self.b);
+        let n = z.rows();
+        let mut i = Matrix::zeros(n, hdim);
+        let mut f = Matrix::zeros(n, hdim);
+        let mut g = Matrix::zeros(n, hdim);
+        let mut o = Matrix::zeros(n, hdim);
+        for r in 0..n {
+            let zr = z.row(r);
+            for c in 0..hdim {
+                i.set(r, c, sigmoid(zr[c]));
+                f.set(r, c, sigmoid(zr[hdim + c]));
+                g.set(r, c, zr[2 * hdim + c].tanh());
+                o.set(r, c, sigmoid(zr[3 * hdim + c]));
+            }
+        }
+        let mut c_new = f.hadamard(c_prev);
+        c_new.add_assign(&i.hadamard(&g));
+        let tanh_c = c_new.map(f32::tanh);
+        let h_new = o.hadamard(&tanh_c);
+        let cache = StepCache {
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            c_prev: c_prev.clone(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+        };
+        (h_new, c_new, cache)
+    }
+
+    /// Run the sequence and return the head output, caching state for
+    /// BPTT. `seq` is one Matrix per timestep, each `n × input_dim`.
+    ///
+    /// # Panics
+    /// Panics on an empty sequence or wrong feature width.
+    pub fn forward(&mut self, seq: &[Matrix]) -> Matrix {
+        assert!(!seq.is_empty(), "Lstm::forward: empty sequence");
+        let n = seq[0].rows();
+        let mut h = Matrix::zeros(n, self.cfg.hidden);
+        let mut c = Matrix::zeros(n, self.cfg.hidden);
+        self.cache.clear();
+        for x in seq {
+            assert_eq!(x.cols(), self.cfg.input_dim, "Lstm: wrong input_dim");
+            assert_eq!(x.rows(), n, "Lstm: ragged batch");
+            let (h_new, c_new, cache) = self.step(x, &h, &c);
+            self.cache.push(cache);
+            h = h_new;
+            c = c_new;
+        }
+        self.head.forward(&h)
+    }
+
+    /// Inference without caches.
+    pub fn predict(&self, seq: &[Matrix]) -> Matrix {
+        assert!(!seq.is_empty(), "Lstm::predict: empty sequence");
+        let n = seq[0].rows();
+        let mut h = Matrix::zeros(n, self.cfg.hidden);
+        let mut c = Matrix::zeros(n, self.cfg.hidden);
+        for x in seq {
+            let (h_new, c_new, _) = self.step(x, &h, &c);
+            h = h_new;
+            c = c_new;
+        }
+        self.head.forward_inference(&h)
+    }
+
+    /// One BPTT training step on a batch of sequences; `targets` is
+    /// `n × output_dim` in `[0, 1]`. Returns the pre-step BCE loss.
+    pub fn train_batch(&mut self, seq: &[Matrix], targets: &Matrix) -> f32 {
+        let yhat = self.forward(seq);
+        let loss_val = loss::bce(&yhat, targets);
+        let n = yhat.rows() as f32;
+        // Fused sigmoid+BCE head gradient.
+        let dz_head = yhat.zip(targets, |p, t| (p - t) / n);
+        let mut dh = self.head.backward_preact(&dz_head);
+        let hdim = self.cfg.hidden;
+        let mut dwx = Matrix::zeros(self.cfg.input_dim, 4 * hdim);
+        let mut dwh = Matrix::zeros(hdim, 4 * hdim);
+        let mut db = vec![0.0f32; 4 * hdim];
+        let mut dc = Matrix::zeros(dh.rows(), hdim);
+
+        for cache in self.cache.iter().rev() {
+            // dL/do and dL/dc through h = o ⊙ tanh(c).
+            let d_o = dh.hadamard(&cache.tanh_c);
+            let mut dco = dh.hadamard(&cache.o);
+            dco = dco.zip(&cache.tanh_c, |d, tc| d * (1.0 - tc * tc));
+            dco.add_assign(&dc);
+
+            let d_i = dco.hadamard(&cache.g);
+            let d_f = dco.hadamard(&cache.c_prev);
+            let d_g = dco.hadamard(&cache.i);
+
+            // Gate pre-activation gradients.
+            let dzi = d_i.zip(&cache.i, |d, y| d * y * (1.0 - y));
+            let dzf = d_f.zip(&cache.f, |d, y| d * y * (1.0 - y));
+            let dzg = d_g.zip(&cache.g, |d, y| d * (1.0 - y * y));
+            let dzo = d_o.zip(&cache.o, |d, y| d * y * (1.0 - y));
+            let dz = dzi.hcat(&dzf).hcat(&dzg).hcat(&dzo);
+
+            dwx.add_assign(&cache.x.t_matmul(&dz));
+            dwh.add_assign(&cache.h_prev.t_matmul(&dz));
+            for (acc, v) in db.iter_mut().zip(dz.col_sums()) {
+                *acc += v;
+            }
+
+            dh = dz.matmul_t(&self.wh);
+            dc = dco.hadamard(&cache.f);
+        }
+
+        self.wx_adam.step(self.wx.as_mut_slice(), dwx.as_slice());
+        self.wh_adam.step(self.wh.as_mut_slice(), dwh.as_slice());
+        self.b_adam.step(&mut self.b, &db);
+        self.head.step();
+        loss_val
+    }
+
+    /// Multiply-accumulates of one forward pass over a `T`-step sequence
+    /// with batch `n`.
+    pub fn forward_macs(&self, t: usize, n: usize) -> u64 {
+        let per_step =
+            self.cfg.input_dim * 4 * self.cfg.hidden + self.cfg.hidden * 4 * self.cfg.hidden;
+        (t * n * per_step) as u64 + self.head.forward_macs(n)
+    }
+}
+
+impl std::fmt::Debug for Lstm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lstm")
+            .field("input_dim", &self.cfg.input_dim)
+            .field("hidden", &self.cfg.hidden)
+            .field("output_dim", &self.cfg.output_dim)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    /// Sequences whose final-step target is a simple function of the
+    /// first step: tests that the cell carries state across time.
+    fn copy_task(n: usize, t: usize, rng: &mut impl Rng) -> (Vec<Matrix>, Matrix) {
+        let firsts: Vec<f32> = (0..n)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { 0.0 })
+            .collect();
+        let mut seq = Vec::with_capacity(t);
+        for step in 0..t {
+            seq.push(Matrix::from_fn(n, 1, |r, _| {
+                if step == 0 {
+                    firsts[r]
+                } else {
+                    rng.gen::<f32>().round()
+                }
+            }));
+        }
+        let targets = Matrix::from_fn(n, 1, |r, _| firsts[r]);
+        (seq, targets)
+    }
+
+    #[test]
+    fn shapes() {
+        let mut rng = seeded(1);
+        let mut lstm = Lstm::new(
+            LstmConfig {
+                input_dim: 4,
+                hidden: 8,
+                output_dim: 3,
+                lr: 1e-3,
+            },
+            &mut rng,
+        );
+        let seq: Vec<Matrix> = (0..5).map(|_| Matrix::zeros(2, 4)).collect();
+        let y = lstm.forward(&seq);
+        assert_eq!((y.rows(), y.cols()), (2, 3));
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn learns_copy_task() {
+        let mut rng = seeded(2);
+        let mut lstm = Lstm::new(
+            LstmConfig {
+                input_dim: 1,
+                hidden: 12,
+                output_dim: 1,
+                lr: 2e-2,
+            },
+            &mut rng,
+        );
+        let (seq, targets) = copy_task(64, 4, &mut rng);
+        let first = lstm.train_batch(&seq, &targets);
+        let mut last = first;
+        for _ in 0..250 {
+            last = lstm.train_batch(&seq, &targets);
+        }
+        assert!(last < first * 0.3, "first={first} last={last}");
+        // Check actual accuracy.
+        let pred = lstm.predict(&seq);
+        let correct = (0..64)
+            .filter(|&r| (pred.get(r, 0) - targets.get(r, 0)).abs() < 0.4)
+            .count();
+        assert!(correct >= 55, "correct={correct}/64");
+    }
+
+    #[test]
+    fn learns_parity_of_two_bits() {
+        // Predict XOR of the two inputs — requires non-linear use of
+        // state.
+        let mut rng = seeded(3);
+        let mut lstm = Lstm::new(
+            LstmConfig {
+                input_dim: 1,
+                hidden: 8,
+                output_dim: 1,
+                lr: 3e-2,
+            },
+            &mut rng,
+        );
+        let seq = vec![
+            Matrix::from_vec(4, 1, vec![0., 0., 1., 1.]),
+            Matrix::from_vec(4, 1, vec![0., 1., 0., 1.]),
+        ];
+        let targets = Matrix::from_vec(4, 1, vec![0., 1., 1., 0.]);
+        for _ in 0..1500 {
+            lstm.train_batch(&seq, &targets);
+        }
+        let pred = lstm.predict(&seq);
+        for r in 0..4 {
+            assert!(
+                (pred.get(r, 0) - targets.get(r, 0)).abs() < 0.35,
+                "row {r}: pred={} target={}",
+                pred.get(r, 0),
+                targets.get(r, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn predict_matches_forward() {
+        let mut rng = seeded(4);
+        let mut lstm = Lstm::new(LstmConfig::default(), &mut rng);
+        let seq: Vec<Matrix> = (0..8)
+            .map(|s| Matrix::from_fn(3, 8, |r, c| ((s + r + c) % 2) as f32))
+            .collect();
+        let a = lstm.forward(&seq);
+        let b = lstm.predict(&seq);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn macs_scale_with_sequence_length() {
+        let mut rng = seeded(5);
+        let lstm = Lstm::new(LstmConfig::default(), &mut rng);
+        assert!(lstm.forward_macs(16, 1) > lstm.forward_macs(8, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut rng = seeded(6);
+        let mut lstm = Lstm::new(LstmConfig::default(), &mut rng);
+        lstm.forward(&[]);
+    }
+}

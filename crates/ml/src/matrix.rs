@@ -1,0 +1,479 @@
+//! A small dense row-major `f32` matrix — the only tensor type the ML
+//! substrate needs. Operations are written cache-consciously (ikj
+//! matmul, fused map/zip) following the Rust Performance Book's advice
+//! to keep hot loops allocation-free.
+
+use std::fmt;
+
+/// Dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Take ownership of a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from row slices (each must have the same length).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "Matrix::from_rows: empty input");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The raw row-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · other` (ikj loop order).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let dot: f32 = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+                out.data[i * other.rows + j] = dot;
+            }
+        }
+        out
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// `self * scalar`, in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Elementwise product (Hadamard) into a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Elementwise binary zip into a new matrix.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Add a row vector to every row (broadcast).
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols);
+        for r in 0..self.rows {
+            for (v, b) in self.row_mut(r).iter_mut().zip(row) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column sums (length = cols).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Column means.
+    pub fn col_means(&self) -> Vec<f32> {
+        let mut s = self.col_sums();
+        let n = self.rows.max(1) as f32;
+        for v in &mut s {
+            *v /= n;
+        }
+        s
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Extract a contiguous block of rows `[start, end)`.
+    pub fn rows_range(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows);
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Extract a contiguous block of columns `[start, end)`.
+    pub fn cols_range(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols);
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Horizontally concatenate two matrices with equal row counts.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat: row count mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            let dst = out.row_mut(r);
+            dst[..self.cols].copy_from_slice(self.row(r));
+            dst[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Gather a subset of rows by index.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(6) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:8.4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 6 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m(2, 2, &[58., 64., 139., 154.]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_variants_agree() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(2, 4, &[1., 0., 2., -1., 3., 1., 0., 2.]);
+        // aᵀ·b via t_matmul == transpose().matmul
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+        // a·cᵀ via matmul_t == matmul(transpose)
+        let c = m(4, 3, &[1., 2., 0., 0., 1., 1., 2., 0., 1., 1., 1., 1.]);
+        assert_eq!(a.matmul_t(&c), a.matmul(&c.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn broadcast_and_sums() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_broadcast(&[1., 2., 3.]);
+        assert_eq!(a.col_sums(), vec![2., 4., 6.]);
+        assert_eq!(a.col_means(), vec![1., 2., 3.]);
+        assert_eq!(a.sum(), 12.0);
+    }
+
+    #[test]
+    fn hadamard_and_zip() {
+        let a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[4., 5., 6.]);
+        assert_eq!(a.hadamard(&b), m(1, 3, &[4., 10., 18.]));
+        assert_eq!(a.zip(&b, |x, y| y - x), m(1, 3, &[3., 3., 3.]));
+    }
+
+    #[test]
+    fn slicing() {
+        let a = m(3, 4, &(0..12).map(|v| v as f32).collect::<Vec<_>>());
+        assert_eq!(a.rows_range(1, 3).row(0), &[4., 5., 6., 7.]);
+        assert_eq!(a.cols_range(1, 3).row(2), &[9., 10.]);
+        assert_eq!(a.select_rows(&[2, 0]).row(0), &[8., 9., 10., 11.]);
+    }
+
+    #[test]
+    fn hcat_widths_add() {
+        let a = m(2, 1, &[1., 2.]);
+        let b = m(2, 2, &[3., 4., 5., 6.]);
+        let c = a.hcat(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(1), &[2., 5., 6.]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = m(1, 2, &[3., 4.]);
+        assert!((a.frobenius() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let mut a = m(1, 3, &[1., -2., 3.]);
+        let abs = a.map(f32::abs);
+        assert_eq!(abs.row(0), &[1., 2., 3.]);
+        a.scale(2.0);
+        assert_eq!(a.row(0), &[2., -4., 6.]);
+        a.map_inplace(|v| v + 1.0);
+        assert_eq!(a.row(0), &[3., -3., 7.]);
+    }
+
+    #[test]
+    fn add_sub_assign() {
+        let mut a = m(1, 2, &[1., 2.]);
+        let b = m(1, 2, &[3., 4.]);
+        a.add_assign(&b);
+        assert_eq!(a.row(0), &[4., 6.]);
+        a.sub_assign(&b);
+        assert_eq!(a.row(0), &[1., 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the ML substrate: linear-algebra identities,
+//! K-means invariants, and encoding round-trips.
+
+use e2nvm_ml::kmeans::KMeans;
+use e2nvm_ml::matrix::Matrix;
+use e2nvm_ml::rng::seeded;
+use e2nvm_ml::{data, Pca};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Fused-transpose products match materialized transposes.
+    #[test]
+    fn fused_transpose_products(a in matrix(4, 3), b in matrix(4, 5), c in matrix(6, 3)) {
+        let fused = a.t_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        let fused2 = a.matmul_t(&c);
+        let explicit2 = a.matmul(&c.transpose());
+        for (x, y) in fused2.as_slice().iter().zip(explicit2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Matrix multiplication distributes over addition.
+    #[test]
+    fn matmul_distributive(a in matrix(2, 3), b in matrix(3, 2), c in matrix(3, 2)) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let left = a.matmul(&bc);
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    /// K-means: every point's assigned centroid is its nearest; SSE is
+    /// the sum of those distances.
+    #[test]
+    fn kmeans_assignment_optimality(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 3), 4..40),
+        k in 1usize..5,
+    ) {
+        let data = Matrix::from_rows(&rows);
+        let mut rng = seeded(7);
+        let fit = KMeans::fit(&data, k, 30, &mut rng);
+        let mut sse = 0.0f32;
+        for r in 0..data.rows() {
+            let (best, d) = fit.model.predict_with_distance(data.row(r));
+            // Assigned cluster must not be farther than the best.
+            let assigned_d: f32 = fit.model.centroids().row(fit.assignments[r])
+                .iter().zip(data.row(r)).map(|(&a, &b)| (a - b) * (a - b)).sum();
+            prop_assert!(assigned_d <= d + 1e-3,
+                "row {r}: assigned {assigned_d} vs best {d} (cluster {best})");
+            sse += d;
+        }
+        prop_assert!((sse - fit.sse).abs() < sse.abs().max(1.0) * 1e-3);
+    }
+
+    /// bytes -> features -> (threshold) -> bytes round-trips.
+    #[test]
+    fn feature_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let feats = data::bytes_to_features(&bytes);
+        prop_assert_eq!(feats.len(), bytes.len() * 8);
+        let bits: Vec<u8> = feats.iter().map(|&f| if f > 0.5 { 1 } else { 0 }).collect();
+        let back = e2nvm_sim_free_bits_to_bytes(&bits);
+        prop_assert_eq!(back, bytes);
+    }
+
+    /// PCA transform output has the requested width and finite values.
+    #[test]
+    fn pca_output_finite(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-3.0f32..3.0, 6), 8..32),
+        p in 1usize..4,
+    ) {
+        let data = Matrix::from_rows(&rows);
+        let mut rng = seeded(11);
+        let pca = Pca::fit(&data, p, 8, &mut rng);
+        let scores = pca.transform(&data);
+        prop_assert_eq!(scores.cols(), p.min(6));
+        prop_assert!(scores.as_slice().iter().all(|v| v.is_finite()));
+    }
+}
+
+/// Minimal local bit-packer (MSB-first) to avoid a cross-crate dep in
+/// this test.
+fn e2nvm_sim_free_bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    bits.chunks_exact(8)
+        .map(|chunk| chunk.iter().fold(0u8, |acc, &b| (acc << 1) | (b & 1)))
+        .collect()
+}

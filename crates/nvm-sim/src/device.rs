@@ -1,0 +1,621 @@
+//! The simulated NVM device: a segment pool with cache-line write
+//! semantics and full flip/energy/latency accounting.
+
+use crate::bitops;
+use crate::config::DeviceConfig;
+use crate::error::{Result, SimError};
+use crate::stats::{DeviceStats, WearCounters};
+use crate::trace::{TraceEvent, WriteTrace};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one fixed-size segment of the device.
+///
+/// Segment ids are plain indices; the [`crate::MemoryController`] adds a
+/// logical→physical indirection on top when wear leveling is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentId(pub usize);
+
+impl SegmentId {
+    /// Raw index of the segment.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg#{}", self.0)
+    }
+}
+
+/// Accounting for a single write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WriteReport {
+    /// Cache lines actually transferred to media.
+    pub lines_written: u64,
+    /// Cache lines skipped because their content was unchanged.
+    pub lines_skipped: u64,
+    /// Bits whose stored value changed.
+    pub bits_flipped: u64,
+    /// 0→1 transitions (SET pulses) among the flipped bits.
+    pub bits_set: u64,
+    /// 1→0 transitions (RESET pulses) among the flipped bits.
+    pub bits_reset: u64,
+    /// Bits that received a programming pulse (== `bits_flipped` with
+    /// media DCW; every bit of written lines without).
+    pub bits_programmed: u64,
+    /// Energy consumed, pJ.
+    pub energy_pj: f64,
+    /// Modeled latency, ns.
+    pub latency_ns: f64,
+}
+
+impl WriteReport {
+    /// Merge another report into this one (summing all counters).
+    pub fn merge(&mut self, other: &WriteReport) {
+        self.lines_written += other.lines_written;
+        self.lines_skipped += other.lines_skipped;
+        self.bits_flipped += other.bits_flipped;
+        self.bits_set += other.bits_set;
+        self.bits_reset += other.bits_reset;
+        self.bits_programmed += other.bits_programmed;
+        self.energy_pj += other.energy_pj;
+        self.latency_ns += other.latency_ns;
+    }
+}
+
+/// The simulated device.
+///
+/// All mutation goes through `&mut self`; callers that need sharing wrap
+/// the device in a lock (see `e2nvm-core`).
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    cfg: DeviceConfig,
+    data: Vec<u8>,
+    stats: DeviceStats,
+    wear: WearCounters,
+    trace: Option<WriteTrace>,
+}
+
+impl NvmDevice {
+    /// Create a zero-initialized device.
+    ///
+    /// # Panics
+    /// Panics if `cfg` is invalid; validate with
+    /// [`DeviceConfig::validate`] (the builder does this) first.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        cfg.validate().expect("invalid DeviceConfig");
+        let pool = cfg.pool_bytes();
+        let wear = WearCounters::new(cfg.wear_tracking, cfg.num_segments, pool);
+        Self {
+            data: vec![0u8; pool],
+            stats: DeviceStats::default(),
+            wear,
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Number of segments in the pool.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.cfg.num_segments
+    }
+
+    /// Construct a [`SegmentId`], panicking if out of range. Use
+    /// [`NvmDevice::try_segment`] for fallible construction.
+    #[inline]
+    pub fn segment(&self, index: usize) -> SegmentId {
+        self.try_segment(index).expect("segment index out of range")
+    }
+
+    /// Construct a [`SegmentId`], returning an error if out of range.
+    pub fn try_segment(&self, index: usize) -> Result<SegmentId> {
+        if index < self.cfg.num_segments {
+            Ok(SegmentId(index))
+        } else {
+            Err(SimError::SegmentOutOfRange {
+                segment: index,
+                num_segments: self.cfg.num_segments,
+            })
+        }
+    }
+
+    /// Iterator over every segment id.
+    pub fn segments(&self) -> impl Iterator<Item = SegmentId> {
+        (0..self.cfg.num_segments).map(SegmentId)
+    }
+
+    fn check(&self, seg: SegmentId) -> Result<usize> {
+        if seg.0 >= self.cfg.num_segments {
+            return Err(SimError::SegmentOutOfRange {
+                segment: seg.0,
+                num_segments: self.cfg.num_segments,
+            });
+        }
+        Ok(seg.0 * self.cfg.segment_bytes)
+    }
+
+    /// Read a full segment, with read accounting.
+    pub fn read(&mut self, seg: SegmentId) -> Result<&[u8]> {
+        let base = self.check(seg)?;
+        let lines = self.cfg.lines_per_segment() as u64;
+        self.stats.reads += 1;
+        self.stats.energy_pj += self.cfg.energy.read_energy_pj(lines);
+        self.stats.latency_ns += self.cfg.latency.read_ns(lines);
+        Ok(&self.data[base..base + self.cfg.segment_bytes])
+    }
+
+    /// Inspect a segment's content without any accounting. Placement
+    /// models use this during training snapshots; it does not model a
+    /// media read.
+    pub fn peek(&self, seg: SegmentId) -> &[u8] {
+        let base = seg.0 * self.cfg.segment_bytes;
+        &self.data[base..base + self.cfg.segment_bytes]
+    }
+
+    /// Write a full segment. `data.len()` must equal the segment size.
+    pub fn write(&mut self, seg: SegmentId, data: &[u8]) -> Result<WriteReport> {
+        if data.len() != self.cfg.segment_bytes {
+            return Err(SimError::SizeMismatch {
+                expected: self.cfg.segment_bytes,
+                actual: data.len(),
+            });
+        }
+        self.write_at(seg, 0, data)
+    }
+
+    /// Write `data` starting at `offset` within the segment. Writes are
+    /// applied at cache-line granularity: a partially covered line is
+    /// read-modify-written, and any resulting line identical to the
+    /// stored line is skipped entirely.
+    pub fn write_at(&mut self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<WriteReport> {
+        let base = self.check(seg)?;
+        if offset + data.len() > self.cfg.segment_bytes {
+            return Err(SimError::RangeOutOfBounds {
+                offset,
+                len: data.len(),
+                segment_bytes: self.cfg.segment_bytes,
+            });
+        }
+        let line = self.cfg.cache_line_bytes;
+        let seg_len = self.cfg.segment_bytes;
+        let mut report = WriteReport::default();
+
+        if data.is_empty() {
+            // A zero-length write still models a request round-trip.
+            report.latency_ns = self.cfg.latency.write_ns(0);
+            report.energy_pj = self.cfg.energy.write_energy_pj(0, 0);
+            self.account(seg, 0, &report);
+            return Ok(report);
+        }
+
+        // Lines the write touches (line grid is segment-relative; for
+        // sub-line segments the whole segment is one line).
+        let first_line = offset / line;
+        let last_line = (offset + data.len() - 1) / line;
+
+        for li in first_line..=last_line {
+            let lstart = li * line;
+            let lend = (lstart + line).min(seg_len);
+            // Overlap of [offset, offset+len) with this line.
+            let ostart = offset.max(lstart);
+            let oend = (offset + data.len()).min(lend);
+            let old_region = &self.data[base + ostart..base + oend];
+            let new_region = &data[ostart - offset..oend - offset];
+            let flips = bitops::hamming(old_region, new_region);
+            if flips == 0 && old_region == new_region {
+                report.lines_skipped += 1;
+                continue;
+            }
+            report.lines_written += 1;
+            report.bits_flipped += flips;
+            report.bits_set += bitops::zero_to_one(old_region, new_region);
+            report.bits_reset += bitops::one_to_zero(old_region, new_region);
+            report.bits_programmed += if self.cfg.media_dcw {
+                flips
+            } else {
+                ((lend - lstart) * 8) as u64
+            };
+            // Wear: per-byte flip masks, then apply the new content.
+            if self.wear.per_bit_flips().is_some() {
+                let diffs: Vec<(usize, u8)> = bitops::differing_bytes(old_region, new_region)
+                    .map(|(i, m)| (base + ostart + i, m))
+                    .collect();
+                for (abs, mask) in diffs {
+                    self.wear.record_byte_flips(abs, mask);
+                }
+            }
+            self.data[base + ostart..base + oend].copy_from_slice(new_region);
+        }
+
+        report.energy_pj = if self.cfg.media_dcw {
+            // With differential writes the flip directions are known:
+            // price SET and RESET pulses separately.
+            self.cfg.energy.write_energy_directional_pj(
+                report.lines_written,
+                report.bits_set,
+                report.bits_reset,
+            )
+        } else {
+            self.cfg
+                .energy
+                .write_energy_pj(report.lines_written, report.bits_programmed)
+        };
+        report.latency_ns = self.cfg.latency.write_ns(report.lines_written);
+        self.account(seg, (data.len() * 8) as u64, &report);
+        Ok(report)
+    }
+
+    fn account(&mut self, seg: SegmentId, bits_requested: u64, report: &WriteReport) {
+        self.stats.writes += 1;
+        self.stats.lines_written += report.lines_written;
+        self.stats.lines_skipped += report.lines_skipped;
+        self.stats.bits_flipped += report.bits_flipped;
+        self.stats.bits_set += report.bits_set;
+        self.stats.bits_reset += report.bits_reset;
+        self.stats.bits_programmed += report.bits_programmed;
+        self.stats.bits_requested += bits_requested;
+        self.stats.energy_pj += report.energy_pj;
+        self.stats.latency_ns += report.latency_ns;
+        self.wear.record_segment_write(seg.0);
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                segment: seg.0,
+                bits_flipped: report.bits_flipped,
+                lines_written: report.lines_written,
+            });
+        }
+    }
+
+    /// Physically exchange the contents of two segments (a wear-leveling
+    /// swap). Accounted as two reads plus two writes; the bit flips of
+    /// rewriting both segments are charged — the paper notes wear
+    /// leveling "may introduce more bit flips ... due to the swap
+    /// operation".
+    pub fn swap_segments(&mut self, a: SegmentId, b: SegmentId) -> Result<WriteReport> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Ok(WriteReport::default());
+        }
+        let a_content = self.peek(a).to_vec();
+        let b_content = self.peek(b).to_vec();
+        let lines = self.cfg.lines_per_segment() as u64;
+        // Two media reads.
+        self.stats.reads += 2;
+        self.stats.energy_pj += 2.0 * self.cfg.energy.read_energy_pj(lines);
+        self.stats.latency_ns += 2.0 * self.cfg.latency.read_ns(lines);
+        let mut report = self.write_at(a, 0, &b_content)?;
+        let r2 = self.write_at(b, 0, &a_content)?;
+        report.merge(&r2);
+        self.stats.swaps += 1;
+        Ok(report)
+    }
+
+    /// Fill the whole pool with random bytes *without* accounting — used
+    /// to model a pre-existing memory state before an experiment starts.
+    pub fn fill_random<R: Rng>(&mut self, rng: &mut R) {
+        rng.fill(&mut self.data[..]);
+    }
+
+    /// Overwrite a segment's content without accounting (seed state).
+    pub fn seed_segment(&mut self, seg: SegmentId, data: &[u8]) -> Result<()> {
+        let base = self.check(seg)?;
+        if data.len() != self.cfg.segment_bytes {
+            return Err(SimError::SizeMismatch {
+                expected: self.cfg.segment_bytes,
+                actual: data.len(),
+            });
+        }
+        self.data[base..base + self.cfg.segment_bytes].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Reset cumulative statistics (wear counters are kept — wear is
+    /// physical and survives measurement epochs).
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+    }
+
+    /// Wear counters.
+    pub fn wear(&self) -> &WearCounters {
+        &self.wear
+    }
+
+    /// Restore wear counters from a persisted device image.
+    pub fn restore_wear(&mut self, per_segment: &[u32], per_bit: &[u8]) -> Result<()> {
+        self.wear
+            .restore(per_segment, per_bit)
+            .map_err(SimError::InvalidConfig)
+    }
+
+    /// Enable write tracing.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(WriteTrace::default());
+    }
+
+    /// Take the accumulated trace, leaving tracing enabled with an empty
+    /// buffer.
+    pub fn take_trace(&mut self) -> Option<WriteTrace> {
+        self.trace.as_mut().map(std::mem::take)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WearTracking;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_device() -> NvmDevice {
+        NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(256)
+                .num_segments(8)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut dev = small_device();
+        let seg = dev.segment(3);
+        let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        dev.write(seg, &data).unwrap();
+        assert_eq!(dev.read(seg).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn identical_overwrite_skips_all_lines() {
+        let mut dev = small_device();
+        let seg = dev.segment(0);
+        let data = vec![0xABu8; 256];
+        dev.write(seg, &data).unwrap();
+        let r = dev.write(seg, &data).unwrap();
+        assert_eq!(r.lines_written, 0);
+        assert_eq!(r.lines_skipped, 4);
+        assert_eq!(r.bits_flipped, 0);
+    }
+
+    #[test]
+    fn single_byte_change_writes_one_line() {
+        let mut dev = small_device();
+        let seg = dev.segment(0);
+        let mut data = vec![0u8; 256];
+        dev.write(seg, &data).unwrap();
+        data[100] = 0xFF; // line 1 (bytes 64..128)
+        let r = dev.write(seg, &data).unwrap();
+        assert_eq!(r.lines_written, 1);
+        assert_eq!(r.lines_skipped, 3);
+        assert_eq!(r.bits_flipped, 8);
+        assert_eq!(r.bits_programmed, 8); // media DCW on by default
+    }
+
+    #[test]
+    fn without_media_dcw_all_line_bits_programmed() {
+        let mut dev = NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(256)
+                .num_segments(2)
+                .media_dcw(false)
+                .build()
+                .unwrap(),
+        );
+        let seg = dev.segment(0);
+        let mut data = vec![0u8; 256];
+        dev.write(seg, &data).unwrap();
+        data[0] = 1;
+        let r = dev.write(seg, &data).unwrap();
+        assert_eq!(r.bits_flipped, 1);
+        assert_eq!(r.bits_programmed, 64 * 8);
+    }
+
+    #[test]
+    fn partial_write_rmw_within_line() {
+        let mut dev = small_device();
+        let seg = dev.segment(1);
+        dev.write(seg, &vec![0xFFu8; 256]).unwrap();
+        // Write 4 bytes of zeros at offset 10 (inside line 0).
+        let r = dev.write_at(seg, 10, &[0u8; 4]).unwrap();
+        assert_eq!(r.lines_written, 1);
+        assert_eq!(r.bits_flipped, 32);
+        let content = dev.peek(seg);
+        assert_eq!(&content[10..14], &[0, 0, 0, 0]);
+        assert_eq!(content[9], 0xFF);
+        assert_eq!(content[14], 0xFF);
+    }
+
+    #[test]
+    fn partial_write_spanning_lines() {
+        let mut dev = small_device();
+        let seg = dev.segment(0);
+        // Write 10 bytes straddling the line 0/1 boundary at offset 60.
+        let r = dev.write_at(seg, 60, &[0xFFu8; 10]).unwrap();
+        assert_eq!(r.lines_written, 2);
+        assert_eq!(r.bits_flipped, 80);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut dev = small_device();
+        assert!(dev.try_segment(8).is_err());
+        assert!(dev.write(SegmentId(9), &vec![0u8; 256]).is_err());
+        let seg = dev.segment(0);
+        assert!(matches!(
+            dev.write_at(seg, 250, &[0u8; 10]),
+            Err(SimError::RangeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            dev.write(seg, &[0u8; 10]),
+            Err(SimError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut dev = small_device();
+        let seg = dev.segment(0);
+        dev.write(seg, &vec![0xFFu8; 256]).unwrap();
+        dev.write(seg, &vec![0x00u8; 256]).unwrap();
+        let s = dev.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.bits_flipped, 2 * 256 * 8);
+        assert_eq!(s.bits_requested, 2 * 256 * 8);
+        assert!(s.energy_pj > 0.0);
+        assert!(s.latency_ns > 0.0);
+        dev.reset_stats();
+        assert_eq!(dev.stats().writes, 0);
+    }
+
+    #[test]
+    fn swap_exchanges_contents_and_counts_flips() {
+        let mut dev = small_device();
+        let a = dev.segment(0);
+        let b = dev.segment(1);
+        dev.write(a, &vec![0xAAu8; 256]).unwrap();
+        dev.write(b, &vec![0x55u8; 256]).unwrap();
+        let before = dev.stats().bits_flipped;
+        let r = dev.swap_segments(a, b).unwrap();
+        assert_eq!(dev.peek(a), &vec![0x55u8; 256][..]);
+        assert_eq!(dev.peek(b), &vec![0xAAu8; 256][..]);
+        // Every bit of both segments differs -> 2 * 2048 flips.
+        assert_eq!(r.bits_flipped, 2 * 256 * 8);
+        assert_eq!(dev.stats().bits_flipped, before + 2 * 256 * 8);
+        assert_eq!(dev.stats().swaps, 1);
+    }
+
+    #[test]
+    fn swap_with_self_is_noop() {
+        let mut dev = small_device();
+        let a = dev.segment(0);
+        let r = dev.swap_segments(a, a).unwrap();
+        assert_eq!(r.bits_flipped, 0);
+        assert_eq!(dev.stats().swaps, 0);
+    }
+
+    #[test]
+    fn seed_and_fill_do_not_account() {
+        let mut dev = small_device();
+        let mut rng = StdRng::seed_from_u64(7);
+        dev.fill_random(&mut rng);
+        dev.seed_segment(dev.segment(0), &vec![1u8; 256]).unwrap();
+        assert_eq!(dev.stats().writes, 0);
+        assert_eq!(dev.stats().bits_flipped, 0);
+    }
+
+    #[test]
+    fn per_bit_wear_tracked() {
+        let mut dev = NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(64)
+                .num_segments(2)
+                .block_bytes(64)
+                .wear_tracking(WearTracking::PerBit)
+                .build()
+                .unwrap(),
+        );
+        let seg = dev.segment(1);
+        let mut data = vec![0u8; 64];
+        data[0] = 0b1000_0000;
+        dev.write(seg, &data).unwrap();
+        let flips = dev.wear().per_bit_flips().unwrap();
+        // Segment 1 starts at byte 64 -> bit 512.
+        assert_eq!(flips[512], 1);
+        assert_eq!(flips.iter().map(|&v| v as u32).sum::<u32>(), 1);
+        assert_eq!(dev.wear().per_segment_writes().unwrap()[1], 1);
+    }
+
+    #[test]
+    fn set_reset_decomposition_accounted() {
+        let mut dev = small_device();
+        let seg = dev.segment(0);
+        dev.seed_segment(seg, &vec![0b1111_0000u8; 256]).unwrap();
+        let r = dev.write(seg, &vec![0b0000_1111u8; 256]).unwrap();
+        assert_eq!(r.bits_set, 256 * 4);
+        assert_eq!(r.bits_reset, 256 * 4);
+        assert_eq!(r.bits_set + r.bits_reset, r.bits_flipped);
+        assert_eq!(dev.stats().bits_set, 256 * 4);
+        assert_eq!(dev.stats().bits_reset, 256 * 4);
+    }
+
+    #[test]
+    fn asymmetric_pcm_prices_reset_higher() {
+        let cfg = DeviceConfig::builder()
+            .segment_bytes(64)
+            .num_segments(2)
+            .block_bytes(64)
+            .energy(crate::energy::EnergyParams::asymmetric_pcm())
+            .build()
+            .unwrap();
+        let mut dev = NvmDevice::new(cfg);
+        let seg = dev.segment(0);
+        // All-SET write (0x00 -> 0xFF).
+        let set_heavy = dev.write(seg, &[0xFFu8; 64]).unwrap();
+        // All-RESET write (0xFF -> 0x00).
+        let reset_heavy = dev.write(seg, &[0x00u8; 64]).unwrap();
+        assert_eq!(set_heavy.bits_flipped, reset_heavy.bits_flipped);
+        assert!(
+            reset_heavy.energy_pj > set_heavy.energy_pj * 1.5,
+            "reset {} vs set {}",
+            reset_heavy.energy_pj,
+            set_heavy.energy_pj
+        );
+    }
+
+    #[test]
+    fn trace_records_writes() {
+        let mut dev = small_device();
+        dev.enable_trace();
+        let seg = dev.segment(2);
+        dev.write(seg, &vec![0xFFu8; 256]).unwrap();
+        let trace = dev.take_trace().unwrap();
+        assert_eq!(trace.events().len(), 1);
+        assert_eq!(trace.events()[0].segment, 2);
+        assert_eq!(trace.events()[0].bits_flipped, 2048);
+        // Buffer drained but tracing still on.
+        dev.write(seg, &vec![0x00u8; 256]).unwrap();
+        assert_eq!(dev.take_trace().unwrap().events().len(), 1);
+    }
+
+    #[test]
+    fn zero_length_write_counts_request_only() {
+        let mut dev = small_device();
+        let seg = dev.segment(0);
+        let r = dev.write_at(seg, 0, &[]).unwrap();
+        assert_eq!(r.lines_written, 0);
+        assert_eq!(dev.stats().writes, 1);
+        assert_eq!(dev.stats().bits_requested, 0);
+    }
+
+    #[test]
+    fn sub_line_segments_work() {
+        let mut dev = NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(16)
+                .cache_line_bytes(64)
+                .block_bytes(64)
+                .num_segments(4)
+                .build()
+                .unwrap(),
+        );
+        let seg = dev.segment(0);
+        let r = dev.write(seg, &[0xFFu8; 16]).unwrap();
+        assert_eq!(r.lines_written, 1);
+        assert_eq!(r.bits_flipped, 128);
+    }
+}

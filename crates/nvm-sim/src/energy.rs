@@ -1,0 +1,214 @@
+//! Energy model.
+//!
+//! The per-write device energy is
+//!
+//! ```text
+//! E_write = E_ctrl + N_lines_written * E_line + N_bits_programmed * E_bit
+//! ```
+//!
+//! with `E_bit = 50 pJ` per the paper's §1 ("flipping an individual bit
+//! in PCM ... requires around 50 pJ/b"). `E_ctrl` and `E_line` model the
+//! fixed controller/protocol cost and the per-line DDR-T transfer cost.
+//! The defaults are calibrated so that overwriting a 256 B block with
+//! 100 %-different content costs ≈2.3× an identical-content overwrite —
+//! i.e. writing similar content saves ≈56 %, the headline number of the
+//! paper's Figure 1.
+//!
+//! Host-side (DRAM/CPU) energy for model training, prediction, and index
+//! maintenance is modeled with per-operation constants, integrated by
+//! [`crate::EnergyMeter`]. Absolute joules are not meaningful across
+//! machines; only relative magnitudes matter for the reproduced figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Labels for energy accounting categories, mirroring the component
+/// breakdown reported by RAPL-style profilers in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyCategory {
+    /// Programming pulses + line transfers + controller overhead on NVM.
+    NvmWrite,
+    /// NVM read path.
+    NvmRead,
+    /// DRAM traffic for the dynamic address pool and indexes.
+    Dram,
+    /// CPU cost of model training / retraining.
+    CpuTrain,
+    /// CPU cost of per-write model prediction.
+    CpuPredict,
+    /// Anything else (harness bookkeeping, wear-leveling swaps are
+    /// accounted as NvmWrite + NvmRead).
+    Other,
+}
+
+impl EnergyCategory {
+    /// All categories, in display order.
+    pub const ALL: [EnergyCategory; 6] = [
+        EnergyCategory::NvmWrite,
+        EnergyCategory::NvmRead,
+        EnergyCategory::Dram,
+        EnergyCategory::CpuTrain,
+        EnergyCategory::CpuPredict,
+        EnergyCategory::Other,
+    ];
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EnergyCategory::NvmWrite => "nvm_write",
+            EnergyCategory::NvmRead => "nvm_read",
+            EnergyCategory::Dram => "dram",
+            EnergyCategory::CpuTrain => "cpu_train",
+            EnergyCategory::CpuPredict => "cpu_predict",
+            EnergyCategory::Other => "other",
+        }
+    }
+}
+
+/// Parameters of the energy model, all in picojoules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Fixed controller/protocol cost per write request.
+    pub ctrl_pj: f64,
+    /// Cost per cache line actually transferred and written to media.
+    pub line_pj: f64,
+    /// Cost per bit programming pulse (flip). PCM ≈ 50 pJ/b. Used for
+    /// non-differential writes and as the flat price when the
+    /// directional prices below are equal.
+    pub bit_flip_pj: f64,
+    /// Cost of a 0→1 (SET, crystallize) pulse. PCM SET pulses are long
+    /// but low-current.
+    pub set_pj: f64,
+    /// Cost of a 1→0 (RESET, melt-quench) pulse. PCM RESET pulses are
+    /// short but high-current — the expensive direction.
+    pub reset_pj: f64,
+    /// Cost per cache line read from media.
+    pub read_line_pj: f64,
+    /// DRAM cost per address-pool operation (push/pop on a free list).
+    pub dram_pool_op_pj: f64,
+    /// CPU cost per multiply-accumulate during training (used to convert
+    /// model FLOP counts into energy for Figs 8, 16, 18).
+    pub cpu_mac_pj: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            ctrl_pj: 180.0,
+            line_pj: 220.0,
+            bit_flip_pj: 50.0,
+            set_pj: 50.0,
+            reset_pj: 50.0,
+            read_line_pj: 55.0,
+            dram_pool_op_pj: 30.0,
+            cpu_mac_pj: 0.015,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// System-level calibration for reproducing the paper's Figure 1:
+    /// on the real Optane testbed, even a zero-flip overwrite pays for
+    /// the PMDK transaction (undo logging), DDR-T protocol, and
+    /// controller DRAM — so the flip-dependent share of a full 256 B
+    /// rewrite is bounded, yielding the paper's ≈56 % maximum saving.
+    /// `ctrl_pj` carries that fixed cost here. The [`Default`] profile
+    /// is media-level (used by the bit-flip comparisons, which the
+    /// paper itself runs on an emulated device).
+    pub fn system_level() -> Self {
+        Self {
+            ctrl_pj: 81_000.0,
+            ..Self::default()
+        }
+    }
+
+    /// Asymmetric-PCM calibration: RESET (1→0) pulses cost ≈2.3× SET
+    /// pulses (melt-quench current), averaging to the same 50 pJ/b on
+    /// balanced data. Use with content that skews one direction to see
+    /// the asymmetry.
+    pub fn asymmetric_pcm() -> Self {
+        Self {
+            set_pj: 30.0,
+            reset_pj: 70.0,
+            ..Self::default()
+        }
+    }
+
+    /// Energy of one write given accounting numbers from the device.
+    #[inline]
+    pub fn write_energy_pj(&self, lines_written: u64, bits_programmed: u64) -> f64 {
+        self.ctrl_pj
+            + lines_written as f64 * self.line_pj
+            + bits_programmed as f64 * self.bit_flip_pj
+    }
+
+    /// Directional variant: SET and RESET pulses priced separately
+    /// (used by the device when media DCW isolates the flip
+    /// directions).
+    #[inline]
+    pub fn write_energy_directional_pj(&self, lines_written: u64, set: u64, reset: u64) -> f64 {
+        self.ctrl_pj
+            + lines_written as f64 * self.line_pj
+            + set as f64 * self.set_pj
+            + reset as f64 * self.reset_pj
+    }
+
+    /// Energy of reading `lines` cache lines.
+    #[inline]
+    pub fn read_energy_pj(&self, lines: u64) -> f64 {
+        self.ctrl_pj * 0.25 + lines as f64 * self.read_line_pj
+    }
+
+    /// CPU energy of `macs` multiply-accumulates.
+    #[inline]
+    pub fn cpu_energy_pj(&self, macs: u64) -> f64 {
+        macs as f64 * self.cpu_mac_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_overwrite_much_cheaper_than_full_rewrite() {
+        // Figure 1 calibration: a 256 B block is 4 lines of 64 B. A
+        // random overwrite flips ~half the bits (1024 of 2048); an
+        // identical overwrite writes nothing.
+        let p = EnergyParams::default();
+        let full = p.write_energy_pj(4, 1024);
+        let same = p.write_energy_pj(0, 0);
+        let saving = 1.0 - same / full;
+        assert!(
+            (0.95..1.0).contains(&saving),
+            "identical overwrite should be nearly free, saving={saving}"
+        );
+    }
+
+    #[test]
+    fn fig1_56_percent_saving_shape() {
+        // The real-device Figure 1 measures energy per *round* where each
+        // round re-initializes and then overwrites with x%-different
+        // content; the overwrite includes the fixed cost of issuing the
+        // writes. Compare a 0%-different overwrite (all lines skipped,
+        // just controller cost) against 100% different.
+        let p = EnergyParams::default();
+        // With 0% difference all 4 lines are identical and skipped.
+        let e0 = p.write_energy_pj(0, 0);
+        let e100 = p.write_energy_pj(4, 1024);
+        assert!(e0 < e100 * 0.5, "similar content must save >50% energy");
+    }
+
+    #[test]
+    fn write_energy_monotone_in_flips_and_lines() {
+        let p = EnergyParams::default();
+        assert!(p.write_energy_pj(4, 100) < p.write_energy_pj(4, 200));
+        assert!(p.write_energy_pj(2, 100) < p.write_energy_pj(4, 100));
+    }
+
+    #[test]
+    fn category_names_unique() {
+        let names: std::collections::HashSet<_> =
+            EnergyCategory::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), EnergyCategory::ALL.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for the device model.
+
+use std::fmt;
+
+/// Errors produced by the NVM device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A segment id referred to a segment outside the device.
+    SegmentOutOfRange {
+        /// The offending segment index.
+        segment: usize,
+        /// Number of segments in the device.
+        num_segments: usize,
+    },
+    /// A buffer length did not match the expected segment (or sub-segment)
+    /// length.
+    SizeMismatch {
+        /// Length the device expected.
+        expected: usize,
+        /// Length the caller supplied.
+        actual: usize,
+    },
+    /// A configuration value was invalid (zero sizes, non-divisible
+    /// granularities, ...). The string names the offending field.
+    InvalidConfig(String),
+    /// An offset + length range fell outside a segment.
+    RangeOutOfBounds {
+        /// Requested start offset within the segment.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// The segment size.
+        segment_bytes: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SegmentOutOfRange {
+                segment,
+                num_segments,
+            } => write!(
+                f,
+                "segment {segment} out of range (device has {num_segments} segments)"
+            ),
+            SimError::SizeMismatch { expected, actual } => {
+                write!(f, "buffer size mismatch: expected {expected}, got {actual}")
+            }
+            SimError::InvalidConfig(what) => write!(f, "invalid device config: {what}"),
+            SimError::RangeOutOfBounds {
+                offset,
+                len,
+                segment_bytes,
+            } => write!(
+                f,
+                "range {offset}+{len} out of bounds for segment of {segment_bytes} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::SegmentOutOfRange {
+            segment: 9,
+            num_segments: 4,
+        };
+        assert!(e.to_string().contains("segment 9"));
+        assert!(e.to_string().contains("4 segments"));
+
+        let e = SimError::SizeMismatch {
+            expected: 256,
+            actual: 64,
+        };
+        assert!(e.to_string().contains("256"));
+        assert!(e.to_string().contains("64"));
+
+        let e = SimError::InvalidConfig("segment_bytes must be > 0".into());
+        assert!(e.to_string().contains("segment_bytes"));
+
+        let e = SimError::RangeOutOfBounds {
+            offset: 200,
+            len: 100,
+            segment_bytes: 256,
+        };
+        assert!(e.to_string().contains("200+100"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&SimError::InvalidConfig("x".into()));
+    }
+}

@@ -1,0 +1,129 @@
+//! Energy metering across system components with a sampled time series.
+//!
+//! The paper measures package energy with `perf`/RAPL at 1000 samples per
+//! second (its §5.1) and plots cumulative/phase energy over time (its
+//! Figure 16). [`EnergyMeter`] reproduces that interface in simulation:
+//! components record energy under an [`EnergyCategory`] together with the
+//! simulated time they consumed; `sample()` closes out a time-series
+//! point.
+
+use crate::energy::EnergyCategory;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One sampled point of the meter's time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergySample {
+    /// Simulated time of the sample, ns since meter creation.
+    pub t_ns: f64,
+    /// Cumulative energy at the sample, pJ.
+    pub cumulative_pj: f64,
+    /// Energy since the previous sample, pJ (instantaneous power ∝ this
+    /// over the sample interval).
+    pub delta_pj: f64,
+}
+
+/// Accumulates energy by category and simulated time.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    totals: HashMap<EnergyCategory, f64>,
+    clock_ns: f64,
+    samples: Vec<EnergySample>,
+    last_sampled_pj: f64,
+}
+
+impl EnergyMeter {
+    /// A fresh meter at t = 0 with all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `pj` picojoules under `cat`, advancing the simulated clock
+    /// by `dt_ns`.
+    pub fn record(&mut self, cat: EnergyCategory, pj: f64, dt_ns: f64) {
+        debug_assert!(pj >= 0.0 && dt_ns >= 0.0);
+        *self.totals.entry(cat).or_insert(0.0) += pj;
+        self.clock_ns += dt_ns;
+    }
+
+    /// Total energy across all categories, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.totals.values().sum()
+    }
+
+    /// Energy recorded under one category, pJ.
+    pub fn category_pj(&self, cat: EnergyCategory) -> f64 {
+        self.totals.get(&cat).copied().unwrap_or(0.0)
+    }
+
+    /// Current simulated time, ns.
+    pub fn clock_ns(&self) -> f64 {
+        self.clock_ns
+    }
+
+    /// Close out a time-series sample at the current clock.
+    pub fn sample(&mut self) -> EnergySample {
+        let cumulative = self.total_pj();
+        let s = EnergySample {
+            t_ns: self.clock_ns,
+            cumulative_pj: cumulative,
+            delta_pj: cumulative - self.last_sampled_pj,
+        };
+        self.last_sampled_pj = cumulative;
+        self.samples.push(s);
+        s
+    }
+
+    /// All samples taken so far.
+    pub fn samples(&self) -> &[EnergySample] {
+        &self.samples
+    }
+
+    /// Per-category breakdown in display order, `(name, pj)`.
+    pub fn breakdown(&self) -> Vec<(&'static str, f64)> {
+        EnergyCategory::ALL
+            .iter()
+            .map(|c| (c.name(), self.category_pj(*c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_per_category() {
+        let mut m = EnergyMeter::new();
+        m.record(EnergyCategory::NvmWrite, 100.0, 10.0);
+        m.record(EnergyCategory::NvmWrite, 50.0, 5.0);
+        m.record(EnergyCategory::CpuTrain, 1000.0, 500.0);
+        assert_eq!(m.category_pj(EnergyCategory::NvmWrite), 150.0);
+        assert_eq!(m.category_pj(EnergyCategory::CpuTrain), 1000.0);
+        assert_eq!(m.category_pj(EnergyCategory::Dram), 0.0);
+        assert_eq!(m.total_pj(), 1150.0);
+        assert_eq!(m.clock_ns(), 515.0);
+    }
+
+    #[test]
+    fn samples_report_deltas() {
+        let mut m = EnergyMeter::new();
+        m.record(EnergyCategory::NvmWrite, 10.0, 1.0);
+        let s1 = m.sample();
+        assert_eq!(s1.delta_pj, 10.0);
+        m.record(EnergyCategory::NvmRead, 5.0, 1.0);
+        let s2 = m.sample();
+        assert_eq!(s2.delta_pj, 5.0);
+        assert_eq!(s2.cumulative_pj, 15.0);
+        assert_eq!(m.samples().len(), 2);
+        assert!(m.samples()[1].t_ns > m.samples()[0].t_ns);
+    }
+
+    #[test]
+    fn breakdown_covers_all_categories() {
+        let m = EnergyMeter::new();
+        let b = m.breakdown();
+        assert_eq!(b.len(), EnergyCategory::ALL.len());
+        assert!(b.iter().all(|(_, pj)| *pj == 0.0));
+    }
+}

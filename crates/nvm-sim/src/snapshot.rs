@@ -1,0 +1,285 @@
+//! Device image persistence: save and restore the simulated NVM's
+//! contents **and wear state** across process restarts — the property
+//! that makes persistent memory persistent. Examples and long-running
+//! experiments use this to resume pools without replaying history.
+//!
+//! Format (little-endian): magic `E2DV`, version, geometry, flags,
+//! energy/latency parameters, pool bytes, then the optional wear
+//! counter arrays. Cumulative [`crate::DeviceStats`] are *not* stored:
+//! they are measurement state, not device state.
+
+use crate::config::{DeviceConfig, WearTracking};
+use crate::device::{NvmDevice, SegmentId};
+use crate::energy::EnergyParams;
+use crate::error::{Result, SimError};
+use crate::latency::LatencyParams;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"E2DV";
+const VERSION: u16 = 1;
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(SimError::InvalidConfig("device image truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+/// Serialize a device (config + contents + wear) into a byte image.
+pub fn to_image(device: &NvmDevice) -> Vec<u8> {
+    let cfg = device.config();
+    let mut buf = Vec::with_capacity(cfg.pool_bytes() + 256);
+    buf.extend_from_slice(MAGIC);
+    put_u16(&mut buf, VERSION);
+    put_u64(&mut buf, cfg.segment_bytes as u64);
+    put_u64(&mut buf, cfg.num_segments as u64);
+    put_u64(&mut buf, cfg.cache_line_bytes as u64);
+    put_u64(&mut buf, cfg.block_bytes as u64);
+    buf.push(u8::from(cfg.media_dcw));
+    buf.push(match cfg.wear_tracking {
+        WearTracking::None => 0,
+        WearTracking::PerSegment => 1,
+        WearTracking::PerBit => 2,
+    });
+    for v in [
+        cfg.energy.ctrl_pj,
+        cfg.energy.line_pj,
+        cfg.energy.bit_flip_pj,
+        cfg.energy.set_pj,
+        cfg.energy.reset_pj,
+        cfg.energy.read_line_pj,
+        cfg.energy.dram_pool_op_pj,
+        cfg.energy.cpu_mac_pj,
+        cfg.latency.write_base_ns,
+        cfg.latency.write_line_ns,
+        cfg.latency.read_base_ns,
+        cfg.latency.read_line_ns,
+    ] {
+        put_f64(&mut buf, v);
+    }
+    // Pool contents.
+    for seg in device.segments() {
+        buf.extend_from_slice(device.peek(seg));
+    }
+    // Wear counters.
+    match device.wear().per_segment_writes() {
+        Some(w) => {
+            put_u64(&mut buf, w.len() as u64);
+            for &c in w {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        None => put_u64(&mut buf, 0),
+    }
+    match device.wear().per_bit_flips() {
+        Some(b) => {
+            put_u64(&mut buf, b.len() as u64);
+            buf.extend_from_slice(b);
+        }
+        None => put_u64(&mut buf, 0),
+    }
+    buf
+}
+
+/// Rebuild a device from an image produced by [`to_image`].
+pub fn from_image(image: &[u8]) -> Result<NvmDevice> {
+    let mut c = Cursor { buf: image, pos: 0 };
+    if c.take(4)? != MAGIC {
+        return Err(SimError::InvalidConfig("not a device image".into()));
+    }
+    if c.u16()? != VERSION {
+        return Err(SimError::InvalidConfig("unknown image version".into()));
+    }
+    let segment_bytes = c.u64()? as usize;
+    let num_segments = c.u64()? as usize;
+    let cache_line_bytes = c.u64()? as usize;
+    let block_bytes = c.u64()? as usize;
+    let media_dcw = c.take(1)?[0] != 0;
+    let wear_tracking = match c.take(1)?[0] {
+        0 => WearTracking::None,
+        1 => WearTracking::PerSegment,
+        2 => WearTracking::PerBit,
+        t => {
+            return Err(SimError::InvalidConfig(format!(
+                "unknown wear tracking tag {t}"
+            )))
+        }
+    };
+    let mut f = [0f64; 12];
+    for v in &mut f {
+        *v = c.f64()?;
+    }
+    let cfg = DeviceConfig::builder()
+        .segment_bytes(segment_bytes)
+        .num_segments(num_segments)
+        .cache_line_bytes(cache_line_bytes)
+        .block_bytes(block_bytes)
+        .media_dcw(media_dcw)
+        .wear_tracking(wear_tracking)
+        .energy(EnergyParams {
+            ctrl_pj: f[0],
+            line_pj: f[1],
+            bit_flip_pj: f[2],
+            set_pj: f[3],
+            reset_pj: f[4],
+            read_line_pj: f[5],
+            dram_pool_op_pj: f[6],
+            cpu_mac_pj: f[7],
+        })
+        .latency(LatencyParams {
+            write_base_ns: f[8],
+            write_line_ns: f[9],
+            read_base_ns: f[10],
+            read_line_ns: f[11],
+        })
+        .build()?;
+    let mut device = NvmDevice::new(cfg);
+    for i in 0..num_segments {
+        let data = c.take(segment_bytes)?.to_vec();
+        device.seed_segment(SegmentId(i), &data)?;
+    }
+    // Wear counters.
+    let n_seg_counters = c.u64()? as usize;
+    let mut seg_counters = Vec::with_capacity(n_seg_counters);
+    for _ in 0..n_seg_counters {
+        seg_counters.push(u32::from_le_bytes(c.take(4)?.try_into().expect("4")));
+    }
+    let n_bit_counters = c.u64()? as usize;
+    let bit_counters = c.take(n_bit_counters)?.to_vec();
+    device.restore_wear(&seg_counters, &bit_counters)?;
+    if c.pos != image.len() {
+        return Err(SimError::InvalidConfig(
+            "trailing bytes after device image".into(),
+        ));
+    }
+    Ok(device)
+}
+
+/// Save a device image to a file.
+pub fn save(device: &NvmDevice, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&to_image(device))
+}
+
+/// Load a device image from a file.
+pub fn load(path: impl AsRef<Path>) -> std::io::Result<NvmDevice> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    from_image(&buf).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn worn_device() -> NvmDevice {
+        let cfg = DeviceConfig::builder()
+            .segment_bytes(64)
+            .num_segments(8)
+            .block_bytes(64)
+            .wear_tracking(WearTracking::PerBit)
+            .build()
+            .unwrap();
+        let mut dev = NvmDevice::new(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        dev.fill_random(&mut rng);
+        for round in 0..5u8 {
+            for i in 0..8 {
+                dev.write(SegmentId(i), &[round.wrapping_mul(37); 64])
+                    .unwrap();
+            }
+        }
+        dev
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_contents_and_wear() {
+        let dev = worn_device();
+        let image = to_image(&dev);
+        let restored = from_image(&image).unwrap();
+        for i in 0..8 {
+            assert_eq!(restored.peek(SegmentId(i)), dev.peek(SegmentId(i)));
+        }
+        assert_eq!(
+            restored.wear().per_segment_writes(),
+            dev.wear().per_segment_writes()
+        );
+        assert_eq!(restored.wear().per_bit_flips(), dev.wear().per_bit_flips());
+        assert_eq!(restored.config(), dev.config());
+        // Stats are measurement state: reset on restore.
+        assert_eq!(restored.stats().writes, 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dev = worn_device();
+        let path = std::env::temp_dir().join("e2nvm_device_image_test.bin");
+        save(&dev, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored.peek(SegmentId(3)), dev.peek(SegmentId(3)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_images_rejected() {
+        let dev = worn_device();
+        let image = to_image(&dev);
+        // Bad magic.
+        let mut bad = image.clone();
+        bad[0] = b'X';
+        assert!(from_image(&bad).is_err());
+        // Truncated.
+        assert!(from_image(&image[..image.len() / 2]).is_err());
+        // Trailing garbage.
+        let mut long = image.clone();
+        long.push(7);
+        assert!(from_image(&long).is_err());
+    }
+
+    #[test]
+    fn no_wear_tracking_roundtrip() {
+        let cfg = DeviceConfig::builder()
+            .segment_bytes(32)
+            .num_segments(4)
+            .block_bytes(64)
+            .cache_line_bytes(64)
+            .build()
+            .unwrap();
+        let mut dev = NvmDevice::new(cfg);
+        dev.seed_segment(SegmentId(2), &[9u8; 32]).unwrap();
+        let restored = from_image(&to_image(&dev)).unwrap();
+        assert_eq!(restored.peek(SegmentId(2)), &[9u8; 32]);
+        assert!(restored.wear().per_segment_writes().is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Lightweight write traces for offline analysis (time-series figures).
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Physical segment written.
+    pub segment: usize,
+    /// Bits flipped by the write.
+    pub bits_flipped: u64,
+    /// Cache lines transferred.
+    pub lines_written: u64,
+}
+
+/// An append-only buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WriteTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl WriteTrace {
+    /// Append an event.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Moving average of `bits_flipped` with the given window — used to
+    /// render the paper's Figure 17-style time series.
+    pub fn flips_moving_avg(&self, window: usize) -> Vec<f64> {
+        if window == 0 || self.events.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.events.len());
+        let mut sum = 0u64;
+        for (i, ev) in self.events.iter().enumerate() {
+            sum += ev.bits_flipped;
+            if i >= window {
+                sum -= self.events[i - window].bits_flipped;
+            }
+            let n = (i + 1).min(window) as f64;
+            out.push(sum as f64 / n);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(flips: u64) -> TraceEvent {
+        TraceEvent {
+            segment: 0,
+            bits_flipped: flips,
+            lines_written: 1,
+        }
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let mut t = WriteTrace::default();
+        for f in [10, 20, 30, 40] {
+            t.record(ev(f));
+        }
+        let avg = t.flips_moving_avg(2);
+        assert_eq!(avg, vec![10.0, 15.0, 25.0, 35.0]);
+    }
+
+    #[test]
+    fn zero_window_returns_empty() {
+        let mut t = WriteTrace::default();
+        t.record(ev(1));
+        assert!(t.flips_moving_avg(0).is_empty());
+    }
+
+    #[test]
+    fn window_larger_than_trace() {
+        let mut t = WriteTrace::default();
+        t.record(ev(4));
+        t.record(ev(8));
+        assert_eq!(t.flips_moving_avg(10), vec![4.0, 6.0]);
+    }
+}

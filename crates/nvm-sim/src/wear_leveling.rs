@@ -1,0 +1,236 @@
+//! Wear-leveling policies for the memory controller.
+//!
+//! Real Optane controllers run proprietary wear leveling; prior work (and
+//! the paper's §2.1) characterizes it as a segment swap every ψ writes,
+//! with ψ on the order of tens of writes. Two standard policies are
+//! modeled: start-gap rotation (Qureshi et al., MICRO '09) and a random
+//! swap. Both operate purely on segment indices; the controller applies
+//! the resulting [`SwapAction`]s to the device and its remap table.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A physical relocation the controller must perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapAction {
+    /// Exchange the contents of two physical segments.
+    Swap(usize, usize),
+    /// Move the contents of `.0` into the (gap) segment `.1`, making
+    /// `.0` the new gap. Used by start-gap.
+    MoveToGap {
+        /// Segment whose content moves.
+        src: usize,
+        /// Current gap segment receiving the content.
+        gap: usize,
+    },
+}
+
+/// A wear-leveling policy. Called once per logical write; returns a
+/// relocation when the policy's period elapses.
+pub trait WearLeveler: Send {
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+    /// Notify the policy of one write to physical segment `segment`;
+    /// returns an action when a relocation is due.
+    fn on_write(&mut self, segment: usize) -> Option<SwapAction>;
+    /// Swap period ψ (writes between relocations), if periodic.
+    fn period(&self) -> Option<u64>;
+}
+
+/// No wear leveling at all.
+#[derive(Debug, Default, Clone)]
+pub struct NoWearLeveling;
+
+impl WearLeveler for NoWearLeveling {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+    fn on_write(&mut self, _segment: usize) -> Option<SwapAction> {
+        None
+    }
+    fn period(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Start-gap wear leveling: one segment is kept as a *gap*; every ψ
+/// writes the segment preceding the gap moves into it, rotating the
+/// whole address space over time.
+#[derive(Debug, Clone)]
+pub struct StartGap {
+    psi: u64,
+    writes: u64,
+    gap: usize,
+    num_segments: usize,
+}
+
+impl StartGap {
+    /// Create a start-gap leveler over `num_segments` physical segments
+    /// (the last one starts as the gap) acting every `psi` writes.
+    ///
+    /// # Panics
+    /// Panics if `psi == 0` or `num_segments < 2`.
+    pub fn new(num_segments: usize, psi: u64) -> Self {
+        assert!(psi > 0, "StartGap: psi must be >= 1");
+        assert!(num_segments >= 2, "StartGap: need at least 2 segments");
+        Self {
+            psi,
+            writes: 0,
+            gap: num_segments - 1,
+            num_segments,
+        }
+    }
+
+    /// The current gap segment.
+    pub fn gap(&self) -> usize {
+        self.gap
+    }
+}
+
+impl WearLeveler for StartGap {
+    fn name(&self) -> &'static str {
+        "start-gap"
+    }
+
+    fn on_write(&mut self, _segment: usize) -> Option<SwapAction> {
+        self.writes += 1;
+        if !self.writes.is_multiple_of(self.psi) {
+            return None;
+        }
+        let src = (self.gap + self.num_segments - 1) % self.num_segments;
+        let action = SwapAction::MoveToGap { src, gap: self.gap };
+        self.gap = src;
+        Some(action)
+    }
+
+    fn period(&self) -> Option<u64> {
+        Some(self.psi)
+    }
+}
+
+/// Random-swap wear leveling: every ψ writes, the most recently written
+/// segment is swapped with a uniformly random other segment — the model
+/// of proprietary controllers used by the paper's Figure 2.
+#[derive(Debug)]
+pub struct RandomSwap {
+    psi: u64,
+    writes: u64,
+    num_segments: usize,
+    rng: StdRng,
+}
+
+impl RandomSwap {
+    /// Create a random-swap leveler acting every `psi` writes.
+    ///
+    /// # Panics
+    /// Panics if `psi == 0` or `num_segments < 2`.
+    pub fn new(num_segments: usize, psi: u64, seed: u64) -> Self {
+        assert!(psi > 0, "RandomSwap: psi must be >= 1");
+        assert!(num_segments >= 2, "RandomSwap: need at least 2 segments");
+        Self {
+            psi,
+            writes: 0,
+            num_segments,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl WearLeveler for RandomSwap {
+    fn name(&self) -> &'static str {
+        "random-swap"
+    }
+
+    fn on_write(&mut self, segment: usize) -> Option<SwapAction> {
+        self.writes += 1;
+        if !self.writes.is_multiple_of(self.psi) {
+            return None;
+        }
+        // Pick a partner different from the written segment.
+        let mut other = self.rng.gen_range(0..self.num_segments - 1);
+        if other >= segment {
+            other += 1;
+        }
+        Some(SwapAction::Swap(segment, other))
+    }
+
+    fn period(&self) -> Option<u64> {
+        Some(self.psi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_wear_leveling_never_acts() {
+        let mut wl = NoWearLeveling;
+        for i in 0..1000 {
+            assert!(wl.on_write(i % 7).is_none());
+        }
+        assert_eq!(wl.period(), None);
+    }
+
+    #[test]
+    fn start_gap_rotates_every_psi() {
+        let mut wl = StartGap::new(4, 3);
+        assert!(wl.on_write(0).is_none());
+        assert!(wl.on_write(0).is_none());
+        // Third write triggers: segment 2 moves into gap 3.
+        assert_eq!(
+            wl.on_write(0),
+            Some(SwapAction::MoveToGap { src: 2, gap: 3 })
+        );
+        assert_eq!(wl.gap(), 2);
+        // Next trigger moves segment 1 into gap 2.
+        wl.on_write(0);
+        wl.on_write(0);
+        assert_eq!(
+            wl.on_write(0),
+            Some(SwapAction::MoveToGap { src: 1, gap: 2 })
+        );
+    }
+
+    #[test]
+    fn start_gap_gap_wraps_around() {
+        let mut wl = StartGap::new(3, 1);
+        let mut gaps = vec![wl.gap()];
+        for _ in 0..6 {
+            wl.on_write(0);
+            gaps.push(wl.gap());
+        }
+        // Gap cycles 2 -> 1 -> 0 -> 2 -> ...
+        assert_eq!(gaps, vec![2, 1, 0, 2, 1, 0, 2]);
+    }
+
+    #[test]
+    fn random_swap_partner_differs() {
+        let mut wl = RandomSwap::new(8, 1, 42);
+        for i in 0..200 {
+            match wl.on_write(i % 8) {
+                Some(SwapAction::Swap(a, b)) => {
+                    assert_ne!(a, b);
+                    assert!(b < 8);
+                    assert_eq!(a, i % 8);
+                }
+                other => panic!("expected swap every write, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_swap_respects_period() {
+        let mut wl = RandomSwap::new(4, 5, 1);
+        let actions: Vec<bool> = (0..20).map(|i| wl.on_write(i % 4).is_some()).collect();
+        let count = actions.iter().filter(|&&x| x).count();
+        assert_eq!(count, 4);
+        assert!(actions[4] && actions[9] && actions[14] && actions[19]);
+    }
+
+    #[test]
+    #[should_panic(expected = "psi must be >= 1")]
+    fn zero_psi_rejected() {
+        StartGap::new(4, 0);
+    }
+}

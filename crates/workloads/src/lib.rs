@@ -1,0 +1,18 @@
+//! # e2nvm-workloads — workload and dataset generators
+//!
+//! * [`ycsb`] — a native YCSB-compatible generator (core workloads A–F
+//!   with the standard mixes and zipfian/latest distributions).
+//! * [`zipf`] — the underlying request distributions.
+//! * [`datasets`] — synthetic datasets structurally matched to the
+//!   paper's evaluation data (MNIST/Fashion/CIFAR/ImageNet-like images,
+//!   CCTV-like video, Amazon-Access-like logs, road-network points,
+//!   PubMed-like sparse rows). See DESIGN.md §2 for the substitution
+//!   rationale.
+
+pub mod datasets;
+pub mod ycsb;
+pub mod zipf;
+
+pub use datasets::{DatasetKind, VideoDataset};
+pub use ycsb::{Distribution, Mix, Operation, Ycsb};
+pub use zipf::{scramble, Latest, Zipfian};

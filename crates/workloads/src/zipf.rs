@@ -1,0 +1,181 @@
+//! Key-choice distributions for the YCSB generator: zipfian (Gray et
+//! al.'s rejection-free method with precomputed zeta), scrambled
+//! zipfian, "latest", and uniform.
+
+use rand::Rng;
+
+/// Zipfian distribution over `0..n` with exponent `theta` (YCSB default
+/// 0.99). Item 0 is the most popular.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Construct for `n` items with the YCSB-standard θ = 0.99.
+    pub fn new(n: usize) -> Self {
+        Self::with_theta(n, 0.99)
+    }
+
+    /// Construct with an explicit θ ∈ (0, 1).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or θ ∉ (0, 1).
+    pub fn with_theta(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipfian: n must be > 0");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "Zipfian: theta must be in (0,1)"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Draw one rank (0 = hottest).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.n as f64) * spread) as usize % self.n
+    }
+
+    /// Extend the item space (used by insert-heavy workloads). Cheap
+    /// incremental zeta update.
+    pub fn grow(&mut self, new_n: usize) {
+        if new_n <= self.n {
+            return;
+        }
+        for i in self.n + 1..=new_n {
+            self.zetan += 1.0 / (i as f64).powf(self.theta);
+        }
+        self.n = new_n;
+        self.eta =
+            (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zetan);
+    }
+}
+
+/// FNV-style scatter so that popular zipfian ranks map to scattered
+/// keys (YCSB's "scrambled zipfian").
+#[inline]
+pub fn scramble(rank: u64) -> u64 {
+    rank.wrapping_mul(0xC6A4_A793_5BD1_E995).rotate_left(47) ^ rank
+}
+
+/// "Latest" distribution: like zipfian but anchored at the most
+/// recently inserted key (rank 0 = newest).
+#[derive(Debug, Clone)]
+pub struct Latest {
+    zipf: Zipfian,
+}
+
+impl Latest {
+    /// Construct over the current key count.
+    pub fn new(n: usize) -> Self {
+        Self {
+            zipf: Zipfian::new(n.max(1)),
+        }
+    }
+
+    /// Draw a key index given `max_key` is the newest (0-based count-1).
+    pub fn sample<R: Rng>(&self, rng: &mut R, max_key: u64) -> u64 {
+        let rank = self.zipf.sample(rng) as u64;
+        max_key.saturating_sub(rank)
+    }
+
+    /// Track inserts.
+    pub fn grow(&mut self, n: usize) {
+        self.zipf.grow(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hottest_items_dominate() {
+        let z = Zipfian::new(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 under θ=0.99 over 1000 items gets ~1/ζ(1000) ≈ 13%.
+        assert!(counts[0] > 80_00, "rank0 count {}", counts[0]);
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500].saturating_sub(5));
+        // All samples in range (implicitly checked by indexing).
+    }
+
+    #[test]
+    fn theta_zero_is_nearly_uniform() {
+        let z = Zipfian::with_theta(100, 0.01);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "max={max} min={min}");
+    }
+
+    #[test]
+    fn grow_extends_range() {
+        let mut z = Zipfian::new(10);
+        z.grow(1000);
+        assert_eq!(z.n(), 1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let saw_large = (0..10_000).any(|_| z.sample(&mut rng) >= 10);
+        assert!(saw_large);
+    }
+
+    #[test]
+    fn scramble_is_deterministic_and_spreading() {
+        assert_eq!(scramble(5), scramble(5));
+        let distinct: std::collections::HashSet<u64> = (0..1000).map(scramble).collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let l = Latest::new(1000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let newest_hits = (0..10_000)
+            .filter(|_| l.sample(&mut rng, 999) >= 990)
+            .count();
+        assert!(newest_hits > 3000, "newest_hits={newest_hits}");
+    }
+}

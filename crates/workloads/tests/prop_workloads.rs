@@ -1,0 +1,105 @@
+//! Property tests for the workload generators: distribution bounds,
+//! YCSB mix validity, and dataset shape guarantees.
+
+use e2nvm_workloads::{scramble, DatasetKind, Operation, VideoDataset, Ycsb, Zipfian};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zipfian samples always land in range for any n and theta.
+    #[test]
+    fn zipfian_in_range(n in 1usize..5000, theta in 0.01f64..0.999, seed in 0u64..500) {
+        let z = Zipfian::with_theta(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Growing the item space keeps samples in the new range.
+    #[test]
+    fn zipfian_grow_in_range(n in 2usize..100, extra in 1usize..1000, seed in 0u64..100) {
+        let mut z = Zipfian::new(n);
+        z.grow(n + extra);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n + extra);
+        }
+    }
+
+    /// Scramble is injective on contiguous ranges (no key collisions in
+    /// the loaded set).
+    #[test]
+    fn scramble_injective(start in 0u64..1_000_000, len in 1usize..2000) {
+        let mut keys: Vec<u64> = (start..start + len as u64).map(scramble).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), len);
+    }
+
+    /// Every YCSB workload generates only operations its mix allows,
+    /// with keys drawn from the loaded or inserted set.
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn ycsb_ops_respect_mix(records in 10u64..500, seed in 0u64..200) {
+        let specs: [(char, fn(u64, usize, u64) -> Ycsb, &[&str]); 6] = [
+            ('A', Ycsb::a, &["read", "update"]),
+            ('B', Ycsb::b, &["read", "update"]),
+            ('C', Ycsb::c, &["read"]),
+            ('D', Ycsb::d, &["read", "insert"]),
+            ('E', Ycsb::e, &["scan", "insert"]),
+            ('F', Ycsb::f, &["read", "rmw"]),
+        ];
+        for (name, make, allowed) in specs {
+            let mut w = make(records, 16, seed);
+            for op in w.take_ops(100) {
+                let kind = match op {
+                    Operation::Read(_) => "read",
+                    Operation::Update(..) => "update",
+                    Operation::Insert(..) => "insert",
+                    Operation::Scan(..) => "scan",
+                    Operation::ReadModifyWrite(..) => "rmw",
+                };
+                prop_assert!(
+                    allowed.contains(&kind),
+                    "workload {name} generated {kind}"
+                );
+            }
+        }
+    }
+
+    /// Dataset generators honor requested counts and sizes for any
+    /// (n, size) combination.
+    #[test]
+    fn datasets_sized_exactly(n in 1usize..24, bytes in 8usize..512, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for kind in DatasetKind::ALL {
+            let items = kind.generate_sized(n, bytes, &mut rng);
+            prop_assert_eq!(items.len(), n, "{}", kind.name());
+            for item in &items {
+                prop_assert_eq!(item.len(), bytes, "{}", kind.name());
+            }
+        }
+    }
+
+    /// Video frames are deterministic per timestamp and sized to the
+    /// scene.
+    #[test]
+    fn video_frames_deterministic(
+        w in 8usize..40,
+        h in 8usize..40,
+        objects in 1usize..4,
+        t in 0usize..500,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let video = VideoDataset::new(w, h, objects, &mut rng);
+        let a = video.frame(t);
+        let b = video.frame(t);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), w * h);
+    }
+}

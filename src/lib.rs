@@ -1,0 +1,42 @@
+//! # e2nvm — umbrella crate for the E2-NVM reproduction
+//!
+//! Re-exports the public API of every workspace crate so that examples,
+//! integration tests, and downstream users can depend on a single crate.
+//!
+//! * [`sim`] — the PCM/Optane device model, memory controller, wear
+//!   leveling, energy/latency accounting.
+//! * [`ml`] — from-scratch ML substrate: VAE, joint VAE+K-means, K-means,
+//!   PCA, LSTM.
+//! * [`baselines`] — DCW, Flip-N-Write, MinShift, Captopril, DATACON,
+//!   Hamming-Tree, PNW.
+//! * [`core`] — the paper's contribution: the E2-NVM placement engine.
+//! * [`kvstore`] — the persistent KV store and NVM index structures.
+//! * [`workloads`] — YCSB and synthetic dataset generators.
+
+//! ```
+//! use e2nvm::core::{E2Config, E2Engine};
+//! use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice};
+//!
+//! let device = NvmDevice::new(
+//!     DeviceConfig::builder().segment_bytes(64).num_segments(64).build().unwrap(),
+//! );
+//! let mut engine = E2Engine::new(
+//!     MemoryController::without_wear_leveling(device),
+//!     E2Config {
+//!         pretrain_epochs: 2,
+//!         joint_epochs: 1,
+//!         padding_type: e2nvm::core::PaddingType::Zero,
+//!         ..E2Config::fast(64, 2)
+//!     },
+//! ).unwrap();
+//! engine.train().unwrap();
+//! engine.put(42, b"value").unwrap();
+//! assert_eq!(engine.get(42).unwrap(), b"value");
+//! ```
+
+pub use e2nvm_baselines as baselines;
+pub use e2nvm_core as core;
+pub use e2nvm_kvstore as kvstore;
+pub use e2nvm_ml as ml;
+pub use e2nvm_sim as sim;
+pub use e2nvm_workloads as workloads;
