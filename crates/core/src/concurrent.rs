@@ -144,6 +144,16 @@ impl SharedEngine {
         self.inner.engine.lock().device_stats().clone()
     }
 
+    /// Reset the device statistics (e.g. after a warm-up phase).
+    pub fn reset_device_stats(&self) {
+        self.inner.engine.lock().reset_device_stats();
+    }
+
+    /// Snapshot of the serving-path prediction counters.
+    pub fn prediction_stats(&self) -> crate::engine::PredictionStats {
+        self.inner.engine.lock().prediction_stats()
+    }
+
     /// Run a closure with exclusive engine access (admin operations).
     pub fn with_engine<T>(&self, f: impl FnOnce(&mut E2Engine) -> T) -> T {
         f(&mut self.inner.engine.lock())

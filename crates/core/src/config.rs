@@ -33,6 +33,11 @@ pub struct E2Config {
     /// Retraining trigger: retrain when any cluster's free list drops
     /// below this many addresses (§4.1.4 "minimum threshold").
     pub retrain_min_free: usize,
+    /// Number of independent serving shards for
+    /// [`crate::sharded::ShardedEngine`] — each shard owns a disjoint
+    /// slice of the device's segment space with its own model, address
+    /// pool, and retrainer. `1` means unsharded.
+    pub num_shards: usize,
     /// Where padding bits are placed for sub-segment values.
     pub padding_location: PaddingLocation,
     /// How padding bits are generated.
@@ -56,6 +61,7 @@ impl Default for E2Config {
             beta: 0.3,
             train_sample_cap: 4096,
             retrain_min_free: 2,
+            num_shards: 1,
             padding_location: PaddingLocation::End,
             padding_type: PaddingType::Learned,
             seed: 0xE211,
@@ -103,6 +109,9 @@ impl E2Config {
         if self.batch == 0 {
             return Err("batch must be > 0".into());
         }
+        if self.num_shards == 0 {
+            return Err("num_shards must be >= 1".into());
+        }
         Ok(())
     }
 
@@ -147,6 +156,10 @@ mod tests {
             },
             E2Config {
                 batch: 0,
+                ..E2Config::default()
+            },
+            E2Config {
+                num_shards: 0,
                 ..E2Config::default()
             },
         ] {

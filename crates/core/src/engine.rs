@@ -49,6 +49,13 @@ impl PredictionStats {
             self.total_ns as f64 / self.predictions as f64
         }
     }
+
+    /// Merge another counter block into this one (cross-shard
+    /// aggregation).
+    pub fn merge(&mut self, other: &PredictionStats) {
+        self.predictions += other.predictions;
+        self.total_ns += other.total_ns;
+    }
 }
 
 /// The E2-NVM engine.

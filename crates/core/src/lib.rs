@@ -17,6 +17,10 @@
 //!   simulated NVM device ([`engine`]).
 //! * [`retrain::BackgroundRetrainer`] — lazy retraining when a cluster's
 //!   free list runs low (§4.1.4).
+//! * [`SharedEngine`] / [`ShardedEngine`] — thread-safe serving (§5.1):
+//!   one mutex-guarded engine, or N independent engines over disjoint
+//!   segment partitions with hash-routed keys ([`concurrent`],
+//!   [`sharded`]).
 //! * [`kselect`] — SSE elbow + energy valley for picking K (Figure 8).
 //! * [`batch`] — grouping small writes into segment-sized batches.
 //!
@@ -47,6 +51,7 @@ pub mod kselect;
 pub mod model;
 pub mod padding;
 pub mod retrain;
+pub mod sharded;
 pub mod writer;
 
 pub use batch::{Batch, BatchAccumulator};
@@ -60,4 +65,5 @@ pub use kselect::{sweep_k, KSelection, KSweepPoint};
 pub use model::E2Model;
 pub use padding::{Padder, PaddingLocation, PaddingType};
 pub use retrain::BackgroundRetrainer;
+pub use sharded::ShardedEngine;
 pub use writer::BatchedWriter;

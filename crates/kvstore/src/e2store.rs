@@ -6,7 +6,7 @@
 use crate::rbtree::RbTree;
 use crate::store::{Result, StoreError};
 use crate::traits::NvmKvStore;
-use e2nvm_core::{E2Engine, E2Error};
+use e2nvm_core::{E2Engine, E2Error, ShardedEngine};
 use e2nvm_sim::SegmentId;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +136,77 @@ impl NvmKvStore for E2KvStore {
     }
 }
 
+/// The sharded variant: the same KV interface over a [`ShardedEngine`],
+/// whose per-shard engines each keep their own key index, so no extra
+/// DRAM index is needed here. Unlike [`E2KvStore`] this store is also
+/// `Clone` — clones share the shards — which is what the multi-threaded
+/// serving benchmarks hand out to worker threads.
+#[derive(Debug, Clone)]
+pub struct ShardedE2KvStore {
+    engine: ShardedEngine,
+}
+
+impl ShardedE2KvStore {
+    /// Build over trained shards.
+    pub fn new(engine: ShardedEngine) -> Self {
+        Self { engine }
+    }
+
+    /// Borrow the sharded engine (stats, retraining, shard inspection).
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Number of keys stored across all shards.
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty()
+    }
+}
+
+impl NvmKvStore for ShardedE2KvStore {
+    fn name(&self) -> &'static str {
+        "E2-NVM KV (sharded)"
+    }
+
+    fn put(&mut self, key: u64, value: &[u8]) -> Result<()> {
+        self.engine.put(key, value).map_err(StoreError::from)?;
+        Ok(())
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>> {
+        match self.engine.get(key) {
+            Ok(v) => Ok(Some(v)),
+            Err(E2Error::KeyNotFound(_)) => Ok(None),
+            Err(e) => Err(StoreError::from(e)),
+        }
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool> {
+        self.engine.delete(key).map_err(StoreError::from)
+    }
+
+    fn scan(&mut self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.engine.scan(lo, hi).map_err(StoreError::from)
+    }
+
+    fn stats(&self) -> e2nvm_sim::DeviceStats {
+        self.engine.device_stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.engine.reset_device_stats();
+    }
+
+    fn maintenance(&mut self) {
+        self.engine.pump_retraining();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +272,56 @@ mod tests {
         }
         let keys: Vec<u64> = s.scan(3, 7).unwrap().into_iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec![4, 6]);
+    }
+
+    fn sharded_store(num_shards: usize, segments: usize, seg_bytes: usize) -> ShardedE2KvStore {
+        let dev_cfg = DeviceConfig::builder()
+            .segment_bytes(seg_bytes)
+            .num_segments(segments)
+            .build()
+            .unwrap();
+        let cfg = E2Config {
+            pretrain_epochs: 5,
+            joint_epochs: 1,
+            padding_type: e2nvm_core::PaddingType::Zero,
+            ..E2Config::fast(seg_bytes, 2)
+        };
+        let mut rng = StdRng::seed_from_u64(23);
+        let controllers: Vec<MemoryController> =
+            e2nvm_sim::partition_controllers(&dev_cfg, num_shards)
+                .unwrap()
+                .into_iter()
+                .map(|(_, mut mc)| {
+                    for i in 0..mc.num_segments() {
+                        let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
+                        let content: Vec<u8> = (0..seg_bytes)
+                            .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
+                            .collect();
+                        mc.seed(SegmentId(i), &content).unwrap();
+                    }
+                    mc
+                })
+                .collect();
+        ShardedE2KvStore::new(ShardedEngine::train(controllers, &cfg).unwrap())
+    }
+
+    #[test]
+    fn sharded_basic_crud() {
+        let mut s = sharded_store(4, 64, 64);
+        s.put(10, b"ten").unwrap();
+        assert_eq!(s.get(10).unwrap().unwrap(), b"ten");
+        s.put(10, b"TEN").unwrap();
+        assert_eq!(s.get(10).unwrap().unwrap(), b"TEN");
+        assert!(s.delete(10).unwrap());
+        assert!(!s.delete(10).unwrap());
+        assert_eq!(s.get(10).unwrap(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sharded_shadow_stress() {
+        let mut s = sharded_store(4, 192, 64);
+        check_against_shadow(&mut s, 400, 12, 31).unwrap();
     }
 
     #[test]

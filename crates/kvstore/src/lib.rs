@@ -22,7 +22,7 @@ pub mod traits;
 pub mod wisckey;
 
 pub use btree::BPlusTree;
-pub use e2store::E2KvStore;
+pub use e2store::{E2KvStore, ShardedE2KvStore};
 pub use fptree::FpTree;
 pub use novelsm::NoveLsm;
 pub use path_hashing::PathHashing;

@@ -278,7 +278,7 @@ impl NodeStore for E2NodeStore {
                 e2nvm_sim::bitops::hamming(&content[..data.len()], data)
             };
             let relocate = self.engine.preview_placement(data)?;
-            if relocate.is_none_or(|(_, cand_flips)| in_place_flips <= cand_flips) {
+            if relocate.map_or(true, |(_, cand_flips)| in_place_flips <= cand_flips) {
                 return Ok(self
                     .engine
                     .controller_mut()
@@ -498,7 +498,40 @@ mod tests {
                 .collect();
             d.controller.seed(SegmentId(i), &content).unwrap();
         }
-        let mut e = e2(64, 64);
+        // A slightly larger training budget than `e2()`: with only 5
+        // pretrain epochs the joint model's cluster separation is at the
+        // mercy of the RNG stream, and the 2x margin below is a claim
+        // about converged placement, not about a lucky init.
+        let mut e = {
+            let dev = NvmDevice::new(
+                DeviceConfig::builder()
+                    .segment_bytes(64)
+                    .num_segments(64)
+                    .build()
+                    .unwrap(),
+            );
+            let cfg = E2Config {
+                pretrain_epochs: 12,
+                joint_epochs: 3,
+                padding_type: e2nvm_core::PaddingType::Zero,
+                ..E2Config::fast(64, 2)
+            };
+            let mut engine =
+                E2Engine::new(MemoryController::without_wear_leveling(dev), cfg).unwrap();
+            let mut rng = StdRng::seed_from_u64(9);
+            for i in 0..64 {
+                let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
+                let content: Vec<u8> = (0..64)
+                    .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
+                    .collect();
+                engine
+                    .controller_mut()
+                    .seed(e2nvm_sim::SegmentId(i), &content)
+                    .unwrap();
+            }
+            engine.train().unwrap();
+            E2NodeStore::new(engine)
+        };
         let direct_flips = run(&mut d);
         let e2_flips = run(&mut e);
         assert!(

@@ -56,6 +56,7 @@ pub mod energy;
 pub mod error;
 pub mod latency;
 pub mod meter;
+pub mod partition;
 pub mod snapshot;
 pub mod stats;
 pub mod trace;
@@ -68,6 +69,7 @@ pub use energy::{EnergyCategory, EnergyParams};
 pub use error::{Result, SimError};
 pub use latency::LatencyParams;
 pub use meter::EnergyMeter;
+pub use partition::{partition_controllers, partition_device, partition_segments, SegmentRange};
 pub use stats::DeviceStats;
 pub use trace::{TraceEvent, WriteTrace};
 pub use wear_leveling::{NoWearLeveling, RandomSwap, StartGap, SwapAction, WearLeveler};

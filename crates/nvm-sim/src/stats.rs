@@ -4,7 +4,7 @@ use crate::config::WearTracking;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate counters maintained by the device across its lifetime.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DeviceStats {
     /// Write requests served.
     pub writes: u64,

@@ -94,7 +94,7 @@ impl WearLeveler for StartGap {
 
     fn on_write(&mut self, _segment: usize) -> Option<SwapAction> {
         self.writes += 1;
-        if !self.writes.is_multiple_of(self.psi) {
+        if self.writes % self.psi != 0 {
             return None;
         }
         let src = (self.gap + self.num_segments - 1) % self.num_segments;
@@ -143,7 +143,7 @@ impl WearLeveler for RandomSwap {
 
     fn on_write(&mut self, segment: usize) -> Option<SwapAction> {
         self.writes += 1;
-        if !self.writes.is_multiple_of(self.psi) {
+        if self.writes % self.psi != 0 {
             return None;
         }
         // Pick a partner different from the written segment.

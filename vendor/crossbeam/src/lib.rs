@@ -1,0 +1,55 @@
+//! Offline drop-in subset of `crossbeam`: the [`channel`] module backed
+//! by `std::sync::mpsc`. Only bounded channels are provided — that is
+//! all the background-retraining path uses.
+
+pub mod channel {
+    //! Bounded MPSC channels with crossbeam-compatible names.
+
+    pub use std::sync::mpsc::{RecvError, TryRecvError, TrySendError};
+
+    /// Sending half of a bounded channel.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+    /// Receiving half of a bounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// A channel holding at most `cap` in-flight messages (`cap == 0`
+    /// gives a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, TryRecvError};
+
+    #[test]
+    fn bounded_capacity_enforced() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_err(), "second try_send must fail");
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(tx.try_send(2).is_ok());
+    }
+
+    #[test]
+    fn try_recv_signals_empty_and_disconnected() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn cross_thread_round_trip() {
+        let (tx, rx) = bounded::<u64>(1);
+        let t = std::thread::spawn(move || {
+            for i in 0..10u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u64> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        t.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<u64>>());
+    }
+}

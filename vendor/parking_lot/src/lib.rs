@@ -1,0 +1,129 @@
+//! Offline drop-in subset of `parking_lot`: poison-free [`Mutex`] and
+//! [`RwLock`] wrappers over `std::sync`. A poisoned std lock (a thread
+//! panicked while holding it) is recovered transparently, matching
+//! parking_lot's no-poisoning semantics.
+
+/// Alias of the std guard — parking_lot guards expose the same `Deref`
+/// surface, which is all the workspace uses.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Shared-read guard.
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Exclusive-write guard.
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A mutual-exclusion lock that never poisons.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is acquired.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A reader-writer lock that never poisons.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_survives_panicking_holder() {
+        let lock = Arc::new(Mutex::new(0u32));
+        let l2 = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.lock();
+            panic!("poison the std mutex");
+        })
+        .join();
+        // parking_lot semantics: still lockable afterwards.
+        *lock.lock() += 1;
+        assert_eq!(*lock.lock(), 1);
+    }
+
+    #[test]
+    fn rwlock_many_readers_one_writer() {
+        let lock = RwLock::new(5u32);
+        {
+            let a = lock.read();
+            let b = lock.read();
+            assert_eq!(*a + *b, 10);
+        }
+        *lock.write() = 7;
+        assert_eq!(*lock.read(), 7);
+    }
+}

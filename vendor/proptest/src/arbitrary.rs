@@ -1,0 +1,15 @@
+//! The `any::<T>()` entry point.
+
+use crate::strategy::AnyStrategy;
+use rand::{Distribution, Standard};
+
+/// A strategy producing arbitrary values of `T` (via the `Standard`
+/// distribution of the vendored `rand`).
+pub fn any<T>() -> AnyStrategy<T>
+where
+    Standard: Distribution<T>,
+{
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}

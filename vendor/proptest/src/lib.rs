@@ -1,0 +1,168 @@
+//! Offline drop-in subset of `proptest`: the `proptest!` macro,
+//! `prop_assert*`, `prop_oneof!`, `Just`, `any`, range and collection
+//! strategies, and `ProptestConfig`. Cases are sampled from a seeded
+//! RNG (deterministic per test); failing inputs are reported via the
+//! panic message but are **not shrunk** — acceptable for CI, where a
+//! failure seed reproduces exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Generate test functions that run their body over sampled inputs.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_test(x in 0usize..10, v in proptest::collection::vec(any::<u8>(), 1..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __pt_rng = $crate::test_runner::deterministic_rng(stringify!($name));
+            for __pt_case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __pt_rng);)+
+                let __pt_result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    },
+                ));
+                match __pt_result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => {
+                        panic!(
+                            "proptest stub: case {}/{} of `{}` failed: {}",
+                            __pt_case + 1,
+                            config.cases,
+                            stringify!($name),
+                            err,
+                        );
+                    }
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest stub: case {}/{} of `{}` failed",
+                            __pt_case + 1,
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a proptest body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Reject a sampled case that does not meet a precondition. The stub
+/// simply skips the case (no reject-budget accounting, no resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 2usize..9, y in -4i32..=4, f in 0.25f64..0.75) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in crate::collection::vec(any::<u8>(), 3..7),
+            exact in crate::collection::vec(any::<bool>(), 5),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 5);
+        }
+
+        #[test]
+        fn oneof_and_just_and_map(
+            c in prop_oneof![Just(1u8), Just(2), Just(3)],
+            mapped in (0u32..5).prop_map(|v| v * 10),
+        ) {
+            prop_assert!((1..=3).contains(&c));
+            prop_assert_eq!(mapped % 10, 0);
+            prop_assert!(mapped <= 40);
+        }
+
+        #[test]
+        fn tuples_sample_elementwise((a, b) in (0u8..4, 10u8..14), pair in (any::<bool>(), 0usize..2)) {
+            prop_assert!(a < 4 && (10..14).contains(&b));
+            let (_flag, idx) = pair;
+            prop_assert!(idx < 2);
+        }
+    }
+}

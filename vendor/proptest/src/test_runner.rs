@@ -1,0 +1,67 @@
+//! Test-runner configuration and RNG construction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A failed (or rejected) test case, usable with `?` inside `proptest!`
+/// bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    /// A hard failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+
+    /// The stub does not resample; a rejection is reported like a
+    /// failure so it cannot silently mask a broken generator.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Body outcome of one sampled case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test's name so that every
+/// test explores a distinct but reproducible input stream.
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    let mut seed = 0xE2_0B5E55_u64;
+    for b in test_name.bytes() {
+        seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+    }
+    StdRng::seed_from_u64(seed)
+}

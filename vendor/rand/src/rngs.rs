@@ -1,0 +1,51 @@
+//! The workspace-standard generator: xoshiro256** seeded via SplitMix64.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic pseudo-random generator (xoshiro256**). Stream quality
+/// is far beyond what the simulation needs; the name matches
+/// `rand::rngs::StdRng` so call sites compile unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // All-zero state would be a fixed point; SplitMix64 cannot
+        // produce four zero words from any seed, but keep the guard.
+        if s == [0; 4] {
+            s[0] = 0x1;
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}

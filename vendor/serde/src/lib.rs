@@ -1,0 +1,31 @@
+//! Offline drop-in subset of the `serde` facade. The workspace derives
+//! `Serialize`/`Deserialize` on config and stats types so that a future
+//! wire format can be plugged in, but nothing serializes through serde
+//! yet (persistence uses hand-rolled formats in `e2nvm-sim::snapshot`
+//! and `e2nvm-ml::persist`). The traits are therefore markers: deriving
+//! them records intent and keeps call sites source-compatible with the
+//! real crate.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    //! Deserialization-side re-exports.
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization-side re-exports.
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

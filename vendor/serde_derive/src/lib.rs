@@ -1,0 +1,108 @@
+//! Derive macros for the offline `serde` stub: emit empty marker-trait
+//! impls. Implemented with hand-rolled token scanning (no `syn`/`quote`
+//! — the build environment has no access to crates.io).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(name, generic_params)` from a struct/enum/union item.
+/// Only generic parameter *names* are recovered (lifetimes and type
+/// idents, bounds stripped), which covers every derive site in this
+/// workspace.
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility / qualifiers until the
+    // `struct` / `enum` / `union` keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let s = ident.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => {
+                        name = Some(n.to_string());
+                        break;
+                    }
+                    other => panic!("serde_derive stub: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    let name = name.expect("serde_derive stub: no struct/enum/union found");
+
+    // Collect generic parameter names if a `<...>` list follows.
+    let mut params = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        // Parameter names are the identifiers (or lifetimes) appearing at
+        // depth 1 directly after `<` or `,`.
+        let mut at_param_start = true;
+        let mut pending_lifetime = false;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => at_param_start = true,
+                    '\'' if depth == 1 && at_param_start => pending_lifetime = true,
+                    ':' if depth == 1 => at_param_start = false,
+                    _ => {}
+                },
+                TokenTree::Ident(ident) => {
+                    if depth == 1 && at_param_start {
+                        let prefix = if pending_lifetime { "'" } else { "" };
+                        let s = ident.to_string();
+                        if s != "const" {
+                            params.push(format!("{prefix}{s}"));
+                            at_param_start = false;
+                        }
+                    }
+                    pending_lifetime = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    (name, params)
+}
+
+fn impl_for(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let code = format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}"
+    );
+    code.parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Derive the `Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for(input, "::serde::Serialize", None)
+}
+
+/// Derive the `Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for(input, "::serde::Deserialize<'de>", Some("'de"))
+}
