@@ -14,18 +14,18 @@ use rand::SeedableRng;
 use std::collections::VecDeque;
 
 fn quick_cfg(scale: Scale, segment_bytes: usize, k: usize, gamma: f32) -> E2Config {
-    E2Config {
-        k,
-        latent_dim: 8,
-        hidden: vec![64],
-        pretrain_epochs: scale.pick(15, 25),
-        joint_epochs: scale.pick(5, 8),
-        gamma,
-        lr: 3e-3,
-        beta: 0.1,
-        padding_type: PaddingType::Zero,
-        ..E2Config::fast(segment_bytes, k)
-    }
+    E2Config::builder()
+        .fast(segment_bytes, k)
+        .latent_dim(8)
+        .hidden(vec![64])
+        .pretrain_epochs(scale.pick(15, 25))
+        .joint_epochs(scale.pick(5, 8))
+        .gamma(gamma)
+        .lr(3e-3)
+        .beta(0.1)
+        .padding_type(PaddingType::Zero)
+        .build()
+        .unwrap()
 }
 
 /// Mean flips when each test item overwrites the rotating first member

@@ -149,15 +149,16 @@ pub fn fig08(scale: Scale) -> Table {
         vec![1, 2, 4, 6, 10, 16],
         vec![1, 2, 4, 6, 8, 12, 16, 24, 30],
     );
-    let base = E2Config {
-        pretrain_epochs: scale.pick(8, 15),
-        joint_epochs: 2,
-        latent_dim: 8,
-        hidden: vec![48],
-        padding_type: PaddingType::Zero,
-        padding_location: PaddingLocation::End,
-        ..E2Config::fast(segment_bytes, 1)
-    };
+    let base = E2Config::builder()
+        .fast(segment_bytes, 1)
+        .pretrain_epochs(scale.pick(8, 15))
+        .joint_epochs(2)
+        .latent_dim(8)
+        .hidden(vec![48])
+        .padding_type(PaddingType::Zero)
+        .padding_location(PaddingLocation::End)
+        .build()
+        .unwrap();
     // Assume a write volume that makes both energy terms visible.
     let est_writes = scale.pick(20_000u64, 200_000);
     let sel = kselect::sweep_k(
@@ -212,14 +213,15 @@ pub fn fig09(scale: Scale) -> Table {
     for kind in kinds {
         let mut rng = seeded(0x000F_1609 ^ kind.item_bytes() as u64);
         let items = kind.generate_sized(n, segment_bytes, &mut rng);
-        let cfg = E2Config {
-            pretrain_epochs: epochs,
-            joint_epochs: 0,
-            latent_dim: 8,
-            hidden: vec![64],
-            padding_type: PaddingType::Zero,
-            ..E2Config::fast(segment_bytes, 4)
-        };
+        let cfg = E2Config::builder()
+            .fast(segment_bytes, 4)
+            .pretrain_epochs(epochs)
+            .joint_epochs(0)
+            .latent_dim(8)
+            .hidden(vec![64])
+            .padding_type(PaddingType::Zero)
+            .build()
+            .unwrap();
         let model = e2nvm_core::E2Model::train(&cfg, &items, &mut rng);
         let h = model.history();
         curves.push((

@@ -352,18 +352,18 @@ impl E2System {
 
     /// Quick E2 config for experiments at a given segment size / k.
     pub fn quick_config(segment_bytes: usize, k: usize) -> E2Config {
-        E2Config {
-            k,
-            latent_dim: 8,
-            hidden: vec![64],
-            pretrain_epochs: 20,
-            joint_epochs: 5,
-            lr: 3e-3,
-            beta: 0.1,
-            train_sample_cap: 768,
-            padding_type: PaddingType::Zero,
-            ..E2Config::fast(segment_bytes, k)
-        }
+        E2Config::builder()
+            .fast(segment_bytes, k)
+            .latent_dim(8)
+            .hidden(vec![64])
+            .pretrain_epochs(20)
+            .joint_epochs(5)
+            .lr(3e-3)
+            .beta(0.1)
+            .train_sample_cap(768)
+            .padding_type(PaddingType::Zero)
+            .build()
+            .unwrap()
     }
 
     /// Borrow the engine (retraining experiments).

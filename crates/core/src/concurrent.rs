@@ -7,11 +7,14 @@
 
 use crate::engine::E2Engine;
 use crate::error::Result;
+use crate::model::E2Model;
 use crate::retrain::BackgroundRetrainer;
 use e2nvm_sim::{DeviceStats, WriteReport};
+use e2nvm_telemetry::{Event, TelemetryRegistry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A clonable, thread-safe handle to an engine plus its background
 /// retrainer.
@@ -31,6 +34,9 @@ struct Inner {
     retrain_seed: AtomicU64,
     /// Models installed via the background path (diagnostics).
     swaps: AtomicU64,
+    /// When the in-flight background retrain was submitted (for the
+    /// journal's retrain duration).
+    retrain_started: Mutex<Option<Instant>>,
 }
 
 impl SharedEngine {
@@ -47,8 +53,36 @@ impl SharedEngine {
                 retrainer: Mutex::new(BackgroundRetrainer::spawn()),
                 retrain_seed: AtomicU64::new(seed),
                 swaps: AtomicU64::new(0),
+                retrain_started: Mutex::new(None),
             }),
         }
+    }
+
+    /// Register the wrapped engine's metrics on `registry`, labeled with
+    /// `shard`.
+    pub fn attach_telemetry(&self, registry: &TelemetryRegistry, shard: usize) {
+        self.inner.engine.lock().attach_telemetry(registry, shard);
+    }
+
+    /// Install a background-trained model and journal the swap.
+    fn install_background_model(&self, model: E2Model) {
+        let loss = model.history().train.last().map(|l| f64::from(l.total()));
+        let duration_ms = self
+            .inner
+            .retrain_started
+            .lock()
+            .take()
+            .map(|t| t.elapsed().as_millis() as u64)
+            .unwrap_or(0);
+        let mut engine = self.inner.engine.lock();
+        engine.install_model_now(model);
+        let telemetry = engine.telemetry();
+        telemetry.record_event(Event::RetrainFinished {
+            shard: telemetry.shard(),
+            loss,
+            duration_ms,
+        });
+        self.inner.swaps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// PUT/UPDATE (Algorithm 1), then drive the retraining state
@@ -86,23 +120,34 @@ impl SharedEngine {
         let mut retrainer = self.inner.retrainer.lock();
         // Install a finished model first (frees the worker).
         if let Some(model) = retrainer.try_take() {
-            self.inner.engine.lock().install_model_now(model);
-            self.inner.swaps.fetch_add(1, Ordering::Relaxed);
+            self.install_background_model(model);
         }
         if retrainer.is_pending() {
             return;
         }
         // Snapshot under the engine lock only if the threshold tripped.
-        let (needs, cfg, snapshot) = {
+        let (needs, cfg, snapshot, shard) = {
             let engine = self.inner.engine.lock();
             if !engine.needs_retrain() {
                 return;
             }
-            (true, engine.config().clone(), engine.training_snapshot())
+            (
+                true,
+                engine.config().clone(),
+                engine.training_snapshot(),
+                engine.telemetry().shard(),
+            )
         };
         if needs {
             let seed = self.inner.retrain_seed.fetch_add(1, Ordering::Relaxed);
-            retrainer.submit(&cfg, snapshot, seed);
+            if retrainer.submit(&cfg, snapshot, seed) {
+                *self.inner.retrain_started.lock() = Some(Instant::now());
+                self.inner
+                    .engine
+                    .lock()
+                    .telemetry()
+                    .record_event(Event::RetrainStarted { shard });
+            }
         }
     }
 
@@ -114,8 +159,7 @@ impl SharedEngine {
             retrainer.wait()
         };
         if let Some(model) = model {
-            self.inner.engine.lock().install_model_now(model);
-            self.inner.swaps.fetch_add(1, Ordering::Relaxed);
+            self.install_background_model(model);
         }
     }
 
@@ -195,13 +239,14 @@ mod tests {
                 .collect();
             controller.seed(SegmentId(i), &content).unwrap();
         }
-        let cfg = E2Config {
-            pretrain_epochs: 4,
-            joint_epochs: 1,
-            retrain_min_free: 2,
-            padding_type: PaddingType::Zero,
-            ..E2Config::fast(seg_bytes, 2)
-        };
+        let cfg = E2Config::builder()
+            .fast(seg_bytes, 2)
+            .pretrain_epochs(4)
+            .joint_epochs(1)
+            .retrain_min_free(2)
+            .padding_type(PaddingType::Zero)
+            .build()
+            .unwrap();
         let mut engine = E2Engine::new(controller, cfg).unwrap();
         engine.train().unwrap();
         SharedEngine::new(engine)

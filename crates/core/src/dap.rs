@@ -110,9 +110,11 @@ impl DynamicAddressPool {
     }
 
     /// Take the first free address following a nearest-first cluster
-    /// order (fallback when the predicted cluster is empty).
-    pub fn pop_with_fallback(&mut self, order: &[usize]) -> Option<SegmentId> {
-        order.iter().find_map(|&c| self.pop(c))
+    /// order (fallback when the predicted cluster is empty). Returns the
+    /// segment together with the cluster that supplied it, so callers
+    /// can tell a first-choice hit from a fallback.
+    pub fn pop_with_fallback(&mut self, order: &[usize]) -> Option<(SegmentId, usize)> {
+        order.iter().find_map(|&c| self.pop(c).map(|seg| (seg, c)))
     }
 
     /// The first cluster whose free list is at or below the threshold,
@@ -214,7 +216,7 @@ mod tests {
         let mut dap = DynamicAddressPool::new(3, 10, 0);
         dap.push(2, seg(9)).unwrap();
         // Cluster 0 and 1 empty; order [0, 1, 2] must reach cluster 2.
-        assert_eq!(dap.pop_with_fallback(&[0, 1, 2]), Some(seg(9)));
+        assert_eq!(dap.pop_with_fallback(&[0, 1, 2]), Some((seg(9), 2)));
         assert_eq!(dap.pop_with_fallback(&[0, 1, 2]), None);
     }
 
@@ -264,7 +266,7 @@ mod tests {
             if round % 3 == 0 && !held.is_empty() {
                 let s: SegmentId = held.pop().unwrap();
                 dap.push(round % 4, s).unwrap();
-            } else if let Some(s) = dap.pop_with_fallback(&[0, 1, 2, 3]) {
+            } else if let Some((s, _)) = dap.pop_with_fallback(&[0, 1, 2, 3]) {
                 held.push(s);
             }
             assert_eq!(dap.free_count() + held.len(), 64, "round {round}");

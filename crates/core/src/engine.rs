@@ -16,7 +16,9 @@ use crate::error::{E2Error, Result};
 use crate::incremental::IncrementalIndexer;
 use crate::model::E2Model;
 use crate::padding::Padder;
+use crate::telemetry::EngineTelemetry;
 use e2nvm_sim::{MemoryController, SegmentId, WriteReport};
+use e2nvm_telemetry::{Event, TelemetryRegistry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -69,13 +71,14 @@ pub struct E2Engine {
     rng: StdRng,
     prediction: PredictionStats,
     incremental: Option<IncrementalIndexer>,
+    telemetry: EngineTelemetry,
 }
 
 impl E2Engine {
     /// Create an untrained engine over a controller. The controller's
     /// segment size must match the config.
     pub fn new(controller: MemoryController, cfg: E2Config) -> Result<Self> {
-        cfg.validate().map_err(E2Error::Config)?;
+        cfg.validate()?;
         if controller.device().config().segment_bytes != cfg.segment_bytes {
             return Err(E2Error::Config(format!(
                 "controller segment size {} != config segment size {}",
@@ -93,9 +96,28 @@ impl E2Engine {
             index: BTreeMap::new(),
             prediction: PredictionStats::default(),
             incremental: None,
+            telemetry: EngineTelemetry::disconnected(),
             controller,
             cfg,
         })
+    }
+
+    /// Register this engine's metrics (and its controller/device's) on
+    /// `registry`, labeled with `shard`, and start feeding them. Safe to
+    /// call before or after training; per-cluster gauges appear once a
+    /// model is installed.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry, shard: usize) {
+        let shard_label = shard.to_string();
+        self.controller
+            .attach_telemetry(registry, &[("shard", &shard_label)]);
+        self.telemetry = EngineTelemetry::register(registry, shard);
+        self.telemetry.refresh_clusters(&self.dap.occupancy());
+    }
+
+    /// The engine's telemetry sink (disconnected no-op handles until
+    /// [`E2Engine::attach_telemetry`] is called).
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 
     /// The configuration.
@@ -151,9 +173,18 @@ impl E2Engine {
         if free.is_empty() {
             return Err(E2Error::OutOfSpace);
         }
+        let shard = self.telemetry.shard();
+        self.telemetry.record_event(Event::RetrainStarted { shard });
+        let started = Instant::now();
         let contents: Vec<Vec<u8>> = free.iter().map(|(_, c)| c.clone()).collect();
         let model = E2Model::train(&self.cfg, &contents, &mut self.rng);
+        let loss = model.history().train.last().map(|l| f64::from(l.total()));
         self.install_model(model, &free);
+        self.telemetry.record_event(Event::RetrainFinished {
+            shard,
+            loss,
+            duration_ms: started.elapsed().as_millis() as u64,
+        });
         Ok(())
     }
 
@@ -254,6 +285,8 @@ impl E2Engine {
             self.padder.train_learned(&contents, 10, &mut self.rng);
         }
         self.model = Some(model);
+        self.telemetry.retrains.inc();
+        self.telemetry.refresh_clusters(&self.dap.occupancy());
     }
 
     /// Whether the model has been trained.
@@ -289,12 +322,18 @@ impl E2Engine {
         let model = self.model.as_ref().ok_or(E2Error::NotTrained)?;
         let t0 = Instant::now();
         let order = model.cluster_order(value, &self.padder, &mut self.rng);
+        let pred_ns = t0.elapsed().as_nanos();
         self.prediction.predictions += 1;
-        self.prediction.total_ns += t0.elapsed().as_nanos();
-        let seg = self
+        self.prediction.total_ns += pred_ns;
+        self.telemetry.observe_prediction(pred_ns as u64);
+        let predicted = order.first().copied().unwrap_or(0);
+        let (seg, used) = self
             .dap
             .pop_with_fallback(&order)
             .ok_or(E2Error::OutOfSpace)?;
+        self.telemetry.record_placement(predicted, used);
+        self.telemetry
+            .set_cluster_depth(used, self.dap.cluster_len(used));
         let report = self.controller.write_at(seg, offset, value)?;
         self.padder.observe(value);
         Ok((seg, report))
@@ -331,6 +370,8 @@ impl E2Engine {
         let model = self.model.as_ref().ok_or(E2Error::NotTrained)?;
         let cluster = model.predict_features(&e2nvm_ml::data::bytes_to_features(&content));
         self.dap.push(cluster, seg)?;
+        self.telemetry
+            .set_cluster_depth(cluster, self.dap.cluster_len(cluster));
         Ok(())
     }
 
@@ -467,12 +508,13 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let cfg = E2Config {
-            pretrain_epochs: 6,
-            joint_epochs: 2,
-            padding_type: crate::padding::PaddingType::Zero,
-            ..E2Config::fast(seg_bytes, k)
-        };
+        let cfg = E2Config::builder()
+            .fast(seg_bytes, k)
+            .pretrain_epochs(6)
+            .joint_epochs(2)
+            .padding_type(crate::padding::PaddingType::Zero)
+            .build()
+            .unwrap();
         E2Engine::new(MemoryController::without_wear_leveling(dev), cfg).unwrap()
     }
 

@@ -52,11 +52,12 @@ pub mod model;
 pub mod padding;
 pub mod retrain;
 pub mod sharded;
+pub mod telemetry;
 pub mod writer;
 
 pub use batch::{Batch, BatchAccumulator};
 pub use concurrent::SharedEngine;
-pub use config::E2Config;
+pub use config::{E2Config, E2ConfigBuilder};
 pub use dap::{DapError, DynamicAddressPool};
 pub use engine::{E2Engine, PredictionStats};
 pub use error::{E2Error, Result};
@@ -66,4 +67,5 @@ pub use model::E2Model;
 pub use padding::{Padder, PaddingLocation, PaddingType};
 pub use retrain::BackgroundRetrainer;
 pub use sharded::ShardedEngine;
+pub use telemetry::EngineTelemetry;
 pub use writer::BatchedWriter;

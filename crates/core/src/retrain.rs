@@ -156,11 +156,12 @@ mod tests {
     }
 
     fn quick_cfg() -> E2Config {
-        E2Config {
-            pretrain_epochs: 3,
-            joint_epochs: 1,
-            ..E2Config::fast(16, 2)
-        }
+        E2Config::builder()
+            .fast(16, 2)
+            .pretrain_epochs(3)
+            .joint_epochs(1)
+            .build()
+            .unwrap()
     }
 
     #[test]

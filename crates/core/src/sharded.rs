@@ -1,7 +1,7 @@
 //! Sharded serving: N independent engines over disjoint slices of the
 //! device's segment space.
 //!
-//! [`SharedEngine`](crate::SharedEngine) serialises every operation on
+//! [`SharedEngine`] serialises every operation on
 //! one mutex, which caps throughput at one core no matter how many
 //! clients call in (the paper's §5.1 thread-safe serving). A
 //! [`ShardedEngine`] removes that cap structurally: the segment space is
@@ -22,6 +22,7 @@ use crate::config::E2Config;
 use crate::engine::{E2Engine, PredictionStats};
 use crate::error::{E2Error, Result};
 use e2nvm_sim::{DeviceStats, MemoryController, WriteReport};
+use e2nvm_telemetry::TelemetryRegistry;
 
 /// SplitMix64 finalizer: decorrelates adjacent keys before routing.
 #[inline]
@@ -95,6 +96,17 @@ impl ShardedEngine {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Register every shard's metrics on one shared `registry`, each
+    /// labeled with its shard index. Aggregate across shards at read
+    /// time with [`e2nvm_telemetry::TelemetryRegistry::counter_total`]
+    /// (label-summed counters are exact, mirroring
+    /// [`ShardedEngine::device_stats`]'s merge).
+    pub fn attach_telemetry(&self, registry: &TelemetryRegistry) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.attach_telemetry(registry, i);
+        }
     }
 
     /// The shard a key routes to. Deterministic, uniform over shards.
@@ -226,13 +238,14 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn test_config(seg_bytes: usize) -> E2Config {
-        E2Config {
-            pretrain_epochs: 4,
-            joint_epochs: 1,
-            retrain_min_free: 0,
-            padding_type: PaddingType::Zero,
-            ..E2Config::fast(seg_bytes, 2)
-        }
+        E2Config::builder()
+            .fast(seg_bytes, 2)
+            .pretrain_epochs(4)
+            .joint_epochs(1)
+            .retrain_min_free(0)
+            .padding_type(PaddingType::Zero)
+            .build()
+            .unwrap()
     }
 
     fn seed_families(mc: &mut MemoryController, seg_bytes: usize, rng: &mut StdRng) {

@@ -1,0 +1,163 @@
+//! Engine-level telemetry sink.
+//!
+//! [`EngineTelemetry`] bundles the placement-path metric handles an
+//! [`crate::E2Engine`] updates while serving: a prediction-latency
+//! histogram, placement/fallback/exhaustion counters, per-cluster DAP
+//! depth gauges, and the structured event journal shared through the
+//! attached [`TelemetryRegistry`]. All hot-path updates are relaxed
+//! atomics; with the `telemetry` feature off every call compiles away.
+//!
+//! The per-cluster gauges are rebuilt on every model install (K can
+//! change across retrains), labeled `{shard="<s>",cluster="<c>"}`.
+
+use e2nvm_telemetry::{Counter, Event, Gauge, Histogram, TelemetryRegistry};
+
+/// Upper bounds for the padding+prediction latency histogram (ns).
+const PREDICTION_BOUNDS: [u64; 8] = [500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 1_000_000];
+
+/// Metric handles for one engine (one shard).
+#[derive(Debug, Clone)]
+pub struct EngineTelemetry {
+    registry: Option<TelemetryRegistry>,
+    shard: usize,
+    /// Successful placements (DAP pops) performed.
+    pub placements: Counter,
+    /// Placements that fell back past the predicted cluster.
+    pub fallbacks: Counter,
+    /// Times the predicted cluster's free list was found empty.
+    pub exhaustions: Counter,
+    /// Models installed (synchronous trains and background swaps).
+    pub retrains: Counter,
+    /// Padding + model-prediction latency per placement (ns).
+    pub prediction_latency_ns: Histogram,
+    /// One gauge per cluster: current DAP free-list depth.
+    cluster_depth: Vec<Gauge>,
+}
+
+impl Default for EngineTelemetry {
+    fn default() -> Self {
+        Self::disconnected()
+    }
+}
+
+impl EngineTelemetry {
+    /// Handles not attached to any registry (the initial state of every
+    /// engine).
+    pub fn disconnected() -> Self {
+        EngineTelemetry {
+            registry: None,
+            shard: 0,
+            placements: Counter::disconnected(),
+            fallbacks: Counter::disconnected(),
+            exhaustions: Counter::disconnected(),
+            retrains: Counter::disconnected(),
+            prediction_latency_ns: Histogram::disconnected(&PREDICTION_BOUNDS),
+            cluster_depth: Vec::new(),
+        }
+    }
+
+    /// Register the engine metric family on `registry`, labeled with
+    /// this engine's `shard` index. Cluster-depth gauges are created
+    /// lazily by [`EngineTelemetry::refresh_clusters`].
+    pub fn register(registry: &TelemetryRegistry, shard: usize) -> Self {
+        let shard_label = shard.to_string();
+        let labels: [(&str, &str); 1] = [("shard", &shard_label)];
+        let c = |name: &str, help: &str| registry.counter_with_labels(name, help, &labels);
+        EngineTelemetry {
+            placements: c(
+                "e2nvm_engine_placements_total",
+                "Values placed via the dynamic address pool",
+            ),
+            fallbacks: c(
+                "e2nvm_engine_fallback_placements_total",
+                "Placements that fell back past the predicted cluster",
+            ),
+            exhaustions: c(
+                "e2nvm_engine_cluster_exhausted_total",
+                "Placements that found the predicted cluster empty",
+            ),
+            retrains: c(
+                "e2nvm_engine_retrains_total",
+                "Models installed (initial training and retrains)",
+            ),
+            prediction_latency_ns: registry.histogram_with_labels(
+                "e2nvm_engine_prediction_latency_ns",
+                "Padding + cluster prediction latency per placement (ns)",
+                &PREDICTION_BOUNDS,
+                &labels,
+            ),
+            cluster_depth: Vec::new(),
+            registry: Some(registry.clone()),
+            shard,
+        }
+    }
+
+    /// The shard index this sink was registered with.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Record a structured event on the attached journal (no-op while
+    /// disconnected).
+    pub fn record_event(&self, event: Event) {
+        if let Some(registry) = &self.registry {
+            registry.journal().record(event);
+        }
+    }
+
+    /// Observe one padding+prediction latency sample.
+    #[inline]
+    pub fn observe_prediction(&self, ns: u64) {
+        self.prediction_latency_ns.observe(ns);
+    }
+
+    /// Account a successful placement: `predicted` is the model's first
+    /// choice, `used` the cluster that actually supplied the address.
+    pub fn record_placement(&self, predicted: usize, used: usize) {
+        self.placements.inc();
+        if used != predicted {
+            self.exhaustions.inc();
+            self.fallbacks.inc();
+            self.record_event(Event::ClusterExhausted {
+                shard: self.shard,
+                cluster: predicted,
+            });
+            self.record_event(Event::FallbackPlacement {
+                shard: self.shard,
+                predicted,
+                used,
+            });
+        }
+    }
+
+    /// Update one cluster's free-list depth gauge.
+    #[inline]
+    pub fn set_cluster_depth(&self, cluster: usize, depth: usize) {
+        if let Some(g) = self.cluster_depth.get(cluster) {
+            g.set(depth as i64);
+        }
+    }
+
+    /// Recreate the per-cluster depth gauges for a (possibly new) K and
+    /// set them from `occupancy`. Called on every model install.
+    pub fn refresh_clusters(&mut self, occupancy: &[usize]) {
+        let Some(registry) = &self.registry else {
+            return;
+        };
+        let shard_label = self.shard.to_string();
+        self.cluster_depth = occupancy
+            .iter()
+            .enumerate()
+            .map(|(cluster, &depth)| {
+                let cluster_label = cluster.to_string();
+                let g = registry.gauge_with_labels(
+                    "e2nvm_dap_free_segments",
+                    "Free segments in one cluster's address pool",
+                    &[("shard", &shard_label), ("cluster", &cluster_label)],
+                );
+                g.set(depth as i64);
+                g
+            })
+            .collect();
+    }
+}

@@ -171,12 +171,13 @@ mod tests {
                 .collect();
             controller.seed(e2nvm_sim::SegmentId(i), &content).unwrap();
         }
-        let cfg = E2Config {
-            pretrain_epochs: 5,
-            joint_epochs: 1,
-            padding_type: PaddingType::Zero,
-            ..E2Config::fast(seg_bytes, 2)
-        };
+        let cfg = E2Config::builder()
+            .fast(seg_bytes, 2)
+            .pretrain_epochs(5)
+            .joint_epochs(1)
+            .padding_type(PaddingType::Zero)
+            .build()
+            .unwrap();
         let mut engine = E2Engine::new(controller, cfg).unwrap();
         engine.train().unwrap();
         BatchedWriter::new(engine)

@@ -23,12 +23,13 @@ fn engine(segments: usize, seg_bytes: usize, k: usize) -> E2Engine {
             .collect();
         controller.seed(SegmentId(i), &content).unwrap();
     }
-    let cfg = E2Config {
-        pretrain_epochs: 6,
-        joint_epochs: 1,
-        padding_type: PaddingType::Zero,
-        ..E2Config::fast(seg_bytes, k)
-    };
+    let cfg = E2Config::builder()
+        .fast(seg_bytes, k)
+        .pretrain_epochs(6)
+        .joint_epochs(1)
+        .padding_type(PaddingType::Zero)
+        .build()
+        .unwrap();
     E2Engine::new(controller, cfg).unwrap()
 }
 

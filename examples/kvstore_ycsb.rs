@@ -49,12 +49,12 @@ fn main() {
         let content = value_for(i as u64, rng.gen());
         controller.seed(SegmentId(i), &content).expect("seed");
     }
-    let cfg = E2Config {
-        k: 10,
-        pretrain_epochs: 15,
-        joint_epochs: 3,
-        ..E2Config::fast(SEGMENT, 10)
-    };
+    let cfg = E2Config::builder()
+        .fast(SEGMENT, 10)
+        .pretrain_epochs(15)
+        .joint_epochs(3)
+        .build()
+        .expect("config");
     let mut engine = E2Engine::new(controller, cfg).expect("engine");
     engine.train().expect("train");
     let mut store = E2KvStore::new(engine);

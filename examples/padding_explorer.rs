@@ -68,12 +68,12 @@ fn main() {
     }
     let mut engine = E2Engine::new(
         controller,
-        E2Config {
-            k: 8,
-            pretrain_epochs: 12,
-            joint_epochs: 3,
-            ..E2Config::fast(SEGMENT, 8)
-        },
+        E2Config::builder()
+            .fast(SEGMENT, 8)
+            .pretrain_epochs(12)
+            .joint_epochs(3)
+            .build()
+            .expect("config"),
     )
     .expect("engine");
     println!("\ntraining placement model on {SEGMENTS} resident segments...");

@@ -35,13 +35,13 @@ fn main() {
     for (i, r) in residents.iter().enumerate() {
         controller.seed(SegmentId(i), r).expect("seed");
     }
-    let cfg = E2Config {
-        k: 6,
-        pretrain_epochs: 12,
-        joint_epochs: 3,
-        retrain_min_free: 2,
-        ..E2Config::fast(SEGMENT, 6)
-    };
+    let cfg = E2Config::builder()
+        .fast(SEGMENT, 6)
+        .pretrain_epochs(12)
+        .joint_epochs(3)
+        .retrain_min_free(2)
+        .build()
+        .expect("config");
     let mut engine = E2Engine::new(controller, cfg.clone()).expect("engine");
     println!("boot #1: training the placement model...");
     engine.train().expect("train");

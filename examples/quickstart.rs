@@ -34,12 +34,12 @@ fn main() {
 
     // 3. Train the placement model (VAE encoder + K-means on its latent
     //    space) on the free-segment contents.
-    let cfg = E2Config {
-        k: 4,
-        pretrain_epochs: 12,
-        joint_epochs: 3,
-        ..E2Config::fast(256, 4)
-    };
+    let cfg = E2Config::builder()
+        .fast(256, 4)
+        .pretrain_epochs(12)
+        .joint_epochs(3)
+        .build()
+        .expect("config");
     let mut engine = E2Engine::new(controller, cfg).expect("engine");
     println!("training the placement model...");
     engine.train().expect("train");

@@ -48,12 +48,13 @@ fn main() {
 
     // Train one engine per shard (each with its own VAE+K-means model,
     // address pool, and background retrainer).
-    let cfg = E2Config {
-        pretrain_epochs: 4,
-        joint_epochs: 1,
-        padding_type: PaddingType::Zero,
-        ..E2Config::fast(SEG_BYTES, 2)
-    };
+    let cfg = E2Config::builder()
+        .fast(SEG_BYTES, 2)
+        .pretrain_epochs(4)
+        .joint_epochs(1)
+        .padding_type(PaddingType::Zero)
+        .build()
+        .expect("config");
     println!("training {SHARDS} shard models...");
     let engine = ShardedEngine::train(controllers, &cfg).expect("train");
 

@@ -12,26 +12,36 @@
 //! * [`core`] — the paper's contribution: the E2-NVM placement engine.
 //! * [`kvstore`] — the persistent KV store and NVM index structures.
 //! * [`workloads`] — YCSB and synthetic dataset generators.
-
+//! * [`telemetry`] — lock-free metrics registry + event journal
+//!   (compiled away without the `telemetry` feature).
+//!
+//! The [`prelude`] pulls in the types almost every integration needs:
+//!
 //! ```
-//! use e2nvm::core::{E2Config, E2Engine};
+//! use e2nvm::prelude::*;
 //! use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice};
 //!
 //! let device = NvmDevice::new(
 //!     DeviceConfig::builder().segment_bytes(64).num_segments(64).build().unwrap(),
 //! );
+//! let cfg = E2Config::builder()
+//!     .fast(64, 2)
+//!     .pretrain_epochs(2)
+//!     .joint_epochs(1)
+//!     .padding_type(PaddingType::Zero)
+//!     .build()
+//!     .unwrap();
 //! let mut engine = E2Engine::new(
 //!     MemoryController::without_wear_leveling(device),
-//!     E2Config {
-//!         pretrain_epochs: 2,
-//!         joint_epochs: 1,
-//!         padding_type: e2nvm::core::PaddingType::Zero,
-//!         ..E2Config::fast(64, 2)
-//!     },
+//!     cfg,
 //! ).unwrap();
+//! let registry = TelemetryRegistry::new();
+//! engine.attach_telemetry(&registry, 0);
 //! engine.train().unwrap();
 //! engine.put(42, b"value").unwrap();
 //! assert_eq!(engine.get(42).unwrap(), b"value");
+//! # #[cfg(feature = "telemetry")]
+//! assert!(registry.render_prometheus().contains("e2nvm_device_writes_total"));
 //! ```
 
 pub use e2nvm_baselines as baselines;
@@ -39,4 +49,18 @@ pub use e2nvm_core as core;
 pub use e2nvm_kvstore as kvstore;
 pub use e2nvm_ml as ml;
 pub use e2nvm_sim as sim;
+pub use e2nvm_telemetry as telemetry;
 pub use e2nvm_workloads as workloads;
+
+/// The types almost every user of the reproduction touches: engine +
+/// config construction, the KV trait and stores, and the telemetry
+/// surface (no-op types when the `telemetry` feature is off).
+pub mod prelude {
+    pub use e2nvm_core::{
+        E2Config, E2ConfigBuilder, E2Engine, E2Error, PaddingLocation, PaddingType, ShardedEngine,
+        SharedEngine,
+    };
+    pub use e2nvm_kvstore::{E2KvStore, NvmKvStore, ShardedE2KvStore, StoreError};
+    pub use e2nvm_sim::{DeviceConfig, DeviceStats, MemoryController, NvmDevice, SegmentId};
+    pub use e2nvm_telemetry::{Event, EventJournal, TelemetryRegistry};
+}

@@ -22,16 +22,17 @@ fn engine_over(kind: DatasetKind, segment_bytes: usize, segments: usize, k: usiz
     for (i, c) in contents.iter().enumerate() {
         controller.seed(SegmentId(i), c).unwrap();
     }
-    let cfg = E2Config {
-        latent_dim: 8,
-        hidden: vec![64],
-        pretrain_epochs: 20,
-        joint_epochs: 5,
-        lr: 3e-3,
-        beta: 0.1,
-        padding_type: PaddingType::Zero,
-        ..E2Config::fast(segment_bytes, k)
-    };
+    let cfg = E2Config::builder()
+        .fast(segment_bytes, k)
+        .latent_dim(8)
+        .hidden(vec![64])
+        .pretrain_epochs(20)
+        .joint_epochs(5)
+        .lr(3e-3)
+        .beta(0.1)
+        .padding_type(PaddingType::Zero)
+        .build()
+        .unwrap();
     let mut engine = E2Engine::new(controller, cfg).unwrap();
     engine.train().unwrap();
     engine
@@ -198,12 +199,13 @@ fn engine_over_wear_leveled_controller() {
     for (i, c) in contents.iter().enumerate() {
         controller.seed(SegmentId(i), c).unwrap();
     }
-    let cfg = E2Config {
-        pretrain_epochs: 6,
-        joint_epochs: 1,
-        padding_type: PaddingType::Zero,
-        ..E2Config::fast(segment_bytes, 3)
-    };
+    let cfg = E2Config::builder()
+        .fast(segment_bytes, 3)
+        .pretrain_epochs(6)
+        .joint_epochs(1)
+        .padding_type(PaddingType::Zero)
+        .build()
+        .unwrap();
     let mut engine = E2Engine::new(controller, cfg).unwrap();
     engine.train().unwrap();
     for key in 0..32u64 {

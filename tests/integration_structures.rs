@@ -36,12 +36,13 @@ fn e2_store() -> E2NodeStore {
     for (i, r) in residents.iter().enumerate() {
         controller.seed(SegmentId(i), r).unwrap();
     }
-    let cfg = E2Config {
-        pretrain_epochs: 5,
-        joint_epochs: 1,
-        padding_type: PaddingType::Zero,
-        ..E2Config::fast(SEGMENT, 4)
-    };
+    let cfg = E2Config::builder()
+        .fast(SEGMENT, 4)
+        .pretrain_epochs(5)
+        .joint_epochs(1)
+        .padding_type(PaddingType::Zero)
+        .build()
+        .unwrap();
     let mut engine = E2Engine::new(controller, cfg).unwrap();
     engine.train().unwrap();
     E2NodeStore::new(engine)
@@ -128,12 +129,13 @@ fn batched_writer_with_dataset_values() {
     for (i, r) in residents.iter().enumerate() {
         controller.seed(SegmentId(i), r).unwrap();
     }
-    let cfg = E2Config {
-        pretrain_epochs: 5,
-        joint_epochs: 1,
-        padding_type: PaddingType::Zero,
-        ..E2Config::fast(SEGMENT, 4)
-    };
+    let cfg = E2Config::builder()
+        .fast(SEGMENT, 4)
+        .pretrain_epochs(5)
+        .joint_epochs(1)
+        .padding_type(PaddingType::Zero)
+        .build()
+        .unwrap();
     let mut engine = E2Engine::new(controller, cfg).unwrap();
     engine.train().unwrap();
     let mut writer = BatchedWriter::new(engine);
@@ -163,12 +165,13 @@ fn datasets_roundtrip_through_e2_kv() {
     for (i, r) in residents.iter().enumerate() {
         controller.seed(SegmentId(i), r).unwrap();
     }
-    let cfg = E2Config {
-        pretrain_epochs: 5,
-        joint_epochs: 1,
-        padding_type: PaddingType::Zero,
-        ..E2Config::fast(SEGMENT, 4)
-    };
+    let cfg = E2Config::builder()
+        .fast(SEGMENT, 4)
+        .pretrain_epochs(5)
+        .joint_epochs(1)
+        .padding_type(PaddingType::Zero)
+        .build()
+        .unwrap();
     let mut engine = E2Engine::new(controller, cfg).unwrap();
     engine.train().unwrap();
     let mut store = E2KvStore::new(engine);

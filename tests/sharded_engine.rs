@@ -14,15 +14,16 @@ use std::collections::BTreeMap;
 const SEG_BYTES: usize = 32;
 
 fn test_config() -> E2Config {
-    E2Config {
-        pretrain_epochs: 4,
-        joint_epochs: 1,
+    E2Config::builder()
+        .fast(SEG_BYTES, 2)
+        .pretrain_epochs(4)
+        .joint_epochs(1)
         // No background retraining: keeps placement deterministic so the
         // stats property below is exact.
-        retrain_min_free: 0,
-        padding_type: PaddingType::Zero,
-        ..E2Config::fast(SEG_BYTES, 2)
-    }
+        .retrain_min_free(0)
+        .padding_type(PaddingType::Zero)
+        .build()
+        .unwrap()
 }
 
 /// Seed a shard's pool with two content families from a per-shard RNG
