@@ -96,6 +96,16 @@ const FIGURES: &[(&str, &str, FigFn)] = &[
         "ablation: DAP first-fit vs search",
         figures::ablations::abl03,
     ),
+    (
+        "life01",
+        "writes to first segment death per scheme",
+        figures::endurance::life01,
+    ),
+    (
+        "life02",
+        "E2-NVM graceful degradation past first death",
+        figures::endurance::life02,
+    ),
 ];
 
 fn usage() -> ! {

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod device;
+pub mod endurance;
 pub mod engine;
 pub mod model;
 pub mod padding;

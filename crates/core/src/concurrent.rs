@@ -183,6 +183,11 @@ impl SharedEngine {
         self.inner.engine.lock().free_count()
     }
 
+    /// Segments permanently retired by wear-out.
+    pub fn retired_count(&self) -> usize {
+        self.inner.engine.lock().retired_count()
+    }
+
     /// Snapshot of the device statistics.
     pub fn device_stats(&self) -> DeviceStats {
         self.inner.engine.lock().device_stats().clone()

@@ -45,6 +45,11 @@ pub struct E2Config {
     /// slice of the device's segment space with its own model, address
     /// pool, and retrainer. `1` means unsharded.
     pub num_shards: usize,
+    /// How many times a placement re-programs a segment after a
+    /// transient write failure before the engine retires the segment
+    /// and falls back to another address (graceful degradation; only
+    /// relevant when the device injects faults).
+    pub max_write_retries: usize,
     /// Where padding bits are placed for sub-segment values.
     pub padding_location: PaddingLocation,
     /// How padding bits are generated.
@@ -69,6 +74,7 @@ impl Default for E2Config {
             train_sample_cap: 4096,
             retrain_min_free: 2,
             num_shards: 1,
+            max_write_retries: 2,
             padding_location: PaddingLocation::End,
             padding_type: PaddingType::Learned,
             seed: 0xE211,
@@ -229,6 +235,8 @@ impl E2ConfigBuilder {
         retrain_min_free: usize,
         /// Number of independent serving shards.
         num_shards: usize,
+        /// Write retries after a transient failure before retiring.
+        max_write_retries: usize,
         /// Where padding bits are placed.
         padding_location: PaddingLocation,
         /// How padding bits are generated.

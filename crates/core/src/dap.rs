@@ -25,6 +25,9 @@ pub enum DapError {
         /// Number of clusters in the pool.
         k: usize,
     },
+    /// The segment has been permanently retired (worn out) and can
+    /// never re-enter a free pool.
+    Retired(SegmentId),
 }
 
 impl std::fmt::Display for DapError {
@@ -34,6 +37,7 @@ impl std::fmt::Display for DapError {
             DapError::BadCluster { cluster, k } => {
                 write!(f, "cluster {cluster} out of range (k = {k})")
             }
+            DapError::Retired(seg) => write!(f, "segment {seg} is retired (worn out)"),
         }
     }
 }
@@ -47,6 +51,10 @@ pub struct DynamicAddressPool {
     /// `membership[seg] == Some(cluster)` iff the segment is free and
     /// parked in that cluster's pool.
     membership: Vec<Option<u32>>,
+    /// The quarantine list: `retired[seg]` is permanently true once the
+    /// segment wears out. Retired segments are barred from `push` and
+    /// filtered out of `rebuild`, so the pool can never hand one out.
+    retired: Vec<bool>,
     min_threshold: usize,
 }
 
@@ -61,6 +69,7 @@ impl DynamicAddressPool {
         Self {
             pools: (0..k).map(|_| VecDeque::new()).collect(),
             membership: vec![None; num_segments],
+            retired: vec![false; num_segments],
             min_threshold,
         }
     }
@@ -87,6 +96,9 @@ impl DynamicAddressPool {
                 cluster,
                 k: self.pools.len(),
             });
+        }
+        if self.is_retired(seg) {
+            return Err(DapError::Retired(seg));
         }
         let slot = &mut self.membership[seg.index()];
         if slot.is_some() {
@@ -125,13 +137,55 @@ impl DynamicAddressPool {
             .position(|p| p.len() <= self.min_threshold)
     }
 
+    /// Permanently retire a segment (quarantine: it wore out). Removes
+    /// it from its free pool if currently parked; after this, `push`
+    /// rejects it and `rebuild` silently drops it. Returns `true` if
+    /// the segment was newly retired.
+    pub fn retire(&mut self, seg: SegmentId) -> bool {
+        let Some(flag) = self.retired.get_mut(seg.index()) else {
+            return false;
+        };
+        if *flag {
+            return false;
+        }
+        *flag = true;
+        if let Some(cluster) = self.membership[seg.index()].take() {
+            self.pools[cluster as usize].retain(|&s| s != seg);
+        }
+        true
+    }
+
+    /// Whether `seg` has been permanently retired.
+    pub fn is_retired(&self, seg: SegmentId) -> bool {
+        self.retired.get(seg.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of retired segments.
+    pub fn retired_count(&self) -> usize {
+        self.retired.iter().filter(|&&r| r).count()
+    }
+
+    /// All retired segments, ascending.
+    pub fn retired_segments(&self) -> Vec<SegmentId> {
+        self.retired
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| r.then_some(SegmentId(i)))
+            .collect()
+    }
+
     /// Rebuild the pool from scratch with a new cluster count and
-    /// assignment list (after retraining).
+    /// assignment list (after retraining). Retirement is permanent:
+    /// retired segments in `assignments` are dropped, so a retrain can
+    /// classify every segment without resurrecting dead ones.
     pub fn rebuild(&mut self, k: usize, assignments: &[(SegmentId, usize)]) {
         assert!(k > 0, "rebuild: k must be >= 1");
         self.pools = (0..k).map(|_| VecDeque::new()).collect();
         self.membership.iter_mut().for_each(|m| *m = None);
         for &(seg, cluster) in assignments {
+            if self.is_retired(seg) {
+                continue;
+            }
             self.push(cluster, seg)
                 .expect("rebuild: duplicate segment in assignments");
         }
@@ -146,7 +200,9 @@ impl DynamicAddressPool {
             .iter()
             .map(|p| p.capacity() * std::mem::size_of::<SegmentId>())
             .sum();
-        slots + self.membership.len() * std::mem::size_of::<Option<u32>>()
+        slots
+            + self.membership.len() * std::mem::size_of::<Option<u32>>()
+            + self.retired.len() * std::mem::size_of::<bool>()
     }
 
     /// Whether `seg` is currently free.
@@ -252,6 +308,46 @@ mod tests {
         let small = DynamicAddressPool::new(4, 1_000, 0);
         let large = DynamicAddressPool::new(4, 100_000, 0);
         assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn retire_removes_from_pool_and_blocks_push() {
+        let mut dap = DynamicAddressPool::new(2, 10, 0);
+        dap.push(0, seg(3)).unwrap();
+        dap.push(0, seg(4)).unwrap();
+        assert!(dap.retire(seg(3)));
+        assert!(!dap.retire(seg(3)), "second retire is a no-op");
+        assert!(dap.is_retired(seg(3)));
+        assert!(!dap.is_free(seg(3)));
+        assert_eq!(dap.free_count(), 1);
+        assert_eq!(dap.pop(0), Some(seg(4)));
+        assert_eq!(dap.pop(0), None, "retired segment must never be handed out");
+        assert_eq!(dap.push(1, seg(3)), Err(DapError::Retired(seg(3))));
+        assert_eq!(dap.retired_count(), 1);
+        assert_eq!(dap.retired_segments(), vec![seg(3)]);
+    }
+
+    #[test]
+    fn retire_while_in_flight_blocks_recycle() {
+        // A segment popped (in use) then retired cannot be recycled.
+        let mut dap = DynamicAddressPool::new(1, 4, 0);
+        dap.push(0, seg(2)).unwrap();
+        let s = dap.pop(0).unwrap();
+        assert!(dap.retire(s));
+        assert_eq!(dap.push(0, s), Err(DapError::Retired(s)));
+        assert_eq!(dap.free_count(), 0);
+    }
+
+    #[test]
+    fn rebuild_filters_retired() {
+        let mut dap = DynamicAddressPool::new(2, 10, 0);
+        dap.push(0, seg(0)).unwrap();
+        dap.retire(seg(5));
+        dap.rebuild(3, &[(seg(5), 2), (seg(6), 0), (seg(0), 1)]);
+        assert_eq!(dap.free_count(), 2, "retired seg 5 dropped from rebuild");
+        assert!(!dap.is_free(seg(5)));
+        assert!(dap.is_retired(seg(5)), "retirement survives rebuild");
+        assert_eq!(dap.pop(2), None);
     }
 
     #[test]

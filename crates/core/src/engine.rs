@@ -17,7 +17,7 @@ use crate::incremental::IncrementalIndexer;
 use crate::model::E2Model;
 use crate::padding::Padder;
 use crate::telemetry::EngineTelemetry;
-use e2nvm_sim::{MemoryController, SegmentId, WriteReport};
+use e2nvm_sim::{MemoryController, SegmentId, SimError, WriteReport};
 use e2nvm_telemetry::{Event, TelemetryRegistry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -135,7 +135,10 @@ impl E2Engine {
         let free: Vec<SegmentId> = if self.model.is_some() {
             self.dap.free_segments()
         } else {
-            (0..self.controller.num_segments()).map(SegmentId).collect()
+            (0..self.controller.num_segments())
+                .map(SegmentId)
+                .filter(|&seg| !self.dap.is_retired(seg))
+                .collect()
         };
         free.into_iter()
             .map(|seg| {
@@ -312,6 +315,17 @@ impl E2Engine {
     /// segment's (recycled) content untouched. Integrators that append
     /// records into partially filled segments use this so the untouched
     /// region costs no flips.
+    ///
+    /// Fault handling (graceful degradation): a transient verify
+    /// failure is re-programmed up to
+    /// [`E2Config::max_write_retries`] times — each retry only touches
+    /// the bits that still differ. A segment that wears out, or keeps
+    /// failing after the retries, is permanently retired from the pool
+    /// and the placement falls back to the next free address; capacity
+    /// shrinks but no write is ever lost. When the pool runs dry *and*
+    /// segments have been retired the error is
+    /// [`E2Error::PoolDepleted`] rather than plain `OutOfSpace`, so
+    /// callers can tell degraded mode from ordinary fill-up.
     pub fn place_at(&mut self, offset: usize, value: &[u8]) -> Result<(SegmentId, WriteReport)> {
         if offset + value.len() > self.cfg.segment_bytes {
             return Err(E2Error::ValueTooLarge {
@@ -327,16 +341,52 @@ impl E2Engine {
         self.prediction.total_ns += pred_ns;
         self.telemetry.observe_prediction(pred_ns as u64);
         let predicted = order.first().copied().unwrap_or(0);
-        let (seg, used) = self
-            .dap
-            .pop_with_fallback(&order)
-            .ok_or(E2Error::OutOfSpace)?;
-        self.telemetry.record_placement(predicted, used);
-        self.telemetry
-            .set_cluster_depth(used, self.dap.cluster_len(used));
-        let report = self.controller.write_at(seg, offset, value)?;
-        self.padder.observe(value);
-        Ok((seg, report))
+        loop {
+            let Some((seg, used)) = self.dap.pop_with_fallback(&order) else {
+                let retired = self.dap.retired_count();
+                return Err(if retired > 0 {
+                    E2Error::PoolDepleted { retired }
+                } else {
+                    E2Error::OutOfSpace
+                });
+            };
+            let mut attempts = 0usize;
+            // Program-and-verify with bounded retry: the device reports
+            // a transient failure after keeping some bits stale, so a
+            // retry re-programs only what still differs.
+            let result = loop {
+                match self.controller.write_at(seg, offset, value) {
+                    Err(SimError::WriteFailed { .. }) if attempts < self.cfg.max_write_retries => {
+                        attempts += 1;
+                        self.telemetry.write_retries.inc();
+                    }
+                    other => break other,
+                }
+            };
+            match result {
+                Ok(report) => {
+                    self.telemetry.record_placement(predicted, used);
+                    self.telemetry
+                        .set_cluster_depth(used, self.dap.cluster_len(used));
+                    self.padder.observe(value);
+                    return Ok((seg, report));
+                }
+                Err(SimError::SegmentWornOut { .. } | SimError::WriteFailed { .. }) => {
+                    // Worn out, or still failing verify after the retry
+                    // budget: quarantine the address and fall back.
+                    self.retire_segment(seg);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Permanently quarantine `seg`: it leaves the address pool for
+    /// good and the retirement is journaled. Idempotent.
+    fn retire_segment(&mut self, seg: SegmentId) {
+        if self.dap.retire(seg) {
+            self.telemetry.record_retirement(seg.index());
+        }
     }
 
     /// Preview where [`E2Engine::place_value`] would land `value` and
@@ -364,8 +414,12 @@ impl E2Engine {
     }
 
     /// Low-level recycle: classify the segment's current content and
-    /// return it to the DAP.
+    /// return it to the DAP. Recycling a retired segment is a no-op —
+    /// dead addresses never re-enter circulation.
     pub fn recycle_segment(&mut self, seg: SegmentId) -> Result<()> {
+        if self.dap.is_retired(seg) {
+            return Ok(());
+        }
         let content = self.controller.peek(seg)?.to_vec();
         let model = self.model.as_ref().ok_or(E2Error::NotTrained)?;
         let cluster = model.predict_features(&e2nvm_ml::data::bytes_to_features(&content));
@@ -434,6 +488,17 @@ impl E2Engine {
     /// Free segments available for placement.
     pub fn free_count(&self) -> usize {
         self.dap.free_count()
+    }
+
+    /// Segments permanently retired by wear-out (degraded-mode
+    /// capacity loss).
+    pub fn retired_count(&self) -> usize {
+        self.dap.retired_count()
+    }
+
+    /// The retired segments themselves, ascending.
+    pub fn retired_segments(&self) -> Vec<SegmentId> {
+        self.dap.retired_segments()
     }
 
     /// Device statistics (flips, energy, latency).
@@ -656,6 +721,135 @@ mod tests {
         assert_eq!(s.predictions, 2);
         assert!(s.mean_ns() > 0.0);
         assert!(e.predict_macs() > 0);
+    }
+
+    fn faulty_engine(num_segments: usize, endurance_bits: u64, transient_rate: f64) -> E2Engine {
+        let dev = NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(32)
+                .num_segments(num_segments)
+                .fault(e2nvm_sim::FaultConfig {
+                    seed: 9,
+                    endurance_bits,
+                    endurance_shape: 3.0,
+                    transient_rate,
+                })
+                .build()
+                .unwrap(),
+        );
+        let cfg = E2Config::builder()
+            .fast(32, 2)
+            .pretrain_epochs(6)
+            .joint_epochs(2)
+            .retrain_min_free(0)
+            .padding_type(crate::padding::PaddingType::Zero)
+            .build()
+            .unwrap();
+        E2Engine::new(MemoryController::without_wear_leveling(dev), cfg).unwrap()
+    }
+
+    /// Per-round pseudo-random content: ~half the bits differ from any
+    /// earlier round, so content-similar placement cannot dodge the
+    /// flips and endurance burns fast.
+    fn burn_pattern(round: usize) -> [u8; 32] {
+        let mut x = round as u64 ^ 0xB17_B17;
+        let mut out = [0u8; 32];
+        for b in out.iter_mut() {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (x >> 56) as u8;
+        }
+        out
+    }
+
+    #[test]
+    fn worn_segment_is_retired_and_serving_continues() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut e = faulty_engine(16, 4_000, 0.0);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        let mut round = 0usize;
+        while e.retired_count() == 0 {
+            assert!(round < 2_000, "no segment ever wore out");
+            e.put(1, &burn_pattern(round)).unwrap();
+            round += 1;
+        }
+        // Degraded mode: a segment died mid-write, the engine retired it
+        // and fell back — the value of that very write survived intact.
+        assert_eq!(e.get(1).unwrap(), burn_pattern(round - 1).to_vec());
+        let retired = e.retired_segments();
+        assert_eq!(retired.len(), e.retired_count());
+        // Writes keep working after retirement.
+        e.put(2, &[0x0Fu8; 32]).unwrap();
+        assert_eq!(e.get(2).unwrap(), vec![0x0Fu8; 32]);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_transparently() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut e = faulty_engine(16, u64::MAX >> 8, 0.2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        for round in 0..60 {
+            e.put(round as u64 % 4, &burn_pattern(round)).unwrap();
+        }
+        for k in 0..4u64 {
+            // Every key readable: retries converged on each value.
+            assert_eq!(e.get(k).unwrap().len(), 32);
+        }
+        // With a 20% transient rate over 60 writes, at least one retry
+        // must have been needed somewhere — but none escalated to
+        // retirement (endurance is unreachable, verify converges).
+        assert_eq!(e.retired_count(), 0);
+    }
+
+    #[test]
+    fn depleted_pool_reports_degraded_mode() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut e = faulty_engine(8, 1_500, 0.0);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        let mut last = Ok(());
+        for round in 0..2_000 {
+            last = e.put(1, &burn_pattern(round)).map(|_| ());
+            if last.is_err() {
+                break;
+            }
+        }
+        match last {
+            Err(E2Error::PoolDepleted { retired }) => {
+                assert!(retired > 0, "depletion must report retirements");
+                assert_eq!(retired, e.retired_count());
+            }
+            other => panic!("expected PoolDepleted, got {other:?}"),
+        }
+        // The key's last successful value is still readable.
+        assert_eq!(e.get(1).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn retrain_preserves_retirements() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut e = faulty_engine(16, 4_000, 0.0);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        let mut round = 0usize;
+        while e.retired_count() == 0 {
+            assert!(round < 2_000, "no segment ever wore out");
+            e.put(1, &burn_pattern(round)).unwrap();
+            round += 1;
+        }
+        let retired = e.retired_segments();
+        e.train().unwrap();
+        assert_eq!(
+            e.retired_segments(),
+            retired,
+            "retraining must not resurrect dead segments"
+        );
+        for seg in retired {
+            assert!(!e.dap.is_free(seg));
+        }
     }
 
     #[test]

@@ -11,6 +11,12 @@ pub enum E2Error {
     NotTrained,
     /// The dynamic address pool has no free segment left.
     OutOfSpace,
+    /// The pool ran dry *and* segments have been permanently retired by
+    /// wear-out: the store is in degraded mode with shrunken capacity.
+    PoolDepleted {
+        /// Number of segments permanently retired so far.
+        retired: usize,
+    },
     /// The value does not fit in one segment.
     ValueTooLarge {
         /// Bytes supplied.
@@ -34,6 +40,10 @@ impl std::fmt::Display for E2Error {
         match self {
             E2Error::NotTrained => write!(f, "engine not trained yet"),
             E2Error::OutOfSpace => write!(f, "no free segments in the dynamic address pool"),
+            E2Error::PoolDepleted { retired } => write!(
+                f,
+                "address pool depleted in degraded mode ({retired} segments retired by wear-out)"
+            ),
             E2Error::ValueTooLarge { len, segment_bytes } => write!(
                 f,
                 "value of {len} bytes exceeds segment size {segment_bytes}"
@@ -75,6 +85,9 @@ mod tests {
         let e: E2Error = DapError::AlreadyFree(e2nvm_sim::SegmentId(3)).into();
         assert!(e.to_string().contains("address pool"));
         assert!(E2Error::OutOfSpace.to_string().contains("free segments"));
+        assert!(E2Error::PoolDepleted { retired: 3 }
+            .to_string()
+            .contains("3 segments retired"));
         assert!(E2Error::ValueTooLarge {
             len: 10,
             segment_bytes: 4

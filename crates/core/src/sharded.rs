@@ -188,6 +188,11 @@ impl ShardedEngine {
         self.shards.iter().map(SharedEngine::free_count).sum()
     }
 
+    /// Segments permanently retired by wear-out across all shards.
+    pub fn retired_count(&self) -> usize {
+        self.shards.iter().map(SharedEngine::retired_count).sum()
+    }
+
     /// Device statistics aggregated over all shards.
     pub fn device_stats(&self) -> DeviceStats {
         let mut total = DeviceStats::default();

@@ -28,6 +28,10 @@ pub struct EngineTelemetry {
     pub exhaustions: Counter,
     /// Models installed (synchronous trains and background swaps).
     pub retrains: Counter,
+    /// Write re-programs issued after transient device failures.
+    pub write_retries: Counter,
+    /// Segments permanently retired from the pool by wear-out.
+    pub retired_segments: Counter,
     /// Padding + model-prediction latency per placement (ns).
     pub prediction_latency_ns: Histogram,
     /// One gauge per cluster: current DAP free-list depth.
@@ -51,6 +55,8 @@ impl EngineTelemetry {
             fallbacks: Counter::disconnected(),
             exhaustions: Counter::disconnected(),
             retrains: Counter::disconnected(),
+            write_retries: Counter::disconnected(),
+            retired_segments: Counter::disconnected(),
             prediction_latency_ns: Histogram::disconnected(&PREDICTION_BOUNDS),
             cluster_depth: Vec::new(),
         }
@@ -79,6 +85,14 @@ impl EngineTelemetry {
             retrains: c(
                 "e2nvm_engine_retrains_total",
                 "Models installed (initial training and retrains)",
+            ),
+            write_retries: c(
+                "e2nvm_engine_write_retries_total",
+                "Write re-programs after transient device failures",
+            ),
+            retired_segments: c(
+                "e2nvm_engine_retired_segments_total",
+                "Segments permanently retired from the pool by wear-out",
             ),
             prediction_latency_ns: registry.histogram_with_labels(
                 "e2nvm_engine_prediction_latency_ns",
@@ -128,6 +142,17 @@ impl EngineTelemetry {
                 used,
             });
         }
+    }
+
+    /// Account a permanent segment retirement: bump the counter and
+    /// journal a [`Event::SegmentRetired`] so operators can see the
+    /// capacity shrink.
+    pub fn record_retirement(&self, segment: usize) {
+        self.retired_segments.inc();
+        self.record_event(Event::SegmentRetired {
+            shard: self.shard,
+            segment,
+        });
     }
 
     /// Update one cluster's free-list depth gauge.

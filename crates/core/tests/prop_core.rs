@@ -103,6 +103,71 @@ proptest! {
         }
     }
 
+    /// Quarantine invariant: once a segment is retired, the pool never
+    /// hands it out again — not from `pop`, not after recycling
+    /// attempts, not across a `rebuild` — and conservation holds over
+    /// the shrunken capacity.
+    #[test]
+    fn dap_never_hands_out_retired(
+        ops in proptest::collection::vec((0u8..4, 0usize..16), 1..250),
+        k in 1usize..5,
+    ) {
+        let n = 32;
+        let mut dap = DynamicAddressPool::new(k, n, 0);
+        for i in 0..n {
+            dap.push(i % k, SegmentId(i)).unwrap();
+        }
+        let mut held: Vec<SegmentId> = Vec::new();
+        let mut retired: Vec<SegmentId> = Vec::new();
+        for (op, x) in ops {
+            match op {
+                // Pop from some cluster.
+                0 | 1 => {
+                    if let Some(seg) = dap.pop(x % k) {
+                        prop_assert!(!dap.is_retired(seg), "pop handed out a retired segment");
+                        held.push(seg);
+                    }
+                }
+                // Recycle a held segment.
+                2 => {
+                    if let Some(seg) = held.pop() {
+                        dap.push(x % k, seg).unwrap();
+                    }
+                }
+                // Retire: either a held segment (wore out mid-write) or
+                // a free one (proactive scrubbing).
+                _ => {
+                    let seg = if x % 2 == 0 {
+                        held.pop()
+                    } else {
+                        dap.pop_with_fallback(&(0..k).collect::<Vec<_>>()).map(|(s, _)| s)
+                    };
+                    if let Some(seg) = seg {
+                        prop_assert!(dap.retire(seg));
+                        prop_assert!(dap.push(0, seg).is_err(), "retired segment re-entered pool");
+                        retired.push(seg);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                dap.free_count() + held.len() + retired.len(),
+                n,
+                "capacity not conserved under retirement"
+            );
+            prop_assert_eq!(dap.retired_count(), retired.len());
+        }
+        // A retrain-style rebuild classifying *every* segment must drop
+        // exactly the retired ones.
+        let assignments: Vec<(SegmentId, usize)> =
+            (0..n).map(|i| (SegmentId(i), i % k)).collect();
+        dap.rebuild(k, &assignments);
+        prop_assert_eq!(dap.free_count(), n - retired.len());
+        for seg in &retired {
+            prop_assert!(!dap.is_free(*seg), "rebuild resurrected a retired segment");
+            prop_assert!(dap.is_retired(*seg));
+        }
+    }
+
     /// Batch accumulator: items never overlap, never cross the
     /// capacity, and every pushed byte is recoverable.
     #[test]

@@ -59,6 +59,11 @@ impl E2KvStore {
         &mut self.engine
     }
 
+    /// Segments permanently retired by wear-out (degraded mode).
+    pub fn retired_count(&self) -> usize {
+        self.engine.retired_count()
+    }
+
     /// Number of keys stored.
     pub fn len(&self) -> usize {
         self.index.len()
@@ -176,6 +181,12 @@ impl ShardedE2KvStore {
     /// Borrow the sharded engine (stats, retraining, shard inspection).
     pub fn engine(&self) -> &ShardedEngine {
         &self.engine
+    }
+
+    /// Segments permanently retired by wear-out across all shards
+    /// (degraded mode).
+    pub fn retired_count(&self) -> usize {
+        self.engine.retired_count()
     }
 
     /// Number of keys stored across all shards.

@@ -25,6 +25,14 @@ pub struct NodeId(pub u64);
 pub enum StoreError {
     /// No free segment available.
     OutOfSpace,
+    /// The store is in degraded mode: worn-out segments have been
+    /// permanently retired, and the shrunken pool has now run dry.
+    /// Previously written data stays readable; only new placements
+    /// fail.
+    Degraded {
+        /// Number of segments permanently retired by wear-out.
+        retired: usize,
+    },
     /// The node id was never allocated (or already freed).
     UnknownNode(NodeId),
     /// Device-level failure.
@@ -38,6 +46,10 @@ impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::OutOfSpace => write!(f, "node store out of space"),
+            StoreError::Degraded { retired } => write!(
+                f,
+                "node store degraded: pool dry after {retired} segments retired by wear-out"
+            ),
             StoreError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
             StoreError::Sim(e) => write!(f, "device error: {e}"),
             StoreError::Engine(e) => write!(f, "E2 engine error: {e}"),
@@ -65,6 +77,7 @@ impl From<E2Error> for StoreError {
     fn from(e: E2Error) -> Self {
         match e {
             E2Error::OutOfSpace => StoreError::OutOfSpace,
+            E2Error::PoolDepleted { retired } => StoreError::Degraded { retired },
             E2Error::Sim(e) => StoreError::Sim(e),
             other => StoreError::Engine(other),
         }

@@ -3,6 +3,7 @@
 
 use crate::energy::EnergyParams;
 use crate::error::{Result, SimError};
+use crate::fault::FaultConfig;
 use crate::latency::LatencyParams;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +55,12 @@ pub struct DeviceConfig {
     pub energy: EnergyParams,
     /// Latency model parameters.
     pub latency: LatencyParams,
+    /// Optional fault injection: finite per-segment endurance and
+    /// transient write failures. `None` (the default, and what older
+    /// serialized configs deserialize to) keeps the device fault-free
+    /// with behaviour bit-identical to previous releases.
+    #[serde(default)]
+    pub fault: Option<FaultConfig>,
 }
 
 impl DeviceConfig {
@@ -115,6 +122,9 @@ impl DeviceConfig {
                 self.pool_bytes() * 8
             )));
         }
+        if let Some(fault) = &self.fault {
+            fault.validate()?;
+        }
         Ok(())
     }
 }
@@ -137,6 +147,7 @@ impl Default for DeviceConfigBuilder {
                 wear_tracking: WearTracking::None,
                 energy: EnergyParams::default(),
                 latency: LatencyParams::default(),
+                fault: None,
             },
         }
     }
@@ -188,6 +199,12 @@ impl DeviceConfigBuilder {
     /// Override latency parameters.
     pub fn latency(mut self, v: LatencyParams) -> Self {
         self.cfg.latency = v;
+        self
+    }
+
+    /// Enable fault injection (finite endurance, transient failures).
+    pub fn fault(mut self, v: FaultConfig) -> Self {
+        self.cfg.fault = Some(v);
         self
     }
 
@@ -250,6 +267,29 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("PerBit"));
+    }
+
+    #[test]
+    fn fault_config_validated_through_builder() {
+        let err = DeviceConfig::builder()
+            .fault(FaultConfig {
+                transient_rate: 2.0,
+                ..FaultConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("transient_rate"));
+        let cfg = DeviceConfig::builder()
+            .fault(FaultConfig::default())
+            .build()
+            .unwrap();
+        assert!(cfg.fault.is_some());
+    }
+
+    #[test]
+    fn fault_injection_is_off_by_default() {
+        let cfg = DeviceConfig::builder().build().unwrap();
+        assert_eq!(cfg.fault, None);
     }
 
     #[test]

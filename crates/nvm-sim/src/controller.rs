@@ -99,10 +99,25 @@ impl MemoryController {
             })
     }
 
+    /// Record a journal event for a fault-model write error before
+    /// propagating it (worn-out segments are rare, journal-worthy
+    /// occurrences; transient failures are high-volume and only
+    /// counted).
+    fn journal_write_error(&self, err: &SimError) {
+        if let SimError::SegmentWornOut { segment, .. } = err {
+            self.telemetry
+                .journal()
+                .record(Event::SegmentWornOut { segment: *segment });
+        }
+    }
+
     /// Write a full logical segment.
     pub fn write(&mut self, logical: SegmentId, data: &[u8]) -> Result<WriteReport> {
         let phys = self.physical(logical)?;
-        let mut report = self.device.write(phys, data)?;
+        let mut report = self.device.write(phys, data).map_err(|e| {
+            self.journal_write_error(&e);
+            e
+        })?;
         self.run_wear_leveling(phys, &mut report)?;
         Ok(report)
     }
@@ -115,7 +130,10 @@ impl MemoryController {
         data: &[u8],
     ) -> Result<WriteReport> {
         let phys = self.physical(logical)?;
-        let mut report = self.device.write_at(phys, offset, data)?;
+        let mut report = self.device.write_at(phys, offset, data).map_err(|e| {
+            self.journal_write_error(&e);
+            e
+        })?;
         self.run_wear_leveling(phys, &mut report)?;
         Ok(report)
     }

@@ -4,6 +4,7 @@
 use crate::bitops;
 use crate::config::DeviceConfig;
 use crate::error::{Result, SimError};
+use crate::fault::{FaultModel, FaultStats};
 use crate::stats::{DeviceStats, WearCounters};
 use crate::telemetry::DeviceTelemetry;
 use crate::trace::{TraceEvent, WriteTrace};
@@ -80,6 +81,9 @@ pub struct NvmDevice {
     wear: WearCounters,
     trace: Option<WriteTrace>,
     telemetry: DeviceTelemetry,
+    /// Present iff `cfg.fault` is set; `None` keeps every write path
+    /// exactly as it was before fault injection existed.
+    fault: Option<FaultModel>,
 }
 
 impl NvmDevice {
@@ -92,12 +96,17 @@ impl NvmDevice {
         cfg.validate().expect("invalid DeviceConfig");
         let pool = cfg.pool_bytes();
         let wear = WearCounters::new(cfg.wear_tracking, cfg.num_segments, pool);
+        let fault = cfg
+            .fault
+            .as_ref()
+            .map(|fc| FaultModel::new(fc.clone(), cfg.num_segments));
         Self {
             data: vec![0u8; pool],
             stats: DeviceStats::default(),
             wear,
             trace: None,
             telemetry: DeviceTelemetry::disconnected(),
+            fault,
             cfg,
         }
     }
@@ -199,6 +208,18 @@ impl NvmDevice {
                 segment_bytes: self.cfg.segment_bytes,
             });
         }
+        // A worn-out segment rejects every write up front: its cells are
+        // stuck, no pulses are issued, nothing is accounted.
+        if let Some(f) = &mut self.fault {
+            if f.is_worn(seg.0) {
+                f.record_rejection();
+                self.telemetry.write_failures.inc();
+                return Err(SimError::SegmentWornOut {
+                    segment: seg.0,
+                    stuck_bits: 0,
+                });
+            }
+        }
         let line = self.cfg.cache_line_bytes;
         let seg_len = self.cfg.segment_bytes;
         let mut report = WriteReport::default();
@@ -210,6 +231,28 @@ impl NvmDevice {
             self.account(seg, 0, &report);
             return Ok(report);
         }
+
+        // Transient fault pre-stage: a failing write programs only a
+        // subset of the differing bytes. The normal loop below then runs
+        // on this `effective` buffer — the pulses that did land are
+        // accounted at full price — and the write reports the bits that
+        // failed program-and-verify.
+        let mut transient_failed_bits = 0u64;
+        let effective: Option<Vec<u8>> = match &mut self.fault {
+            Some(f) => {
+                if f.transient_fires() {
+                    let old = &self.data[base + offset..base + offset + data.len()];
+                    f.corrupt_transient(old, data).map(|(eff, bits)| {
+                        transient_failed_bits = bits;
+                        eff
+                    })
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        let write_data: &[u8] = effective.as_deref().unwrap_or(data);
 
         // Lines the write touches (line grid is segment-relative; for
         // sub-line segments the whole segment is one line).
@@ -223,7 +266,7 @@ impl NvmDevice {
             let ostart = offset.max(lstart);
             let oend = (offset + data.len()).min(lend);
             let old_region = &self.data[base + ostart..base + oend];
-            let new_region = &data[ostart - offset..oend - offset];
+            let new_region = &write_data[ostart - offset..oend - offset];
             let flips = bitops::hamming(old_region, new_region);
             if flips == 0 && old_region == new_region {
                 report.lines_skipped += 1;
@@ -265,6 +308,33 @@ impl NvmDevice {
         };
         report.latency_ns = self.cfg.latency.write_ns(report.lines_written);
         self.account(seg, (data.len() * 8) as u64, &report);
+
+        // Endurance post-stage: the pulses above count against the
+        // segment's lifetime budget. Crossing the limit wears the
+        // segment out *now* — some freshly programmed cells latch the
+        // wrong value and program-and-verify reports the write failed.
+        if let Some(f) = &mut self.fault {
+            if f.on_programmed(seg.0, report.bits_programmed) {
+                let stuck_bits = {
+                    let region = &mut self.data[base..base + seg_len];
+                    // `fault` and `data` are disjoint fields; re-borrow
+                    // immutably for the deterministic corruption pattern.
+                    f.stuck_corruption(seg.0, region)
+                };
+                self.telemetry.worn_out_segments.inc();
+                return Err(SimError::SegmentWornOut {
+                    segment: seg.0,
+                    stuck_bits,
+                });
+            }
+        }
+        if transient_failed_bits > 0 {
+            self.telemetry.write_failures.inc();
+            return Err(SimError::WriteFailed {
+                segment: seg.0,
+                failed_bits: transient_failed_bits,
+            });
+        }
         Ok(report)
     }
 
@@ -360,6 +430,29 @@ impl NvmDevice {
     /// Wear counters.
     pub fn wear(&self) -> &WearCounters {
         &self.wear
+    }
+
+    /// The fault model, when fault injection is configured. Exposes
+    /// per-segment endurance limits, programmed-bit totals and worn-out
+    /// flags.
+    pub fn fault_state(&self) -> Option<&FaultModel> {
+        self.fault.as_ref()
+    }
+
+    /// Cumulative fault counters; all zero when fault injection is off.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| *f.stats()).unwrap_or_default()
+    }
+
+    /// Whether `seg` has worn out (always `false` without fault
+    /// injection).
+    pub fn is_worn_out(&self, seg: SegmentId) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.is_worn(seg.0))
+    }
+
+    /// Number of worn-out segments (0 without fault injection).
+    pub fn worn_out_count(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.worn_out_count())
     }
 
     /// Export the per-segment wear state as a JSON heatmap document:
@@ -658,6 +751,154 @@ mod tests {
         assert_eq!(r.lines_written, 0);
         assert_eq!(dev.stats().writes, 1);
         assert_eq!(dev.stats().bits_requested, 0);
+    }
+
+    fn faulty_device(endurance_bits: u64, transient_rate: f64) -> NvmDevice {
+        NvmDevice::new(
+            DeviceConfig::builder()
+                .segment_bytes(256)
+                .num_segments(8)
+                .fault(crate::fault::FaultConfig {
+                    seed: 42,
+                    endurance_bits,
+                    endurance_shape: 3.0,
+                    transient_rate,
+                })
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn segment_wears_out_after_endurance_budget() {
+        // ~2 full alternating rewrites (2048 programmed bits each).
+        let mut dev = faulty_device(4096, 0.0);
+        let seg = dev.segment(0);
+        let mut writes = 0u64;
+        let death = loop {
+            let pattern = if writes % 2 == 0 { 0xFFu8 } else { 0x00u8 };
+            match dev.write(seg, &vec![pattern; 256]) {
+                Ok(_) => writes += 1,
+                Err(e) => break e,
+            }
+            assert!(writes < 100, "segment never wore out");
+        };
+        let SimError::SegmentWornOut {
+            segment,
+            stuck_bits,
+        } = death
+        else {
+            panic!("expected SegmentWornOut, got {death}");
+        };
+        assert_eq!(segment, 0);
+        assert!(stuck_bits > 0, "dying write must corrupt verify");
+        assert!(dev.is_worn_out(seg));
+        assert_eq!(dev.worn_out_count(), 1);
+
+        // Content is frozen: further writes are rejected with no pulses
+        // and no mutation.
+        let frozen = dev.peek(seg).to_vec();
+        let stats_before = dev.stats().clone();
+        let err = dev.write(seg, &vec![0xA5u8; 256]).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::SegmentWornOut {
+                segment: 0,
+                stuck_bits: 0
+            }
+        ));
+        assert_eq!(dev.peek(seg), &frozen[..]);
+        assert_eq!(dev.stats(), &stats_before, "rejection accounts nothing");
+        let fs = dev.fault_stats();
+        assert_eq!(fs.worn_out_segments, 1);
+        assert_eq!(fs.worn_out_rejections, 1);
+
+        // Other segments still serve writes.
+        dev.write(dev.segment(1), &vec![0x11u8; 256]).unwrap();
+    }
+
+    #[test]
+    fn fewer_programmed_bits_extend_lifetime() {
+        // Identical endurance seed; the heavy workload flips every bit
+        // each write, the light one a single byte. Lifetime is budgeted
+        // in programmed bits, so light writes survive far longer.
+        let writes_to_death = |light: bool| -> u64 {
+            let mut dev = faulty_device(1 << 16, 0.0);
+            let seg = dev.segment(0);
+            let mut n = 0u64;
+            loop {
+                let pattern = if light {
+                    let mut d = vec![0u8; 256];
+                    d[0] = (n % 2) as u8;
+                    d
+                } else if n % 2 == 0 {
+                    vec![0xFFu8; 256]
+                } else {
+                    vec![0x00u8; 256]
+                };
+                if dev.write(seg, &pattern).is_err() {
+                    return n;
+                }
+                n += 1;
+                assert!(n < 1_000_000);
+            }
+        };
+        let heavy = writes_to_death(false);
+        let light = writes_to_death(true);
+        assert!(
+            light > heavy * 10,
+            "light {light} writes vs heavy {heavy} writes"
+        );
+    }
+
+    #[test]
+    fn transient_failure_reports_bits_and_retry_converges() {
+        let mut dev = faulty_device(u64::MAX >> 8, 0.9);
+        let seg = dev.segment(2);
+        let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        let mut failures = 0u64;
+        let mut attempts = 0u64;
+        loop {
+            attempts += 1;
+            match dev.write(seg, &data) {
+                Ok(_) => break,
+                Err(SimError::WriteFailed {
+                    segment,
+                    failed_bits,
+                }) => {
+                    assert_eq!(segment, 2);
+                    assert!(failed_bits > 0);
+                    failures += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            assert!(attempts < 1000, "retry never converged");
+        }
+        // At 90% failure rate some attempts must have failed, and each
+        // retry programs only the remaining differing bits.
+        assert!(failures > 0);
+        assert_eq!(dev.peek(seg), &data[..], "content converges after retry");
+        assert_eq!(dev.fault_stats().transient_failures, failures);
+    }
+
+    #[test]
+    fn fault_free_config_is_bitwise_inert() {
+        // A fault config that can never fire must leave stats and
+        // content identical to a fault-free device on the same workload.
+        let mut plain = small_device();
+        let mut guarded = faulty_device(u64::MAX >> 8, 0.0);
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..200u64 {
+            let seg = SegmentId((i % 8) as usize);
+            let mut data = vec![0u8; 256];
+            rng.fill(&mut data[..]);
+            let a = plain.write(seg, &data).unwrap();
+            let b = guarded.write(seg, &data).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), guarded.stats());
+        assert_eq!(plain.peek(SegmentId(3)), guarded.peek(SegmentId(3)));
+        assert_eq!(guarded.fault_stats(), crate::fault::FaultStats::default());
     }
 
     #[test]

@@ -32,6 +32,25 @@ pub enum SimError {
         /// The segment size.
         segment_bytes: usize,
     },
+    /// The segment exceeded its endurance limit: its content is frozen
+    /// (stuck-at faults) and every write to it is rejected. Emitted by
+    /// the fault model (see [`crate::FaultConfig`]).
+    SegmentWornOut {
+        /// The worn-out segment.
+        segment: usize,
+        /// Bits the dying write left stuck at the wrong value (0 when
+        /// the segment was already worn out before this write).
+        stuck_bits: u64,
+    },
+    /// A write failed program-and-verify transiently: some differing
+    /// bits were left unprogrammed. Retrying the same write programs
+    /// only the remaining bits and usually succeeds.
+    WriteFailed {
+        /// The segment the write targeted.
+        segment: usize,
+        /// Bits that failed verification.
+        failed_bits: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +74,20 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "range {offset}+{len} out of bounds for segment of {segment_bytes} bytes"
+            ),
+            SimError::SegmentWornOut {
+                segment,
+                stuck_bits,
+            } => write!(
+                f,
+                "segment {segment} worn out ({stuck_bits} bits stuck); content frozen"
+            ),
+            SimError::WriteFailed {
+                segment,
+                failed_bits,
+            } => write!(
+                f,
+                "transient write failure on segment {segment}: {failed_bits} bits failed verify"
             ),
         }
     }
@@ -94,6 +127,20 @@ mod tests {
             segment_bytes: 256,
         };
         assert!(e.to_string().contains("200+100"));
+
+        let e = SimError::SegmentWornOut {
+            segment: 7,
+            stuck_bits: 3,
+        };
+        assert!(e.to_string().contains("segment 7 worn out"));
+        assert!(e.to_string().contains("3 bits stuck"));
+
+        let e = SimError::WriteFailed {
+            segment: 2,
+            failed_bits: 16,
+        };
+        assert!(e.to_string().contains("segment 2"));
+        assert!(e.to_string().contains("16 bits failed"));
     }
 
     #[test]

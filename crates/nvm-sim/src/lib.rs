@@ -47,6 +47,15 @@
 //! assert_eq!(again.bits_flipped, 0);        // identical content: free
 //! assert!(again.energy_pj < report.energy_pj);
 //! ```
+//!
+//! ## Fault injection
+//!
+//! Segments can be given a *finite* endurance budget (plus optional
+//! transient write failures) through [`FaultConfig`]; see the [`fault`]
+//! module for the model and `e2nvm-core` for the graceful-degradation
+//! layer that retires worn-out segments.
+
+#![warn(missing_docs)]
 
 pub mod bitops;
 pub mod config;
@@ -54,6 +63,7 @@ pub mod controller;
 pub mod device;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod latency;
 pub mod meter;
 pub mod partition;
@@ -68,6 +78,7 @@ pub use controller::MemoryController;
 pub use device::{NvmDevice, SegmentId, WriteReport};
 pub use energy::{EnergyCategory, EnergyParams};
 pub use error::{Result, SimError};
+pub use fault::{FaultConfig, FaultModel, FaultStats};
 pub use latency::LatencyParams;
 pub use meter::EnergyMeter;
 pub use partition::{partition_controllers, partition_device, partition_segments, SegmentRange};

@@ -29,16 +29,33 @@ const LATENCY_BOUNDS: [u64; 7] = [100, 300, 1000, 3000, 10_000, 100_000, 1_000_0
 /// Metric handles updated by the device's accounting paths.
 #[derive(Debug, Clone)]
 pub struct DeviceTelemetry {
+    /// Write operations accounted.
     pub writes: Counter,
+    /// Read operations accounted.
     pub reads: Counter,
+    /// Wear-leveling segment swaps performed.
     pub swaps: Counter,
+    /// Cache lines transferred to media.
     pub lines_written: Counter,
+    /// Cache lines skipped because their content was unchanged.
     pub lines_skipped: Counter,
+    /// Stored bits whose value changed.
     pub bits_flipped: Counter,
+    /// 0→1 transitions (SET pulses).
     pub bits_set: Counter,
+    /// 1→0 transitions (RESET pulses).
     pub bits_reset: Counter,
+    /// Bits that received a programming pulse.
     pub bits_programmed: Counter,
+    /// Bits software asked to write.
     pub bits_requested: Counter,
+    /// Writes that failed: transient program-and-verify failures plus
+    /// rejected writes to worn-out segments. Not mirrored in
+    /// [`crate::DeviceStats`] (fault counters live in
+    /// [`crate::FaultStats`]).
+    pub write_failures: Counter,
+    /// Segments that have crossed their endurance limit.
+    pub worn_out_segments: Counter,
     /// Distribution of bit flips per write operation.
     pub flips_per_write: Histogram,
     /// Distribution of the modeled write latency (ns) per operation.
@@ -66,6 +83,8 @@ impl DeviceTelemetry {
             bits_reset: Counter::disconnected(),
             bits_programmed: Counter::disconnected(),
             bits_requested: Counter::disconnected(),
+            write_failures: Counter::disconnected(),
+            worn_out_segments: Counter::disconnected(),
             flips_per_write: Histogram::disconnected(&FLIP_BOUNDS),
             write_latency_ns: Histogram::disconnected(&LATENCY_BOUNDS),
         }
@@ -103,6 +122,14 @@ impl DeviceTelemetry {
             bits_requested: c(
                 "e2nvm_device_bits_requested_total",
                 "Bits software asked to write",
+            ),
+            write_failures: c(
+                "e2nvm_device_write_failures_total",
+                "Writes that failed program-and-verify or hit a worn-out segment",
+            ),
+            worn_out_segments: c(
+                "e2nvm_device_worn_out_segments_total",
+                "Segments that crossed their endurance limit",
             ),
             flips_per_write: registry.histogram_with_labels(
                 "e2nvm_device_flips_per_write",

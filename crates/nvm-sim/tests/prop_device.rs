@@ -3,7 +3,7 @@
 //! controller's remap must stay a bijection under arbitrary traffic.
 
 use e2nvm_sim::bitops::hamming;
-use e2nvm_sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId, WearTracking};
+use e2nvm_sim::{DeviceConfig, FaultConfig, MemoryController, NvmDevice, SegmentId, WearTracking};
 use proptest::prelude::*;
 
 fn segment_data(len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -151,5 +151,85 @@ proptest! {
         let worst = cfg.energy.write_energy_pj(4, 256 * 8);
         prop_assert!(r.energy_pj >= 0.0);
         prop_assert!(r.energy_pj <= worst);
+    }
+
+    /// Fault injection that cannot fire (zero transient rate, an
+    /// endurance budget no workload can reach) is bitwise inert: over
+    /// arbitrary write traffic a fault-carrying device produces exactly
+    /// the same reports, stats, and contents as a plain one. This pins
+    /// the acceptance criterion that faults-disabled behavior is
+    /// identical to the pre-fault device.
+    #[test]
+    fn unreachable_fault_config_is_bitwise_inert(
+        writes in proptest::collection::vec(
+            (0usize..4, segment_data(128)), 1..40),
+    ) {
+        let plain_cfg = DeviceConfig::builder()
+            .segment_bytes(128)
+            .num_segments(4)
+            .build()
+            .unwrap();
+        let guarded_cfg = DeviceConfig::builder()
+            .segment_bytes(128)
+            .num_segments(4)
+            .fault(FaultConfig {
+                seed: 7,
+                endurance_bits: u64::MAX >> 8,
+                endurance_shape: 3.0,
+                transient_rate: 0.0,
+            })
+            .build()
+            .unwrap();
+        let mut plain = NvmDevice::new(plain_cfg);
+        let mut guarded = NvmDevice::new(guarded_cfg);
+        for (seg, data) in &writes {
+            let a = plain.write(SegmentId(*seg), data).unwrap();
+            let b = guarded.write(SegmentId(*seg), data).unwrap();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(plain.stats(), guarded.stats());
+        for seg in 0..4 {
+            prop_assert_eq!(plain.peek(SegmentId(seg)), guarded.peek(SegmentId(seg)));
+        }
+        prop_assert_eq!(guarded.fault_stats(), e2nvm_sim::FaultStats::default());
+        prop_assert_eq!(guarded.worn_out_count(), 0);
+    }
+
+    /// The fault model is deterministic: two identically configured
+    /// devices fed the same traffic fail at exactly the same writes
+    /// with exactly the same reported bits.
+    #[test]
+    fn fault_injection_is_deterministic(
+        writes in proptest::collection::vec(
+            (0usize..4, segment_data(128)), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let build = || {
+            NvmDevice::new(
+                DeviceConfig::builder()
+                    .segment_bytes(128)
+                    .num_segments(4)
+                    .fault(FaultConfig {
+                        seed,
+                        endurance_bits: 40_000,
+                        endurance_shape: 3.0,
+                        transient_rate: 0.05,
+                    })
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let mut a = build();
+        let mut b = build();
+        for (seg, data) in &writes {
+            let ra = a.write(SegmentId(*seg), data);
+            let rb = b.write(SegmentId(*seg), data);
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.fault_stats(), b.fault_stats());
+        for seg in 0..4 {
+            prop_assert_eq!(a.peek(SegmentId(seg)), b.peek(SegmentId(seg)));
+        }
     }
 }

@@ -12,27 +12,67 @@
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
     /// A background retrain was submitted for `shard`.
-    RetrainStarted { shard: usize },
+    RetrainStarted {
+        /// Shard whose retrain was submitted.
+        shard: usize,
+    },
     /// A retrained model was installed on `shard`. `loss` is the final
     /// training loss of the new model when available.
     RetrainFinished {
+        /// Shard the model was installed on.
         shard: usize,
+        /// Final training loss of the new model, when available.
         loss: Option<f64>,
+        /// Wall-clock training duration in milliseconds.
         duration_ms: u64,
     },
     /// A placement request found cluster `cluster`'s free list empty.
-    ClusterExhausted { shard: usize, cluster: usize },
+    ClusterExhausted {
+        /// Shard the placement ran on.
+        shard: usize,
+        /// Cluster whose free list was empty.
+        cluster: usize,
+    },
     /// A placement fell back from the predicted cluster to another
     /// cluster's free list.
     FallbackPlacement {
+        /// Shard the placement ran on.
         shard: usize,
+        /// Cluster the model predicted.
         predicted: usize,
+        /// Cluster that actually supplied the address.
         used: usize,
     },
     /// The wear leveler swapped two physical segments.
-    WearLevelSwap { a: usize, b: usize },
+    WearLevelSwap {
+        /// First physical segment of the swap.
+        a: usize,
+        /// Second physical segment of the swap.
+        b: usize,
+    },
     /// A shard-level rebalance or administrative action.
-    ShardRebalance { from: usize, to: usize },
+    ShardRebalance {
+        /// Source shard.
+        from: usize,
+        /// Destination shard.
+        to: usize,
+    },
+    /// A physical segment crossed its endurance limit: its content is
+    /// frozen and all further writes to it fail (recorded by the
+    /// memory controller when the device reports wear-out).
+    SegmentWornOut {
+        /// The worn-out physical segment.
+        segment: usize,
+    },
+    /// The placement engine permanently retired a worn-out segment
+    /// from its address pool (graceful degradation: capacity shrinks
+    /// instead of crashing).
+    SegmentRetired {
+        /// Shard whose pool shrank.
+        shard: usize,
+        /// The retired segment (shard-local logical id).
+        segment: usize,
+    },
 }
 
 impl Event {
@@ -45,6 +85,8 @@ impl Event {
             Event::FallbackPlacement { .. } => "fallback_placement",
             Event::WearLevelSwap { .. } => "wear_level_swap",
             Event::ShardRebalance { .. } => "shard_rebalance",
+            Event::SegmentWornOut { .. } => "segment_worn_out",
+            Event::SegmentRetired { .. } => "segment_retired",
         }
     }
 }
@@ -62,8 +104,11 @@ mod imp {
     /// it was recorded.
     #[derive(Clone, Debug, PartialEq)]
     pub struct TimedEvent {
+        /// Monotonic sequence number within the journal.
         pub seq: u64,
+        /// Unix timestamp in milliseconds at record time.
         pub unix_ms: u64,
+        /// The recorded event.
         pub event: Event,
     }
 
@@ -88,6 +133,7 @@ mod imp {
             }
         }
 
+        /// Append `event`, evicting the oldest entry when full.
         pub fn record(&self, event: Event) {
             if self.capacity == 0 {
                 return;
@@ -124,6 +170,7 @@ mod imp {
             self.dropped.load(Ordering::Relaxed)
         }
 
+        /// Maximum number of retained events.
         pub fn capacity(&self) -> usize {
             self.capacity
         }
@@ -137,8 +184,11 @@ mod imp {
     /// No-op timed event (telemetry disabled at compile time).
     #[derive(Clone, Debug, PartialEq)]
     pub struct TimedEvent {
+        /// Monotonic sequence number (never produced in this build).
         pub seq: u64,
+        /// Unix timestamp in milliseconds (never produced).
         pub unix_ms: u64,
+        /// The recorded event (never produced).
         pub event: Event,
     }
 
@@ -147,25 +197,31 @@ mod imp {
     pub struct EventJournal;
 
     impl EventJournal {
+        /// A journal that records nothing, whatever its capacity.
         pub fn with_capacity(_capacity: usize) -> Self {
             EventJournal
         }
 
+        /// Append an event (no-op).
         #[inline(always)]
         pub fn record(&self, _event: Event) {}
 
+        /// Retained events (always empty).
         pub fn snapshot(&self) -> Vec<TimedEvent> {
             Vec::new()
         }
 
+        /// Total events ever recorded (always 0).
         pub fn recorded(&self) -> u64 {
             0
         }
 
+        /// Events evicted (always 0).
         pub fn dropped(&self) -> u64 {
             0
         }
 
+        /// Maximum retained events (always 0).
         pub fn capacity(&self) -> usize {
             0
         }
@@ -217,6 +273,12 @@ impl TimedEvent {
             }
             Event::ShardRebalance { from, to } => {
                 fields.push_str(&format!(",\"from\":{from},\"to\":{to}"));
+            }
+            Event::SegmentWornOut { segment } => {
+                fields.push_str(&format!(",\"segment\":{segment}"));
+            }
+            Event::SegmentRetired { shard, segment } => {
+                fields.push_str(&format!(",\"shard\":{shard},\"segment\":{segment}"));
             }
         }
         format!("{{{fields}}}")
@@ -282,5 +344,23 @@ mod tests {
         let b = snap[1].to_json();
         assert!(b.contains("\"predicted\":1"), "{b}");
         assert!(b.contains("\"used\":2"), "{b}");
+    }
+
+    #[test]
+    fn fault_event_json_shapes() {
+        let j = EventJournal::with_capacity(4);
+        j.record(Event::SegmentWornOut { segment: 17 });
+        j.record(Event::SegmentRetired {
+            shard: 2,
+            segment: 17,
+        });
+        let snap = j.snapshot();
+        let a = snap[0].to_json();
+        assert!(a.contains("\"kind\":\"segment_worn_out\""), "{a}");
+        assert!(a.contains("\"segment\":17"), "{a}");
+        let b = snap[1].to_json();
+        assert!(b.contains("\"kind\":\"segment_retired\""), "{b}");
+        assert!(b.contains("\"shard\":2"), "{b}");
+        assert!(b.contains("\"segment\":17"), "{b}");
     }
 }

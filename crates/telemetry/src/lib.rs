@@ -43,6 +43,8 @@
 //! assert!(text.contains("demo_writes_total 1"));
 //! ```
 
+#![warn(missing_docs)]
+
 mod journal;
 mod metrics;
 mod registry;

@@ -28,11 +28,13 @@ mod imp {
             Self::default()
         }
 
+        /// Increment by one.
         #[inline]
         pub fn inc(&self) {
             self.0.fetch_add(1, Ordering::Relaxed);
         }
 
+        /// Add `delta` to the counter.
         #[inline]
         pub fn add(&self, delta: u64) {
             // Skipping zero deltas keeps accounting-style call sites
@@ -44,6 +46,7 @@ mod imp {
             }
         }
 
+        /// Current value.
         #[inline]
         pub fn get(&self) -> u64 {
             self.0.load(Ordering::Relaxed)
@@ -60,21 +63,25 @@ mod imp {
             Self::default()
         }
 
+        /// Set the gauge to `value`.
         #[inline]
         pub fn set(&self, value: i64) {
             self.0.store(value, Ordering::Relaxed);
         }
 
+        /// Add `delta` to the gauge.
         #[inline]
         pub fn add(&self, delta: i64) {
             self.0.fetch_add(delta, Ordering::Relaxed);
         }
 
+        /// Subtract `delta` from the gauge.
         #[inline]
         pub fn sub(&self, delta: i64) {
             self.0.fetch_sub(delta, Ordering::Relaxed);
         }
 
+        /// Current value.
         #[inline]
         pub fn get(&self) -> i64 {
             self.0.load(Ordering::Relaxed)
@@ -115,6 +122,7 @@ mod imp {
             }))
         }
 
+        /// Record one sample into its bucket.
         #[inline]
         pub fn observe(&self, value: u64) {
             let core = &*self.0;
@@ -146,6 +154,7 @@ mod imp {
                 .sum()
         }
 
+        /// Sum of all observed values.
         pub fn sum(&self) -> u64 {
             self.0.sum.load(Ordering::Relaxed)
         }
@@ -192,16 +201,20 @@ mod imp {
     pub struct Counter;
 
     impl Counter {
+        /// A counter attached to nothing (all of them, in this build).
         pub fn disconnected() -> Self {
             Counter
         }
 
+        /// Increment by one (no-op).
         #[inline(always)]
         pub fn inc(&self) {}
 
+        /// Add `delta` (no-op).
         #[inline(always)]
         pub fn add(&self, _delta: u64) {}
 
+        /// Current value (always 0).
         #[inline(always)]
         pub fn get(&self) -> u64 {
             0
@@ -213,19 +226,24 @@ mod imp {
     pub struct Gauge;
 
     impl Gauge {
+        /// A gauge attached to nothing (all of them, in this build).
         pub fn disconnected() -> Self {
             Gauge
         }
 
+        /// Set the value (no-op).
         #[inline(always)]
         pub fn set(&self, _value: i64) {}
 
+        /// Add `delta` (no-op).
         #[inline(always)]
         pub fn add(&self, _delta: i64) {}
 
+        /// Subtract `delta` (no-op).
         #[inline(always)]
         pub fn sub(&self, _delta: i64) {}
 
+        /// Current value (always 0).
         #[inline(always)]
         pub fn get(&self) -> i64 {
             0
@@ -237,10 +255,12 @@ mod imp {
     pub struct Histogram;
 
     impl Histogram {
+        /// A histogram attached to nothing (all of them, in this build).
         pub fn disconnected(_bounds: &[u64]) -> Self {
             Histogram
         }
 
+        /// Record one sample (no-op).
         #[inline(always)]
         pub fn observe(&self, _value: u64) {}
 
@@ -250,18 +270,22 @@ mod imp {
             HistogramTimer(PhantomData)
         }
 
+        /// Total samples observed (always 0).
         pub fn count(&self) -> u64 {
             0
         }
 
+        /// Sum of all samples (always 0).
         pub fn sum(&self) -> u64 {
             0
         }
 
+        /// Finite bucket upper bounds (always empty).
         pub fn bounds(&self) -> &[u64] {
             &[]
         }
 
+        /// Per-bucket counts (always empty).
         pub fn bucket_counts(&self) -> Vec<u64> {
             Vec::new()
         }

@@ -111,6 +111,7 @@ mod imp {
     }
 
     impl TelemetryRegistry {
+        /// A registry with the default journal capacity.
         pub fn new() -> Self {
             Self::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
         }
@@ -127,10 +128,12 @@ mod imp {
             }
         }
 
+        /// Register (or fetch) an unlabeled counter.
         pub fn counter(&self, name: &str, help: &str) -> Counter {
             self.counter_with_labels(name, help, &[])
         }
 
+        /// Register (or fetch) a counter distinguished by `labels`.
         pub fn counter_with_labels(
             &self,
             name: &str,
@@ -140,18 +143,22 @@ mod imp {
             get_or_insert(&self.inner.counters, name, help, labels, Counter::default)
         }
 
+        /// Register (or fetch) an unlabeled gauge.
         pub fn gauge(&self, name: &str, help: &str) -> Gauge {
             self.gauge_with_labels(name, help, &[])
         }
 
+        /// Register (or fetch) a gauge distinguished by `labels`.
         pub fn gauge_with_labels(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
             get_or_insert(&self.inner.gauges, name, help, labels, Gauge::default)
         }
 
+        /// Register (or fetch) an unlabeled histogram with `bounds`.
         pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
             self.histogram_with_labels(name, help, bounds, &[])
         }
 
+        /// Register (or fetch) a histogram distinguished by `labels`.
         pub fn histogram_with_labels(
             &self,
             name: &str,
@@ -186,6 +193,7 @@ mod imp {
                 .sum()
         }
 
+        /// The shared structured event journal.
         pub fn journal(&self) -> &EventJournal {
             &self.inner.journal
         }
@@ -349,19 +357,23 @@ mod imp {
     pub struct TelemetryRegistry;
 
     impl TelemetryRegistry {
+        /// A registry with the default journal capacity (which is 0 here).
         pub fn new() -> Self {
             TelemetryRegistry
         }
 
+        /// A registry with an explicit journal capacity (ignored).
         pub fn with_journal_capacity(_capacity: usize) -> Self {
             TelemetryRegistry
         }
 
+        /// Register a counter (returns the no-op handle).
         #[inline(always)]
         pub fn counter(&self, _name: &str, _help: &str) -> Counter {
             Counter
         }
 
+        /// Register a labeled counter (returns the no-op handle).
         #[inline(always)]
         pub fn counter_with_labels(
             &self,
@@ -372,11 +384,13 @@ mod imp {
             Counter
         }
 
+        /// Register a gauge (returns the no-op handle).
         #[inline(always)]
         pub fn gauge(&self, _name: &str, _help: &str) -> Gauge {
             Gauge
         }
 
+        /// Register a labeled gauge (returns the no-op handle).
         #[inline(always)]
         pub fn gauge_with_labels(
             &self,
@@ -387,11 +401,13 @@ mod imp {
             Gauge
         }
 
+        /// Register a histogram (returns the no-op handle).
         #[inline(always)]
         pub fn histogram(&self, _name: &str, _help: &str, _bounds: &[u64]) -> Histogram {
             Histogram
         }
 
+        /// Register a labeled histogram (returns the no-op handle).
         #[inline(always)]
         pub fn histogram_with_labels(
             &self,
@@ -403,22 +419,27 @@ mod imp {
             Histogram
         }
 
+        /// Sum of a counter family across label sets (always 0).
         pub fn counter_total(&self, _name: &str) -> u64 {
             0
         }
 
+        /// Sum of a gauge family across label sets (always 0).
         pub fn gauge_total(&self, _name: &str) -> i64 {
             0
         }
 
+        /// The shared event journal (a no-op sink).
         pub fn journal(&self) -> &EventJournal {
             &NOOP_JOURNAL
         }
 
+        /// Prometheus text exposition (a fixed "disabled" comment).
         pub fn render_prometheus(&self) -> String {
             "# e2nvm telemetry disabled (build without the `telemetry` feature)\n".to_string()
         }
 
+        /// JSON snapshot (a fixed "disabled" document).
         pub fn snapshot_json(&self) -> String {
             "{\"enabled\":false}".to_string()
         }

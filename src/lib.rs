@@ -61,6 +61,14 @@ pub mod prelude {
         SharedEngine,
     };
     pub use e2nvm_kvstore::{E2KvStore, NvmKvStore, ShardedE2KvStore, StoreError};
-    pub use e2nvm_sim::{DeviceConfig, DeviceStats, MemoryController, NvmDevice, SegmentId};
+    pub use e2nvm_sim::{
+        DeviceConfig, DeviceStats, FaultConfig, MemoryController, NvmDevice, SegmentId,
+    };
     pub use e2nvm_telemetry::{Event, EventJournal, TelemetryRegistry};
 }
+
+/// Compile-checks every Rust code block in the README as a doctest, so
+/// the documented examples can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
