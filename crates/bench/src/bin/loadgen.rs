@@ -1,0 +1,340 @@
+//! Network load generator for `e2nvm-server`: drives YCSB A/B/C over
+//! loopback with configurable connections × pipeline depth and records
+//! the sustained throughput in `results/net_throughput.md`.
+//!
+//! By default it boots its own 4-shard server on an ephemeral loopback
+//! port (the in-process [`e2nvm_server::Server`], so one binary is a
+//! complete experiment); pass `--addr HOST:PORT` to aim it at an
+//! already-running `e2nvm-server` instead.
+//!
+//! Run: `cargo run -p e2nvm-bench --release --bin e2nvm-loadgen`
+//! (add `--quick` for a CI-sized burst that writes
+//! `results/net_throughput_quick.md`).
+//!
+//! Flags: `--connections N` (default 4), `--pipeline D` (default 16),
+//! `--ops N` per connection per workload, `--shards`, `--segments`,
+//! `--seg-bytes`, `--workloads A,B,C`, `--addr`, `--quick`.
+
+use e2nvm_server::frame::{Request, Response};
+use e2nvm_server::{demo::demo_store, Client, Server, ServerConfig, ServerHandle};
+use e2nvm_telemetry::TelemetryRegistry;
+use e2nvm_workloads::ycsb::{Operation, Ycsb};
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+struct Args {
+    addr: Option<String>,
+    connections: usize,
+    pipeline: usize,
+    ops: usize,
+    shards: usize,
+    segments: usize,
+    seg_bytes: usize,
+    workloads: Vec<char>,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        connections: 4,
+        pipeline: 16,
+        ops: 0, // resolved after --quick is known
+        shards: 4,
+        segments: 0,
+        seg_bytes: 64,
+        workloads: vec!['A', 'B', 'C'],
+        quick: false,
+    };
+    let mut ops_set = false;
+    let mut segments_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")),
+            "--connections" => args.connections = value("--connections").parse().unwrap(),
+            "--pipeline" => args.pipeline = value("--pipeline").parse().unwrap(),
+            "--ops" => {
+                args.ops = value("--ops").parse().unwrap();
+                ops_set = true;
+            }
+            "--shards" => args.shards = value("--shards").parse().unwrap(),
+            "--segments" => {
+                args.segments = value("--segments").parse().unwrap();
+                segments_set = true;
+            }
+            "--seg-bytes" => args.seg_bytes = value("--seg-bytes").parse().unwrap(),
+            "--workloads" => {
+                args.workloads = value("--workloads")
+                    .split(',')
+                    .map(|w| {
+                        let c = w.trim().to_ascii_uppercase();
+                        assert!(
+                            matches!(c.as_str(), "A" | "B" | "C"),
+                            "supported workloads: A, B, C (got {w:?})"
+                        );
+                        c.chars().next().unwrap()
+                    })
+                    .collect();
+            }
+            "--quick" => args.quick = true,
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    if !ops_set {
+        args.ops = if args.quick { 150 } else { 25_000 };
+    }
+    if !segments_set {
+        args.segments = if args.quick { 256 } else { 2048 };
+    }
+    assert!(args.connections > 0, "--connections must be > 0");
+    assert!(args.pipeline > 0, "--pipeline must be > 0");
+    args
+}
+
+fn make_workload(name: char, records: u64, value_len: usize, seed: u64) -> Ycsb {
+    match name {
+        'A' => Ycsb::a(records, value_len, seed),
+        'B' => Ycsb::b(records, value_len, seed),
+        _ => Ycsb::c(records, value_len, seed),
+    }
+}
+
+struct ConnResult {
+    ops: u64,
+    reads: u64,
+    writes: u64,
+    errors: u64,
+}
+
+/// One connection's run phase: its own socket, its own YCSB stream,
+/// ops issued in `pipeline`-deep batches (one write flush per batch).
+fn run_connection(
+    addr: SocketAddr,
+    workload: char,
+    records: u64,
+    value_len: usize,
+    seed: u64,
+    ops: usize,
+    pipeline: usize,
+) -> std::io::Result<ConnResult> {
+    let mut client = Client::connect(addr)?;
+    let mut gen = make_workload(workload, records, value_len, seed);
+    let mut result = ConnResult {
+        ops: 0,
+        reads: 0,
+        writes: 0,
+        errors: 0,
+    };
+    let mut remaining = ops;
+    let mut batch = Vec::with_capacity(pipeline);
+    while remaining > 0 {
+        batch.clear();
+        for _ in 0..pipeline.min(remaining) {
+            batch.push(match gen.next_op() {
+                Operation::Read(key) => Request::Get { key },
+                Operation::Update(key, value)
+                | Operation::Insert(key, value)
+                | Operation::ReadModifyWrite(key, value) => Request::Put { key, value },
+                Operation::Scan(key, len) => Request::Scan {
+                    lo: key,
+                    hi: key,
+                    limit: len as u32,
+                },
+            });
+        }
+        for (req, resp) in batch.iter().zip(client.pipeline(&batch)?) {
+            result.ops += 1;
+            match req {
+                Request::Get { .. } => result.reads += 1,
+                Request::Put { .. } => result.writes += 1,
+                _ => {}
+            }
+            // Typed error frames (e.g. DEGRADED under a worn pool) are
+            // counted, not fatal — the run keeps going.
+            if let Response::Error { .. } = resp {
+                result.errors += 1;
+            }
+        }
+        remaining -= batch.len();
+    }
+    Ok(result)
+}
+
+struct WorkloadResult {
+    name: char,
+    ops: u64,
+    reads: u64,
+    writes: u64,
+    errors: u64,
+    elapsed_s: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let records = (args.segments / 4) as u64;
+    let value_len = args.seg_bytes * 3 / 4;
+
+    // Self-hosted server unless --addr points elsewhere. The in-process
+    // option keeps the binary a one-command experiment; the traffic
+    // still crosses real loopback sockets either way.
+    let (addr, hosted): (SocketAddr, Option<ServerHandle>) = match &args.addr {
+        Some(addr) => (addr.parse().expect("--addr must be HOST:PORT"), None),
+        None => {
+            eprintln!(
+                "booting {}-shard server ({} segments x {} B) ...",
+                args.shards, args.segments, args.seg_bytes
+            );
+            let mut store = demo_store(args.shards, args.segments, args.seg_bytes, 0xE2);
+            let registry = TelemetryRegistry::new();
+            store.attach_telemetry(&registry);
+            let handle = Server::new(store, ServerConfig::default())
+                .with_telemetry(&registry)
+                .start()
+                .expect("server binds an ephemeral port");
+            (handle.local_addr(), Some(handle))
+        }
+    };
+
+    // Load phase: one pipelined connection inserts every record.
+    let mut loader = Client::connect(addr).expect("connect for load phase");
+    let mut gen = make_workload('C', records, value_len, 0);
+    let load_keys: Vec<u64> = gen.load_keys().collect();
+    let t0 = Instant::now();
+    for chunk in load_keys.chunks(args.pipeline) {
+        let reqs: Vec<Request> = chunk
+            .iter()
+            .map(|&key| Request::Put {
+                key,
+                value: gen.value_for(key, 0),
+            })
+            .collect();
+        for resp in loader.pipeline(&reqs).expect("load phase pipeline") {
+            assert!(
+                matches!(resp, Response::Stored),
+                "load phase PUT failed: {resp:?}"
+            );
+        }
+    }
+    eprintln!(
+        "loaded {} records in {:.2}s",
+        load_keys.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Run phase: per workload, `connections` OS threads each drive an
+    // independent pipelined connection.
+    let mut results: Vec<WorkloadResult> = Vec::new();
+    for &workload in &args.workloads {
+        let t0 = Instant::now();
+        let threads: Vec<_> = (0..args.connections)
+            .map(|c| {
+                let (ops, pipeline) = (args.ops, args.pipeline);
+                std::thread::spawn(move || {
+                    run_connection(
+                        addr,
+                        workload,
+                        records,
+                        value_len,
+                        0x10AD + c as u64,
+                        ops,
+                        pipeline,
+                    )
+                })
+            })
+            .collect();
+        let mut total = WorkloadResult {
+            name: workload,
+            ops: 0,
+            reads: 0,
+            writes: 0,
+            errors: 0,
+            elapsed_s: 0.0,
+        };
+        for t in threads {
+            let r = t.join().expect("connection thread").expect("connection io");
+            total.ops += r.ops;
+            total.reads += r.reads;
+            total.writes += r.writes;
+            total.errors += r.errors;
+        }
+        total.elapsed_s = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "YCSB-{}: {} ops in {:.2}s = {:.0} ops/s ({} reads, {} writes, {} errors)",
+            total.name,
+            total.ops,
+            total.elapsed_s,
+            total.ops as f64 / total.elapsed_s,
+            total.reads,
+            total.writes,
+            total.errors
+        );
+        results.push(total);
+    }
+
+    let stats = loader.stats().expect("STATS frame");
+    drop(loader);
+
+    // Report.
+    let mut md = String::from("# Network serving: pipelined YCSB throughput over loopback\n\n");
+    md.push_str(&format!(
+        "`e2nvm-loadgen` against a {}-shard `e2nvm-server` ({} segments x {} B, {} records, \
+         {}-byte values): {} client connections x pipeline depth {}, {} ops per connection per \
+         workload. Frames cross real loopback TCP sockets; the wire format is PROTOCOL.md.\n\n",
+        args.shards,
+        args.segments,
+        args.seg_bytes,
+        records,
+        value_len,
+        args.connections,
+        args.pipeline,
+        args.ops,
+    ));
+    md.push_str("| workload | mix | ops | elapsed s | ops/s | error frames |\n");
+    md.push_str("|---------:|----:|----:|----------:|------:|-------------:|\n");
+    for r in &results {
+        let mix = match r.name {
+            'A' => "50R/50U",
+            'B' => "95R/5U",
+            _ => "100R",
+        };
+        md.push_str(&format!(
+            "| YCSB-{} | {} | {} | {:.2} | {:.0} | {} |\n",
+            r.name,
+            mix,
+            r.ops,
+            r.elapsed_s,
+            r.ops as f64 / r.elapsed_s,
+            r.errors
+        ));
+    }
+    md.push_str(&format!("\nServer stats after the run: `{stats}`\n"));
+
+    std::fs::create_dir_all("results").ok();
+    // Quick runs get their own file so a CI-sized burst never clobbers
+    // full-scale numbers.
+    let path = if args.quick {
+        "results/net_throughput_quick.md"
+    } else {
+        "results/net_throughput.md"
+    };
+    let mut f = std::fs::File::create(path).unwrap();
+    f.write_all(md.as_bytes()).unwrap();
+    eprintln!("wrote {path}");
+
+    let total_ops: u64 = results.iter().map(|r| r.ops).sum();
+    println!("completed {total_ops} ops");
+
+    if let Some(handle) = hosted {
+        let mut c = Client::connect(addr).expect("connect for shutdown");
+        c.shutdown_server().expect("SHUTDOWN frame acknowledged");
+        let served = handle.join();
+        println!("clean shutdown after {served} connections");
+    }
+    assert!(total_ops > 0, "load generator completed zero operations");
+}

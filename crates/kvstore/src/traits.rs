@@ -22,6 +22,17 @@ pub trait NvmKvStore {
     /// All pairs with `lo <= key <= hi`, in key order.
     fn scan(&mut self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>>;
 
+    /// Like [`NvmKvStore::scan`], but return at most `limit` pairs
+    /// (the lowest keys in the range). The wire protocol's SCAN frame
+    /// carries a limit so remote clients can bound a response; the
+    /// default implementation truncates a full scan, and structures
+    /// with ordered indexes may override it to stop early.
+    fn scan_limit(&mut self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut entries = self.scan(lo, hi)?;
+        entries.truncate(limit);
+        Ok(entries)
+    }
+
     /// Device statistics of the underlying store.
     fn stats(&self) -> DeviceStats;
 

@@ -1,0 +1,53 @@
+//! `e2nvm-server` — boot a demo sharded store and serve it over TCP.
+//!
+//! ```text
+//! cargo run --release -p e2nvm-server --bin e2nvm-server -- \
+//!     [--addr 127.0.0.1:4242] [--shards 4] [--segments 2048] \
+//!     [--seg-bytes 64] [--max-conns 64]
+//! ```
+//!
+//! Prints the bound address on the first line (`listening on ADDR`),
+//! then serves until a client sends a SHUTDOWN frame. A production
+//! embedder would build its own store (own device geometry, own
+//! training corpus) and hand it to [`Server`] the same way.
+
+use e2nvm_server::{demo, Server, ServerConfig};
+use e2nvm_telemetry::TelemetryRegistry;
+
+fn arg_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_or<T: std::str::FromStr>(v: Option<String>, default: T) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = arg_after(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let shards: usize = parse_or(arg_after(&args, "--shards"), 4);
+    let segments: usize = parse_or(arg_after(&args, "--segments"), 2048);
+    let seg_bytes: usize = parse_or(arg_after(&args, "--seg-bytes"), 64);
+    let max_conns: usize = parse_or(arg_after(&args, "--max-conns"), 64);
+
+    eprintln!("training {shards} shard models over {segments} × {seg_bytes} B segments...");
+    let mut store = demo::demo_store(shards, segments, seg_bytes, 0xE2);
+    let registry = TelemetryRegistry::new();
+    store.attach_telemetry(&registry);
+
+    let config = ServerConfig {
+        addr,
+        max_connections: max_conns,
+        ..ServerConfig::default()
+    };
+    let handle = Server::new(store, config)
+        .with_telemetry(&registry)
+        .start()
+        .expect("bind");
+    println!("listening on {}", handle.local_addr());
+    let served = handle.join();
+    println!("clean shutdown after {served} connections");
+}

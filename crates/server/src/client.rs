@@ -1,0 +1,179 @@
+//! A blocking client for the wire protocol, with request pipelining.
+//!
+//! [`Client::call`] is the one-request convenience;
+//! [`Client::pipeline`] writes a whole batch of requests in one flush
+//! and then reads the batch's responses — the protocol guarantees
+//! responses come back in request order, so the k-th response answers
+//! the k-th request.
+
+use crate::frame::{
+    encode_request, parse_response, FrameDecoder, Request, Response, Status, DEFAULT_MAX_BODY,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to an `e2nvm-server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    wrbuf: Vec<u8>,
+    rdbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to `addr` (Nagle disabled — frames are already
+    /// batched explicitly by the pipeline API).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(DEFAULT_MAX_BODY),
+            wrbuf: Vec::with_capacity(4096),
+            rdbuf: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
+        let mut resps = self.pipeline(std::slice::from_ref(req))?;
+        Ok(resps
+            .pop()
+            .expect("pipeline returns one response per request"))
+    }
+
+    /// Send `reqs` back to back in one write, then read exactly one
+    /// response per request, in order. This is the unit of pipelining:
+    /// `depth` outstanding requests = a `reqs` slice of that length.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> std::io::Result<Vec<Response>> {
+        self.wrbuf.clear();
+        for req in reqs {
+            encode_request(req, &mut self.wrbuf);
+        }
+        self.stream.write_all(&self.wrbuf)?;
+        let mut responses = Vec::with_capacity(reqs.len());
+        while responses.len() < reqs.len() {
+            // Drain frames already buffered before touching the socket.
+            match self.decoder.next_frame() {
+                Ok(Some(raw)) => {
+                    let resp = parse_response(&raw)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                    responses.push(resp);
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+            let n = self.stream.read(&mut self.rdbuf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    format!(
+                        "server closed the connection with {} of {} responses outstanding",
+                        reqs.len() - responses.len(),
+                        reqs.len()
+                    ),
+                ));
+            }
+            self.decoder.extend(&self.rdbuf[..n]);
+        }
+        Ok(responses)
+    }
+
+    /// GET `key`; `Ok(None)` when absent.
+    pub fn get(&mut self, key: u64) -> std::io::Result<Option<Vec<u8>>> {
+        match self.call(&Request::Get { key })? {
+            Response::Value(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// PUT `key` → `value`.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> std::io::Result<()> {
+        match self.call(&Request::Put {
+            key,
+            value: value.to_vec(),
+        })? {
+            Response::Stored => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// DELETE `key`; returns whether it existed.
+    pub fn delete(&mut self, key: u64) -> std::io::Result<bool> {
+        match self.call(&Request::Delete { key })? {
+            Response::Deleted(existed) => Ok(existed),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// SCAN `lo..=hi`, at most `limit` entries (0 = unlimited).
+    pub fn scan(&mut self, lo: u64, hi: u64, limit: u32) -> std::io::Result<Vec<(u64, Vec<u8>)>> {
+        match self.call(&Request::Scan { lo, hi, limit })? {
+            Response::Entries(entries) => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The server's stats snapshot (JSON text).
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The server's telemetry exposition (Prometheus text).
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully; returns once the server
+    /// acknowledged.
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// Turn a typed error frame (or a response of the wrong shape) into an
+/// `io::Error` for callers using the convenience methods. Callers that
+/// need to match on [`Status`] use [`Client::call`] /
+/// [`Client::pipeline`] directly.
+fn unexpected(resp: &Response) -> std::io::Error {
+    let msg = match resp {
+        Response::Error {
+            status,
+            retired,
+            message,
+        } => {
+            if *status == Status::Degraded || *status == Status::PoolDepleted {
+                format!(
+                    "server error {}: {message} ({retired} segments retired)",
+                    status.name()
+                )
+            } else {
+                format!("server error {}: {message}", status.name())
+            }
+        }
+        other => format!("unexpected response shape: {other:?}"),
+    };
+    std::io::Error::other(msg)
+}

@@ -1,0 +1,510 @@
+//! The threaded TCP server fronting a [`ShardedE2KvStore`].
+//!
+//! Threading model: one non-blocking accept loop plus one thread per
+//! connection, bounded by [`ServerConfig::max_connections`] (excess
+//! connections are greeted with a BUSY error frame and closed). The
+//! fronted store is a [`ShardedE2KvStore`] clone per connection —
+//! clones share the shards, so cross-connection coordination is the
+//! engine's per-shard locking, not the server's.
+//!
+//! Per-connection codec: each read drains as many complete frames as
+//! arrived (request pipelining), responses are appended to one write
+//! buffer and flushed once per read batch. Graceful shutdown is a
+//! shared flag polled by the accept loop and by every connection's
+//! read timeout; it is set by [`ServerHandle::shutdown`] or by a
+//! SHUTDOWN frame from any client.
+
+use crate::frame::{
+    encode_response, parse_request, FrameDecoder, FrameError, Request, Response, Status,
+    DEFAULT_MAX_BODY,
+};
+use crate::telemetry::ServerTelemetry;
+use e2nvm_core::E2Error;
+use e2nvm_kvstore::{NvmKvStore, ShardedE2KvStore, StoreError};
+use e2nvm_telemetry::{Event, TelemetryRegistry};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs. `Default` binds an ephemeral loopback port
+/// with a 64-connection limit and the protocol's 1 MiB frame cap.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port; read
+    /// the actual one from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Maximum simultaneously open connections; the next one is sent a
+    /// BUSY error frame and closed.
+    pub max_connections: usize,
+    /// Cap on a frame's `body_len`; larger frames are answered with
+    /// FRAME_TOO_LARGE and the connection closes.
+    pub max_frame_body: usize,
+    /// Socket read timeout — the granularity at which idle connections
+    /// notice a shutdown. Must be nonzero.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            max_frame_body: DEFAULT_MAX_BODY,
+            read_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A configured-but-not-started server. Build with [`Server::new`],
+/// optionally attach telemetry, then [`Server::start`].
+pub struct Server {
+    store: ShardedE2KvStore,
+    config: ServerConfig,
+    telemetry: ServerTelemetry,
+    registry: Option<TelemetryRegistry>,
+}
+
+impl Server {
+    /// A server fronting `store` with `config`. Telemetry starts
+    /// disconnected; attach with [`Server::with_telemetry`].
+    pub fn new(store: ShardedE2KvStore, config: ServerConfig) -> Self {
+        Self {
+            store,
+            config,
+            telemetry: ServerTelemetry::disconnected(),
+            registry: None,
+        }
+    }
+
+    /// Register the server's wire-level series on `registry` and serve
+    /// METRICS frames from it. Attach the *store's* telemetry to the
+    /// same registry beforehand so one scrape sees the whole stack.
+    pub fn with_telemetry(mut self, registry: &TelemetryRegistry) -> Self {
+        self.telemetry = ServerTelemetry::register(registry);
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Bind and start serving. Returns once the listener is live; all
+    /// serving happens on background threads owned by the returned
+    /// handle.
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        assert!(
+            !self.config.read_timeout.is_zero(),
+            "ServerConfig::read_timeout must be nonzero (it paces shutdown polling)"
+        );
+        let listener = TcpListener::bind(&self.config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        if let Some(reg) = &self.registry {
+            reg.journal().record(Event::ServerStarted {
+                port: addr.port() as usize,
+            });
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("e2nvm-accept".into())
+                .spawn(move || accept_loop(listener, self, shutdown))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Handle to a running server: its bound address plus shutdown/join
+/// controls. Dropping the handle shuts the server down and joins it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<usize>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves ephemeral
+    /// ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request graceful shutdown: stop accepting, let every connection
+    /// finish its current batch, then close. Idempotent; returns
+    /// immediately — pair with [`ServerHandle::join`] to wait.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (by this handle or by a
+    /// client's SHUTDOWN frame).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until the server has fully stopped (all connection
+    /// threads joined). Returns the number of connections served over
+    /// the server's lifetime. Does not itself request shutdown: call
+    /// [`ServerHandle::shutdown`] first, or let a SHUTDOWN frame do it.
+    pub fn join(mut self) -> usize {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> usize {
+        self.accept_thread
+            .take()
+            .map(|t| t.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join_inner();
+    }
+}
+
+/// Accept loop: poll-accept (non-blocking + sleep) so the shutdown
+/// flag is observed without platform signal machinery. Returns the
+/// number of connections served.
+fn accept_loop(listener: TcpListener, server: Server, shutdown: Arc<AtomicBool>) -> usize {
+    let Server {
+        store,
+        config,
+        telemetry,
+        registry,
+    } = server;
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut served = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                workers.retain(|w| !w.is_finished());
+                if active.load(Ordering::SeqCst) >= config.max_connections {
+                    telemetry.connections_rejected.inc();
+                    telemetry.count_error(Status::Busy);
+                    reject_busy(stream);
+                    continue;
+                }
+                served += 1;
+                telemetry.connections_opened.inc();
+                telemetry.connections_active.add(1);
+                active.fetch_add(1, Ordering::SeqCst);
+                let ctx = ConnCtx {
+                    store: store.clone(),
+                    registry: registry.clone(),
+                    telemetry: telemetry.clone(),
+                    shutdown: Arc::clone(&shutdown),
+                    active: Arc::clone(&active),
+                    max_frame_body: config.max_frame_body,
+                    read_timeout: config.read_timeout,
+                };
+                match std::thread::Builder::new()
+                    .name("e2nvm-conn".into())
+                    .spawn(move || ctx.run(stream))
+                {
+                    Ok(handle) => workers.push(handle),
+                    Err(_) => {
+                        // Spawn failed (resource exhaustion): undo the
+                        // accounting; the stream drops and the client
+                        // sees a close.
+                        telemetry.connections_active.sub(1);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    if let Some(reg) = &registry {
+        reg.journal().record(Event::ServerStopped {
+            connections_served: served,
+        });
+    }
+    served
+}
+
+/// Send a BUSY error frame (best effort) and close.
+fn reject_busy(mut stream: TcpStream) {
+    let mut out = Vec::new();
+    encode_response(
+        &Response::Error {
+            status: Status::Busy,
+            retired: 0,
+            message: "connection limit reached".into(),
+        },
+        None,
+        &mut out,
+    );
+    let _ = stream.write_all(&out);
+}
+
+/// Everything one connection thread needs.
+struct ConnCtx {
+    store: ShardedE2KvStore,
+    registry: Option<TelemetryRegistry>,
+    telemetry: ServerTelemetry,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    max_frame_body: usize,
+    read_timeout: Duration,
+}
+
+impl ConnCtx {
+    fn run(mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        self.serve_connection(stream);
+        self.telemetry.connections_active.sub(1);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn serve_connection(&mut self, mut stream: TcpStream) {
+        if stream.set_read_timeout(Some(self.read_timeout)).is_err() {
+            return;
+        }
+        let mut decoder = FrameDecoder::new(self.max_frame_body);
+        let mut rdbuf = vec![0u8; 16 * 1024];
+        let mut outbuf: Vec<u8> = Vec::with_capacity(4096);
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                // Everything received before shutdown was answered at
+                // the end of its read batch; nothing is in flight.
+                return;
+            }
+            let n = match stream.read(&mut rdbuf) {
+                Ok(0) => return, // peer closed
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            self.telemetry.bytes_read.add(n as u64);
+            decoder.extend(&rdbuf[..n]);
+            let keep_going = self.drain_frames(&mut decoder, &mut outbuf);
+            if !outbuf.is_empty() {
+                self.telemetry.bytes_written.add(outbuf.len() as u64);
+                if stream.write_all(&outbuf).is_err() {
+                    return;
+                }
+                outbuf.clear();
+            }
+            if !keep_going {
+                return;
+            }
+        }
+    }
+
+    /// Decode and serve every complete frame in the buffer, appending
+    /// responses (one per request, in order) to `outbuf`. Returns
+    /// `false` when the connection must close after the flush.
+    fn drain_frames(&mut self, decoder: &mut FrameDecoder, outbuf: &mut Vec<u8>) -> bool {
+        loop {
+            match decoder.next_frame() {
+                Ok(None) => return true,
+                Ok(Some(raw)) => {
+                    // Timed explicitly (not via the histogram's drop
+                    // guard, which would hold a borrow of the telemetry
+                    // struct across the `&mut self` dispatch).
+                    let t0 = std::time::Instant::now();
+                    let close = match parse_request(&raw) {
+                        Ok(req) => {
+                            let op = req.opcode();
+                            self.telemetry.count_frame(op);
+                            let shutdown_requested = req == Request::Shutdown;
+                            let resp = self.handle(req);
+                            if let Response::Error { status, .. } = &resp {
+                                self.telemetry.count_error(*status);
+                            }
+                            encode_response(&resp, Some(op), outbuf);
+                            if shutdown_requested {
+                                self.shutdown.store(true, Ordering::SeqCst);
+                            }
+                            shutdown_requested
+                        }
+                        Err(e) => {
+                            // Body-level violation: framing is intact,
+                            // answer with a typed error frame and keep
+                            // the connection (never panic, never drop
+                            // silently).
+                            self.telemetry.count_error(e.status());
+                            encode_response(&error_frame(&e), None, outbuf);
+                            e.is_fatal()
+                        }
+                    };
+                    self.telemetry
+                        .frame_latency_ns
+                        .observe(t0.elapsed().as_nanos() as u64);
+                    if close {
+                        return false;
+                    }
+                }
+                Err(e) => {
+                    // Framing-level violation: answer, then close — the
+                    // byte stream can no longer be trusted.
+                    self.telemetry.count_error(e.status());
+                    encode_response(&error_frame(&e), None, outbuf);
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Get { key } => match self.store.get(key) {
+                Ok(Some(v)) => Response::Value(v),
+                Ok(None) => Response::NotFound,
+                Err(e) => store_error_frame(&e),
+            },
+            Request::Put { key, value } => match self.store.put(key, &value) {
+                Ok(()) => Response::Stored,
+                Err(e) => store_error_frame(&e),
+            },
+            Request::Delete { key } => match self.store.delete(key) {
+                Ok(existed) => Response::Deleted(existed),
+                Err(e) => store_error_frame(&e),
+            },
+            Request::Scan { lo, hi, limit } => {
+                let limit = if limit == 0 {
+                    usize::MAX
+                } else {
+                    limit as usize
+                };
+                match self.store.scan_limit(lo, hi, limit) {
+                    Ok(entries) => Response::Entries(entries),
+                    Err(e) => store_error_frame(&e),
+                }
+            }
+            Request::Stats => Response::Stats(self.stats_json()),
+            Request::Metrics => Response::Metrics(match &self.registry {
+                Some(reg) => reg.render_prometheus(),
+                None => "# no telemetry registry attached\n".to_string(),
+            }),
+            Request::Shutdown => Response::ShutdownAck,
+        }
+    }
+
+    /// Self-contained JSON stats document (schema in `PROTOCOL.md`).
+    fn stats_json(&self) -> String {
+        let s = self.store.stats();
+        format!(
+            concat!(
+                "{{\"keys\":{},\"retired_segments\":{},\"device\":{{",
+                "\"writes\":{},\"reads\":{},\"lines_written\":{},\"lines_skipped\":{},",
+                "\"bits_flipped\":{},\"bits_set\":{},\"bits_reset\":{},\"bits_programmed\":{},",
+                "\"bits_requested\":{},\"energy_pj\":{},\"latency_ns\":{},\"swaps\":{}}}}}"
+            ),
+            self.store.len(),
+            self.store.retired_count(),
+            s.writes,
+            s.reads,
+            s.lines_written,
+            s.lines_skipped,
+            s.bits_flipped,
+            s.bits_set,
+            s.bits_reset,
+            s.bits_programmed,
+            s.bits_requested,
+            s.energy_pj,
+            s.latency_ns,
+            s.swaps,
+        )
+    }
+}
+
+/// The error frame for a protocol violation.
+fn error_frame(e: &FrameError) -> Response {
+    Response::Error {
+        status: e.status(),
+        retired: 0,
+        message: e.to_string(),
+    }
+}
+
+/// Map a [`StoreError`] to its typed wire status — degraded mode and
+/// pool depletion become first-class statuses the client can match on
+/// instead of a dropped connection.
+fn store_error_frame(e: &StoreError) -> Response {
+    match e {
+        StoreError::Degraded { retired } => Response::Error {
+            status: Status::Degraded,
+            retired: *retired as u64,
+            message: e.to_string(),
+        },
+        StoreError::Engine(E2Error::PoolDepleted { retired }) => Response::Error {
+            status: Status::PoolDepleted,
+            retired: *retired as u64,
+            message: e.to_string(),
+        },
+        StoreError::OutOfSpace | StoreError::Engine(E2Error::OutOfSpace) => Response::Error {
+            status: Status::OutOfSpace,
+            retired: 0,
+            message: e.to_string(),
+        },
+        other => Response::Error {
+            status: Status::StoreError,
+            retired: 0,
+            message: other.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_errors_map_to_typed_statuses() {
+        let degraded = store_error_frame(&StoreError::Degraded { retired: 9 });
+        assert!(matches!(
+            degraded,
+            Response::Error {
+                status: Status::Degraded,
+                retired: 9,
+                ..
+            }
+        ));
+        let depleted = store_error_frame(&StoreError::Engine(E2Error::PoolDepleted { retired: 3 }));
+        assert!(matches!(
+            depleted,
+            Response::Error {
+                status: Status::PoolDepleted,
+                retired: 3,
+                ..
+            }
+        ));
+        let full = store_error_frame(&StoreError::OutOfSpace);
+        assert!(matches!(
+            full,
+            Response::Error {
+                status: Status::OutOfSpace,
+                ..
+            }
+        ));
+        let unknown = store_error_frame(&StoreError::UnknownNode(e2nvm_kvstore::NodeId(1)));
+        assert!(matches!(
+            unknown,
+            Response::Error {
+                status: Status::StoreError,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,142 @@
+//! Wire-level telemetry: per-opcode frame counters, per-frame latency
+//! histograms, connection gauges, and byte counters — all under the
+//! `e2nvm_server_*` namespace, composing with the engine/device/KV
+//! series the fronted store already publishes on the same registry.
+
+use crate::frame::{Opcode, Status};
+use e2nvm_telemetry::{Counter, Gauge, Histogram, TelemetryRegistry};
+
+/// Latency bucket bounds in nanoseconds for one served frame (decode →
+/// store call → response encode; excludes socket wait).
+const FRAME_LATENCY_BOUNDS: [u64; 8] = [
+    1_000,
+    5_000,
+    25_000,
+    100_000,
+    500_000,
+    2_000_000,
+    10_000_000,
+    100_000_000,
+];
+
+/// Telemetry sink for one server instance.
+///
+/// Cheap to clone (handles are `Arc`-backed); every connection thread
+/// clones the sink, so all connections share the same series. Without
+/// the `telemetry` feature every field is a zero-sized no-op.
+#[derive(Clone, Debug)]
+pub struct ServerTelemetry {
+    /// Served frames per opcode (`e2nvm_server_frames_total{op=...}`).
+    frames: [Counter; Opcode::ALL.len()],
+    /// Error frames sent, labeled by wire status.
+    error_frames: [Counter; STATUSES.len()],
+    /// Latency of one frame from decode to encoded response.
+    pub(crate) frame_latency_ns: Histogram,
+    /// Connections currently open.
+    pub(crate) connections_active: Gauge,
+    /// Connections ever accepted.
+    pub(crate) connections_opened: Counter,
+    /// Connections rejected at the limit with a BUSY frame.
+    pub(crate) connections_rejected: Counter,
+    /// Payload bytes read off sockets.
+    pub(crate) bytes_read: Counter,
+    /// Payload bytes written to sockets.
+    pub(crate) bytes_written: Counter,
+}
+
+/// The statuses an error-frame counter is kept for (everything that can
+/// appear on the wire as a non-OK, non-NOT_FOUND status).
+const STATUSES: [Status; 10] = [
+    Status::Degraded,
+    Status::PoolDepleted,
+    Status::OutOfSpace,
+    Status::StoreError,
+    Status::Malformed,
+    Status::UnsupportedVersion,
+    Status::UnknownOpcode,
+    Status::FrameTooLarge,
+    Status::Busy,
+    Status::ShuttingDown,
+];
+
+impl ServerTelemetry {
+    /// A sink wired to nothing (counters count into thin air, or are
+    /// compile-time no-ops without the `telemetry` feature).
+    pub fn disconnected() -> Self {
+        Self {
+            frames: std::array::from_fn(|_| Counter::disconnected()),
+            error_frames: std::array::from_fn(|_| Counter::disconnected()),
+            frame_latency_ns: Histogram::disconnected(&FRAME_LATENCY_BOUNDS),
+            connections_active: Gauge::disconnected(),
+            connections_opened: Counter::disconnected(),
+            connections_rejected: Counter::disconnected(),
+            bytes_read: Counter::disconnected(),
+            bytes_written: Counter::disconnected(),
+        }
+    }
+
+    /// Register the server's series on `registry`.
+    pub fn register(registry: &TelemetryRegistry) -> Self {
+        let frames = std::array::from_fn(|i| {
+            registry.counter_with_labels(
+                "e2nvm_server_frames_total",
+                "Request frames served, by opcode",
+                &[("op", Opcode::ALL[i].name())],
+            )
+        });
+        let error_frames = std::array::from_fn(|i| {
+            registry.counter_with_labels(
+                "e2nvm_server_error_frames_total",
+                "Error frames sent, by wire status",
+                &[("status", STATUSES[i].name())],
+            )
+        });
+        Self {
+            frames,
+            error_frames,
+            frame_latency_ns: registry.histogram(
+                "e2nvm_server_frame_latency_ns",
+                "Per-frame service latency in nanoseconds (decode to encoded response)",
+                &FRAME_LATENCY_BOUNDS,
+            ),
+            connections_active: registry.gauge(
+                "e2nvm_server_connections_active",
+                "Connections currently open",
+            ),
+            connections_opened: registry.counter(
+                "e2nvm_server_connections_opened_total",
+                "Connections accepted since start",
+            ),
+            connections_rejected: registry.counter(
+                "e2nvm_server_connections_rejected_total",
+                "Connections rejected with a BUSY frame at the connection limit",
+            ),
+            bytes_read: registry.counter(
+                "e2nvm_server_bytes_read_total",
+                "Bytes read off client sockets",
+            ),
+            bytes_written: registry.counter(
+                "e2nvm_server_bytes_written_total",
+                "Bytes written to client sockets",
+            ),
+        }
+    }
+
+    /// Count one served frame for `op`.
+    #[inline]
+    pub(crate) fn count_frame(&self, op: Opcode) {
+        // Opcode::ALL is in wire order but not contiguous (Shutdown is
+        // 0x7F), so index by position, not by the byte value.
+        if let Some(i) = Opcode::ALL.iter().position(|&o| o == op) {
+            self.frames[i].inc();
+        }
+    }
+
+    /// Count one error frame carrying `status`.
+    #[inline]
+    pub(crate) fn count_error(&self, status: Status) {
+        if let Some(i) = STATUSES.iter().position(|&s| s == status) {
+            self.error_frames[i].inc();
+        }
+    }
+}

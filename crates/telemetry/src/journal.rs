@@ -73,6 +73,19 @@ pub enum Event {
         /// The retired segment (shard-local logical id).
         segment: usize,
     },
+    /// The network serving layer bound its listener and began
+    /// accepting connections.
+    ServerStarted {
+        /// The TCP port the listener bound (useful with ephemeral
+        /// binds).
+        port: usize,
+    },
+    /// The network serving layer finished a graceful shutdown: the
+    /// listener closed and every connection thread drained and joined.
+    ServerStopped {
+        /// Connections served over the server's lifetime.
+        connections_served: usize,
+    },
 }
 
 impl Event {
@@ -87,6 +100,8 @@ impl Event {
             Event::ShardRebalance { .. } => "shard_rebalance",
             Event::SegmentWornOut { .. } => "segment_worn_out",
             Event::SegmentRetired { .. } => "segment_retired",
+            Event::ServerStarted { .. } => "server_started",
+            Event::ServerStopped { .. } => "server_stopped",
         }
     }
 }
@@ -280,6 +295,12 @@ impl TimedEvent {
             Event::SegmentRetired { shard, segment } => {
                 fields.push_str(&format!(",\"shard\":{shard},\"segment\":{segment}"));
             }
+            Event::ServerStarted { port } => {
+                fields.push_str(&format!(",\"port\":{port}"));
+            }
+            Event::ServerStopped { connections_served } => {
+                fields.push_str(&format!(",\"connections_served\":{connections_served}"));
+            }
         }
         format!("{{{fields}}}")
     }
@@ -344,6 +365,22 @@ mod tests {
         let b = snap[1].to_json();
         assert!(b.contains("\"predicted\":1"), "{b}");
         assert!(b.contains("\"used\":2"), "{b}");
+    }
+
+    #[test]
+    fn server_event_json_shapes() {
+        let j = EventJournal::with_capacity(4);
+        j.record(Event::ServerStarted { port: 4242 });
+        j.record(Event::ServerStopped {
+            connections_served: 12,
+        });
+        let snap = j.snapshot();
+        let a = snap[0].to_json();
+        assert!(a.contains("\"kind\":\"server_started\""), "{a}");
+        assert!(a.contains("\"port\":4242"), "{a}");
+        let b = snap[1].to_json();
+        assert!(b.contains("\"kind\":\"server_stopped\""), "{b}");
+        assert!(b.contains("\"connections_served\":12"), "{b}");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`workloads`] — YCSB and synthetic dataset generators.
 //! * [`telemetry`] — lock-free metrics registry + event journal
 //!   (compiled away without the `telemetry` feature).
+//! * [`server`] — the TCP serving layer: length-prefixed binary wire
+//!   protocol (PROTOCOL.md), threaded pipelined server, blocking
+//!   client.
 //!
 //! The [`prelude`] pulls in the types almost every integration needs:
 //!
@@ -48,6 +51,7 @@ pub use e2nvm_baselines as baselines;
 pub use e2nvm_core as core;
 pub use e2nvm_kvstore as kvstore;
 pub use e2nvm_ml as ml;
+pub use e2nvm_server as server;
 pub use e2nvm_sim as sim;
 pub use e2nvm_telemetry as telemetry;
 pub use e2nvm_workloads as workloads;
@@ -61,6 +65,7 @@ pub mod prelude {
         SharedEngine,
     };
     pub use e2nvm_kvstore::{E2KvStore, NvmKvStore, ShardedE2KvStore, StoreError};
+    pub use e2nvm_server::{Client, Server, ServerConfig, ServerHandle};
     pub use e2nvm_sim::{
         DeviceConfig, DeviceStats, FaultConfig, MemoryController, NvmDevice, SegmentId,
     };
