@@ -7,16 +7,23 @@
 //! complete experiment); pass `--addr HOST:PORT` to aim it at an
 //! already-running `e2nvm-server` instead.
 //!
+//! With `--cache` the generator runs the whole suite twice — once
+//! against a plain server, once against one fronted by the DRAM
+//! read-through cache — and records the side-by-side comparison (with
+//! per-workload hit rates when built with `--features telemetry`) in
+//! `results/cache_throughput.md` instead.
+//!
 //! Run: `cargo run -p e2nvm-bench --release --bin e2nvm-loadgen`
-//! (add `--quick` for a CI-sized burst that writes
-//! `results/net_throughput_quick.md`).
+//! (add `--quick` for a CI-sized burst that writes the `_quick`
+//! variant of the results file).
 //!
 //! Flags: `--connections N` (default 4), `--pipeline D` (default 16),
 //! `--ops N` per connection per workload, `--shards`, `--segments`,
-//! `--seg-bytes`, `--workloads A,B,C`, `--addr`, `--quick`.
+//! `--seg-bytes`, `--workloads A,B,C`, `--addr`, `--cache`,
+//! `--cache-mb N` (default 64), `--quick`.
 
-use e2nvm_server::frame::{Request, Response};
-use e2nvm_server::{demo::demo_store, Client, Server, ServerConfig, ServerHandle};
+use e2nvm_server::frame::{encode_request, Request, Status};
+use e2nvm_server::{demo::demo_store, CacheConfig, Client, Server, ServerConfig, ServerHandle};
 use e2nvm_telemetry::TelemetryRegistry;
 use e2nvm_workloads::ycsb::{Operation, Ycsb};
 use std::io::Write as _;
@@ -32,6 +39,8 @@ struct Args {
     segments: usize,
     seg_bytes: usize,
     workloads: Vec<char>,
+    cache: bool,
+    cache_mb: usize,
     quick: bool,
 }
 
@@ -45,6 +54,8 @@ fn parse_args() -> Args {
         segments: 0,
         seg_bytes: 64,
         workloads: vec!['A', 'B', 'C'],
+        cache: false,
+        cache_mb: 64,
         quick: false,
     };
     let mut ops_set = false;
@@ -82,6 +93,8 @@ fn parse_args() -> Args {
                     })
                     .collect();
             }
+            "--cache" => args.cache = true,
+            "--cache-mb" => args.cache_mb = value("--cache-mb").parse().unwrap(),
             "--quick" => args.quick = true,
             other => panic!("unknown flag {other:?}"),
         }
@@ -94,6 +107,7 @@ fn parse_args() -> Args {
     }
     assert!(args.connections > 0, "--connections must be > 0");
     assert!(args.pipeline > 0, "--pipeline must be > 0");
+    assert!(args.cache_mb > 0, "--cache-mb must be > 0");
     args
 }
 
@@ -112,18 +126,26 @@ struct ConnResult {
     errors: u64,
 }
 
-/// One connection's run phase: its own socket, its own YCSB stream,
-/// ops issued in `pipeline`-deep batches (one write flush per batch).
-fn run_connection(
-    addr: SocketAddr,
+/// One connection's pre-generated trace: the whole YCSB op stream
+/// chunked into `pipeline`-deep batches — each already encoded to wire
+/// bytes, paired with its response count — plus the read/write tallies
+/// counted up front. Generating and encoding the trace before the
+/// clock starts is the standard loadgen discipline: the timed region
+/// then measures the server, not the Zipfian sampler or the codec.
+struct ConnPlan {
+    /// `(encoded request frames, responses owed)` per batch.
+    batches: Vec<(Vec<u8>, usize)>,
+    result: ConnResult,
+}
+
+fn plan_connection(
     workload: char,
     records: u64,
     value_len: usize,
     seed: u64,
     ops: usize,
     pipeline: usize,
-) -> std::io::Result<ConnResult> {
-    let mut client = Client::connect(addr)?;
+) -> ConnPlan {
     let mut gen = make_workload(workload, records, value_len, seed);
     let mut result = ConnResult {
         ops: 0,
@@ -131,12 +153,13 @@ fn run_connection(
         writes: 0,
         errors: 0,
     };
+    let mut batches: Vec<(Vec<u8>, usize)> = Vec::with_capacity(ops.div_ceil(pipeline));
     let mut remaining = ops;
-    let mut batch = Vec::with_capacity(pipeline);
     while remaining > 0 {
-        batch.clear();
-        for _ in 0..pipeline.min(remaining) {
-            batch.push(match gen.next_op() {
+        let depth = pipeline.min(remaining);
+        let mut encoded = Vec::with_capacity(depth * 64);
+        for _ in 0..depth {
+            let req = match gen.next_op() {
                 Operation::Read(key) => Request::Get { key },
                 Operation::Update(key, value)
                 | Operation::Insert(key, value)
@@ -146,24 +169,19 @@ fn run_connection(
                     hi: key,
                     limit: len as u32,
                 },
-            });
-        }
-        for (req, resp) in batch.iter().zip(client.pipeline(&batch)?) {
+            };
             result.ops += 1;
             match req {
                 Request::Get { .. } => result.reads += 1,
                 Request::Put { .. } => result.writes += 1,
                 _ => {}
             }
-            // Typed error frames (e.g. DEGRADED under a worn pool) are
-            // counted, not fatal — the run keeps going.
-            if let Response::Error { .. } = resp {
-                result.errors += 1;
-            }
+            encode_request(&req, &mut encoded);
         }
-        remaining -= batch.len();
+        remaining -= depth;
+        batches.push((encoded, depth));
     }
-    Ok(result)
+    ConnPlan { batches, result }
 }
 
 struct WorkloadResult {
@@ -173,10 +191,48 @@ struct WorkloadResult {
     writes: u64,
     errors: u64,
     elapsed_s: f64,
+    /// Cache hit/miss deltas over this workload's run, when the server
+    /// exposes the `e2nvm_cache_*` series (cache on + telemetry built).
+    cache_hits: Option<u64>,
+    cache_misses: Option<u64>,
 }
 
-fn main() {
-    let args = parse_args();
+impl WorkloadResult {
+    fn ops_per_s(&self) -> f64 {
+        self.ops as f64 / self.elapsed_s
+    }
+
+    fn hit_rate(&self) -> Option<f64> {
+        match (self.cache_hits, self.cache_misses) {
+            (Some(h), Some(m)) if h + m > 0 => Some(h as f64 / (h + m) as f64),
+            _ => None,
+        }
+    }
+}
+
+/// One unlabeled sample value from a Prometheus exposition, or `None`
+/// when the series is absent (e.g. built without `--features
+/// telemetry`, or no cache attached).
+fn metric_value(metrics: &str, name: &str) -> Option<u64> {
+    metrics.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?.strip_prefix(' ')?;
+        rest.trim().parse::<f64>().ok().map(|v| v as u64)
+    })
+}
+
+/// Everything one full suite run produced: per-workload throughput,
+/// the final STATS document, and the final METRICS exposition.
+struct SuiteOutcome {
+    results: Vec<WorkloadResult>,
+    stats: String,
+    metrics: String,
+}
+
+/// Boot a server (unless `--addr` points at one), load every record,
+/// then drive each requested workload with `connections` pipelined
+/// connections. `cache_cfg` shapes the server-side read-through cache;
+/// `None` serves every GET from the store.
+fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
     let records = (args.segments / 4) as u64;
     let value_len = args.seg_bytes * 3 / 4;
 
@@ -187,13 +243,23 @@ fn main() {
         Some(addr) => (addr.parse().expect("--addr must be HOST:PORT"), None),
         None => {
             eprintln!(
-                "booting {}-shard server ({} segments x {} B) ...",
-                args.shards, args.segments, args.seg_bytes
+                "booting {}-shard server ({} segments x {} B{}) ...",
+                args.shards,
+                args.segments,
+                args.seg_bytes,
+                match &cache_cfg {
+                    Some(c) => format!(", {} MiB cache", c.capacity_bytes >> 20),
+                    None => String::new(),
+                }
             );
             let mut store = demo_store(args.shards, args.segments, args.seg_bytes, 0xE2);
             let registry = TelemetryRegistry::new();
             store.attach_telemetry(&registry);
-            let handle = Server::new(store, ServerConfig::default())
+            let mut config = ServerConfig::builder();
+            if let Some(cache) = cache_cfg.clone() {
+                config = config.cache(cache);
+            }
+            let handle = Server::new(store, config.build().expect("loadgen server config"))
                 .with_telemetry(&registry)
                 .start()
                 .expect("server binds an ephemeral port");
@@ -201,25 +267,30 @@ fn main() {
         }
     };
 
-    // Load phase: one pipelined connection inserts every record.
+    // Load phase: one connection inserts every record through the
+    // pipelined put_many helper, then spot-checks a sample via
+    // get_many.
     let mut loader = Client::connect(addr).expect("connect for load phase");
     let mut gen = make_workload('C', records, value_len, 0);
     let load_keys: Vec<u64> = gen.load_keys().collect();
     let t0 = Instant::now();
     for chunk in load_keys.chunks(args.pipeline) {
-        let reqs: Vec<Request> = chunk
+        let pairs: Vec<(u64, Vec<u8>)> = chunk
             .iter()
-            .map(|&key| Request::Put {
-                key,
-                value: gen.value_for(key, 0),
-            })
+            .map(|&key| (key, gen.value_for(key, 0)))
             .collect();
-        for resp in loader.pipeline(&reqs).expect("load phase pipeline") {
-            assert!(
-                matches!(resp, Response::Stored),
-                "load phase PUT failed: {resp:?}"
-            );
-        }
+        loader.put_many(&pairs).expect("load phase put_many");
+    }
+    let sample: Vec<u64> = load_keys.iter().step_by(64).copied().collect();
+    for (key, value) in sample
+        .iter()
+        .zip(loader.get_many(&sample).expect("load phase get_many"))
+    {
+        assert_eq!(
+            value.as_deref(),
+            Some(gen.value_for(*key, 0).as_slice()),
+            "loaded key {key} did not read back"
+        );
     }
     eprintln!(
         "loaded {} records in {:.2}s",
@@ -227,60 +298,158 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    // Run phase: per workload, `connections` OS threads each drive an
-    // independent pipelined connection.
+    // Run phase: per workload, one driver thread multiplexes all
+    // `connections` sockets — each round it sends every connection's
+    // next `pipeline`-deep batch, then drains every connection's
+    // responses, so each connection keeps `pipeline` requests
+    // outstanding without an OS thread per socket (on small hosts the
+    // per-batch context switches would otherwise dominate the
+    // measurement). Cache hit/miss counters are snapshotted between
+    // workloads so each row reports its own delta.
     let mut results: Vec<WorkloadResult> = Vec::new();
+    let snapshot = |loader: &mut Client| {
+        let metrics = loader.metrics().expect("METRICS frame");
+        (
+            metric_value(&metrics, "e2nvm_cache_hits_total"),
+            metric_value(&metrics, "e2nvm_cache_misses_total"),
+        )
+    };
+    let (mut prev_hits, mut prev_misses) = snapshot(&mut loader);
     for &workload in &args.workloads {
-        let t0 = Instant::now();
-        let threads: Vec<_> = (0..args.connections)
+        // Traces are generated before the clock starts, so the timed
+        // region measures the server, not the Zipfian sampler.
+        let mut plans: Vec<ConnPlan> = (0..args.connections)
             .map(|c| {
-                let (ops, pipeline) = (args.ops, args.pipeline);
-                std::thread::spawn(move || {
-                    run_connection(
-                        addr,
-                        workload,
-                        records,
-                        value_len,
-                        0x10AD + c as u64,
-                        ops,
-                        pipeline,
-                    )
-                })
+                plan_connection(
+                    workload,
+                    records,
+                    value_len,
+                    0x10AD + c as u64,
+                    args.ops,
+                    args.pipeline,
+                )
             })
             .collect();
+        let mut clients: Vec<Client> = (0..args.connections)
+            .map(|_| Client::connect(addr).expect("run-phase connect"))
+            .collect();
+        let rounds = plans.iter().map(|p| p.batches.len()).max().unwrap_or(0);
+        let t0 = Instant::now();
+        // Each round: send every connection's batch, then drain every
+        // connection's responses. On a small host this clusters the
+        // context switches — one client→servers hand-off per round
+        // instead of one per connection — and a connection's
+        // outstanding requests never exceed `pipeline`.
+        for round in 0..rounds {
+            for (client, plan) in clients.iter_mut().zip(&plans) {
+                if let Some((encoded, _)) = plan.batches.get(round) {
+                    client.send_encoded(encoded).expect("run-phase send");
+                }
+            }
+            for (client, plan) in clients.iter_mut().zip(plans.iter_mut()) {
+                if let Some(&(_, owed)) = plan.batches.get(round) {
+                    // Typed error frames (e.g. DEGRADED under a worn
+                    // pool) are counted, not fatal — the run keeps
+                    // going. The zero-copy consumer keeps the
+                    // measurement off the client allocator.
+                    let errors = &mut plan.result.errors;
+                    client
+                        .recv_frames(owed, |raw| {
+                            if raw.code != Status::Ok as u8 && raw.code != Status::NotFound as u8 {
+                                *errors += 1;
+                            }
+                        })
+                        .expect("run-phase recv");
+                }
+            }
+        }
+        let elapsed_s = t0.elapsed().as_secs_f64();
         let mut total = WorkloadResult {
             name: workload,
             ops: 0,
             reads: 0,
             writes: 0,
             errors: 0,
-            elapsed_s: 0.0,
+            elapsed_s,
+            cache_hits: None,
+            cache_misses: None,
         };
-        for t in threads {
-            let r = t.join().expect("connection thread").expect("connection io");
-            total.ops += r.ops;
-            total.reads += r.reads;
-            total.writes += r.writes;
-            total.errors += r.errors;
+        for plan in &plans {
+            total.ops += plan.result.ops;
+            total.reads += plan.result.reads;
+            total.writes += plan.result.writes;
+            total.errors += plan.result.errors;
         }
-        total.elapsed_s = t0.elapsed().as_secs_f64();
+        drop(clients);
+        let (hits, misses) = snapshot(&mut loader);
+        total.cache_hits = hits.zip(prev_hits).map(|(now, prev)| now - prev);
+        total.cache_misses = misses.zip(prev_misses).map(|(now, prev)| now - prev);
+        (prev_hits, prev_misses) = (hits, misses);
         eprintln!(
-            "YCSB-{}: {} ops in {:.2}s = {:.0} ops/s ({} reads, {} writes, {} errors)",
+            "YCSB-{}: {} ops in {:.2}s = {:.0} ops/s ({} reads, {} writes, {} errors{})",
             total.name,
             total.ops,
             total.elapsed_s,
-            total.ops as f64 / total.elapsed_s,
+            total.ops_per_s(),
             total.reads,
             total.writes,
-            total.errors
+            total.errors,
+            match total.hit_rate() {
+                Some(rate) => format!(", {:.1}% cache hits", rate * 100.0),
+                None => String::new(),
+            }
         );
         results.push(total);
     }
 
     let stats = loader.stats().expect("STATS frame");
+    let metrics = loader.metrics().expect("METRICS frame");
     drop(loader);
 
-    // Report.
+    if let Some(handle) = hosted {
+        let mut c = Client::connect(addr).expect("connect for shutdown");
+        c.shutdown_server().expect("SHUTDOWN frame acknowledged");
+        let served = handle.join();
+        eprintln!("clean shutdown after {served} connections");
+    }
+
+    SuiteOutcome {
+        results,
+        stats,
+        metrics,
+    }
+}
+
+/// Shared methodology note for both reports — keeps regenerated
+/// result files honest about how the numbers were taken.
+const METHODOLOGY: &str = "Methodology: operation traces are pre-generated and pre-encoded \
+    before the clock starts (standard loadgen practice — the measurement covers serving, not \
+    trace generation), and one driver thread multiplexes all connections round-by-round \
+    (send every connection's batch, then drain every connection's responses), which minimises \
+    context switches when client and server share cores. Numbers come from a single run on a \
+    shared host where run-to-run variance of 30-40% is routine; compare the suites within one \
+    run rather than across files, and weight the speedup column over absolute ops/s.\n\n";
+
+fn mix_label(name: char) -> &'static str {
+    match name {
+        'A' => "50R/50U",
+        'B' => "95R/5U",
+        _ => "100R",
+    }
+}
+
+fn write_report(path: &str, md: &str) {
+    std::fs::create_dir_all("results").ok();
+    let mut f = std::fs::File::create(path).unwrap();
+    f.write_all(md.as_bytes()).unwrap();
+    eprintln!("wrote {path}");
+}
+
+/// The plain (no `--cache`) report: one throughput table, same file
+/// and shape as before the cache existed.
+fn report_plain(args: &Args, out: &SuiteOutcome) {
+    let records = (args.segments / 4) as u64;
+    let value_len = args.seg_bytes * 3 / 4;
     let mut md = String::from("# Network serving: pipelined YCSB throughput over loopback\n\n");
     md.push_str(&format!(
         "`e2nvm-loadgen` against a {}-shard `e2nvm-server` ({} segments x {} B, {} records, \
@@ -295,46 +464,131 @@ fn main() {
         args.pipeline,
         args.ops,
     ));
+    md.push_str(METHODOLOGY);
     md.push_str("| workload | mix | ops | elapsed s | ops/s | error frames |\n");
     md.push_str("|---------:|----:|----:|----------:|------:|-------------:|\n");
-    for r in &results {
-        let mix = match r.name {
-            'A' => "50R/50U",
-            'B' => "95R/5U",
-            _ => "100R",
-        };
+    for r in &out.results {
         md.push_str(&format!(
             "| YCSB-{} | {} | {} | {:.2} | {:.0} | {} |\n",
             r.name,
-            mix,
+            mix_label(r.name),
             r.ops,
             r.elapsed_s,
-            r.ops as f64 / r.elapsed_s,
+            r.ops_per_s(),
             r.errors
         ));
     }
-    md.push_str(&format!("\nServer stats after the run: `{stats}`\n"));
-
-    std::fs::create_dir_all("results").ok();
-    // Quick runs get their own file so a CI-sized burst never clobbers
-    // full-scale numbers.
+    md.push_str(&format!("\nServer stats after the run: `{}`\n", out.stats));
     let path = if args.quick {
         "results/net_throughput_quick.md"
     } else {
         "results/net_throughput.md"
     };
-    let mut f = std::fs::File::create(path).unwrap();
-    f.write_all(md.as_bytes()).unwrap();
-    eprintln!("wrote {path}");
+    write_report(path, &md);
+}
 
-    let total_ops: u64 = results.iter().map(|r| r.ops).sum();
-    println!("completed {total_ops} ops");
-
-    if let Some(handle) = hosted {
-        let mut c = Client::connect(addr).expect("connect for shutdown");
-        c.shutdown_server().expect("SHUTDOWN frame acknowledged");
-        let served = handle.join();
-        println!("clean shutdown after {served} connections");
+/// The `--cache` report: baseline and cached suites side by side, with
+/// per-workload hit rates when the telemetry build exposes them.
+fn report_cache(args: &Args, baseline: &SuiteOutcome, cached: &SuiteOutcome) {
+    let records = (args.segments / 4) as u64;
+    let value_len = args.seg_bytes * 3 / 4;
+    let mut md = String::from(
+        "# Hot-key caching: YCSB throughput with and without the DRAM read-through cache\n\n",
+    );
+    md.push_str(&format!(
+        "`e2nvm-loadgen --cache` runs the suite twice against a {}-shard `e2nvm-server` \
+         ({} segments x {} B, {} records, {}-byte values): once plain, once fronted by a \
+         {} MiB read-through cache (PUT/DELETE invalidate before the ack; SCAN bypasses). \
+         {} client connections x pipeline depth {}, {} ops per connection per workload. \
+         Reads the cache absorbs never touch the simulated NVM device — on a read-heavy \
+         mix that converts directly into throughput and saved device energy.\n\n",
+        args.shards,
+        args.segments,
+        args.seg_bytes,
+        records,
+        value_len,
+        args.cache_mb,
+        args.connections,
+        args.pipeline,
+        args.ops,
+    ));
+    md.push_str(METHODOLOGY);
+    md.push_str("| workload | mix | baseline ops/s | cached ops/s | speedup | cache hit rate |\n");
+    md.push_str("|---------:|----:|---------------:|-------------:|--------:|---------------:|\n");
+    for (b, c) in baseline.results.iter().zip(&cached.results) {
+        assert_eq!(b.name, c.name, "suites ran the same workloads in order");
+        let hit_rate = match c.hit_rate() {
+            Some(rate) => format!("{:.1}%", rate * 100.0),
+            None => "n/a".to_string(),
+        };
+        md.push_str(&format!(
+            "| YCSB-{} | {} | {:.0} | {:.0} | {:.2}x | {} |\n",
+            b.name,
+            mix_label(b.name),
+            b.ops_per_s(),
+            c.ops_per_s(),
+            c.ops_per_s() / b.ops_per_s(),
+            hit_rate,
+        ));
     }
+    md.push_str(&format!(
+        "\nBaseline server stats after the run: `{}`\n\nCached server stats after the run: `{}`\n",
+        baseline.stats, cached.stats
+    ));
+    let path = if args.quick {
+        "results/cache_throughput_quick.md"
+    } else {
+        "results/cache_throughput.md"
+    };
+    write_report(path, &md);
+}
+
+fn main() {
+    let args = parse_args();
+
+    if !args.cache {
+        let out = run_suite(&args, None);
+        report_plain(&args, &out);
+        let total_ops: u64 = out.results.iter().map(|r| r.ops).sum();
+        println!("completed {total_ops} ops");
+        assert!(total_ops > 0, "load generator completed zero operations");
+        return;
+    }
+
+    assert!(
+        args.addr.is_none(),
+        "--cache boots its own baseline and cached servers; drop --addr"
+    );
+    eprintln!("== baseline suite (no cache) ==");
+    let baseline = run_suite(&args, None);
+    eprintln!("== cached suite ({} MiB) ==", args.cache_mb);
+    let cache_cfg = CacheConfig::builder()
+        .capacity_bytes(args.cache_mb << 20)
+        .build()
+        .expect("loadgen cache config");
+    let cached = run_suite(&args, Some(cache_cfg));
+
+    // Accounting cross-check, when the build exposes the cache series:
+    // every run-phase GET was either a hit or a miss — the cache never
+    // double-counts and never loses a lookup. Per-workload deltas
+    // exclude the load phase's own spot-check GETs.
+    if cached.metrics.contains("e2nvm_cache_hits_total") {
+        let hits: u64 = cached.results.iter().filter_map(|r| r.cache_hits).sum();
+        let misses: u64 = cached.results.iter().filter_map(|r| r.cache_misses).sum();
+        let reads: u64 = cached.results.iter().map(|r| r.reads).sum();
+        assert!(hits > 0, "cached suite never hit the cache");
+        assert_eq!(
+            hits + misses,
+            reads,
+            "cache lookups ({hits} hits + {misses} misses) != GETs served ({reads})"
+        );
+        eprintln!("cache accounting: {hits} hits + {misses} misses == {reads} reads served");
+    }
+
+    report_cache(&args, &baseline, &cached);
+    let total_ops: u64 = (baseline.results.iter().chain(&cached.results))
+        .map(|r| r.ops)
+        .sum();
+    println!("completed {total_ops} ops");
     assert!(total_ops > 0, "load generator completed zero operations");
 }

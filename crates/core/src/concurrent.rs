@@ -97,9 +97,27 @@ impl SharedEngine {
         Ok(report)
     }
 
+    /// Batched PUT: the whole batch runs through the engine's
+    /// segment-packing path ([`E2Engine::put_many`]) under a single
+    /// lock acquisition, and the retraining state machine is pumped
+    /// once at the end instead of per key.
+    pub fn put_many(&self, pairs: &[(u64, &[u8])]) -> Vec<Result<()>> {
+        let results = {
+            let mut engine = self.inner.engine.lock();
+            engine.put_many(pairs)
+        };
+        self.pump_retraining();
+        results
+    }
+
     /// GET.
     pub fn get(&self, key: u64) -> Result<Vec<u8>> {
         self.inner.engine.lock().get(key)
+    }
+
+    /// Batched GET under a single lock acquisition.
+    pub fn get_many(&self, keys: &[u64]) -> Vec<Result<Vec<u8>>> {
+        self.inner.engine.lock().get_many(keys)
     }
 
     /// DELETE (Algorithm 2).

@@ -21,14 +21,17 @@ use e2nvm_sim::{MemoryController, SegmentId, SimError, WriteReport};
 use e2nvm_telemetry::{Event, TelemetryRegistry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::RangeBounds;
 use std::time::Instant;
 
-/// An index entry: where a key's value lives and how long it is.
+/// An index entry: where a key's value lives — which segment, at what
+/// byte offset within it (nonzero only for values packed by the
+/// batched small-value path), and how long it is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
     seg: SegmentId,
+    off: usize,
     len: usize,
 }
 
@@ -68,6 +71,11 @@ pub struct E2Engine {
     dap: DynamicAddressPool,
     padder: Padder,
     index: BTreeMap<u64, Entry>,
+    /// Live-entry counts for segments holding more than one packed
+    /// value (written by [`E2Engine::put_many`]). Segments absent from
+    /// this map hold exactly one entry; a shared segment is recycled
+    /// only once its count reaches zero.
+    live: HashMap<SegmentId, usize>,
     rng: StdRng,
     prediction: PredictionStats,
     incremental: Option<IncrementalIndexer>,
@@ -94,6 +102,7 @@ impl E2Engine {
             model: None,
             padder,
             index: BTreeMap::new(),
+            live: HashMap::new(),
             prediction: PredictionStats::default(),
             incremental: None,
             telemetry: EngineTelemetry::disconnected(),
@@ -429,6 +438,40 @@ impl E2Engine {
         Ok(())
     }
 
+    /// Drop one live reference to the segment behind a displaced index
+    /// entry. Singly-occupied segments (every entry written by
+    /// [`E2Engine::put`]) recycle immediately; segments shared by a
+    /// packed batch recycle only when their last entry is released.
+    fn release_entry(&mut self, entry: Entry) -> Result<()> {
+        match self.live.get_mut(&entry.seg) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    self.live.remove(&entry.seg);
+                    self.recycle_segment(entry.seg)?;
+                }
+            }
+            None => self.recycle_segment(entry.seg)?,
+        }
+        Ok(())
+    }
+
+    /// Index every item of an emitted [`Batch`] against the one segment
+    /// its packed bytes were placed on.
+    fn commit_batch(&mut self, batch: &crate::batch::Batch) -> Result<()> {
+        let (seg, _report) = self.place_value(&batch.data)?;
+        // Count the whole batch up front so that releasing an
+        // intra-batch duplicate (same key twice in one batch) cannot
+        // drop the count to zero while later items still land here.
+        self.live.insert(seg, batch.items.len());
+        for &(key, off, len) in &batch.items {
+            if let Some(old) = self.index.insert(key, Entry { seg, off, len }) {
+                self.release_entry(old)?;
+            }
+        }
+        Ok(())
+    }
+
     /// PUT / UPDATE (Algorithm 1). Returns the device write report.
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<WriteReport> {
         let (seg, report) = self.place_value(value)?;
@@ -436,21 +479,83 @@ impl E2Engine {
             key,
             Entry {
                 seg,
+                off: 0,
                 len: value.len(),
             },
         ) {
-            // The key's previous segment becomes free again.
-            self.recycle_segment(old.seg)?;
+            // The key's previous segment becomes free again (or loses
+            // one of its packed entries).
+            self.release_entry(old)?;
         }
         Ok(report)
+    }
+
+    /// Batched PUT: pack consecutive small values into shared segments
+    /// via [`crate::batch::BatchAccumulator`], paying one placement
+    /// (prediction + pop + device write) per *filled segment* instead
+    /// of one per value. Returns one result per pair, in order; a
+    /// placement failure fails every item of the affected batch and
+    /// later batches are still attempted. Duplicate keys within
+    /// `pairs` behave like sequential puts: the last occurrence wins.
+    pub fn put_many(&mut self, pairs: &[(u64, &[u8])]) -> Vec<Result<()>> {
+        let seg_bytes = self.cfg.segment_bytes;
+        let mut results: Vec<Result<()>> = (0..pairs.len()).map(|_| Ok(())).collect();
+        let mut acc = crate::batch::BatchAccumulator::new(seg_bytes);
+        // Indices of pairs sitting in the accumulator, awaiting commit.
+        let mut pending: Vec<usize> = Vec::new();
+        let commit = |this: &mut Self,
+                      batch: &crate::batch::Batch,
+                      pending: &mut Vec<usize>,
+                      results: &mut Vec<Result<()>>| {
+            if let Err(e) = this.commit_batch(batch) {
+                for &i in pending.iter() {
+                    results[i] = Err(e.clone());
+                }
+            }
+            pending.clear();
+        };
+        for (i, &(key, value)) in pairs.iter().enumerate() {
+            if value.len() > seg_bytes {
+                results[i] = Err(E2Error::ValueTooLarge {
+                    len: value.len(),
+                    segment_bytes: seg_bytes,
+                });
+                continue;
+            }
+            if value.is_empty() {
+                // Zero-length values carry no packed bytes, so the
+                // accumulator cannot represent them; flush what is
+                // pending (order matters for duplicate keys) and take
+                // the ordinary single-put path.
+                if let Some(batch) = acc.flush() {
+                    commit(self, &batch, &mut pending, &mut results);
+                }
+                results[i] = self.put(key, value).map(|_| ());
+                continue;
+            }
+            if let Some(batch) = acc.push(key, value) {
+                commit(self, &batch, &mut pending, &mut results);
+            }
+            pending.push(i);
+        }
+        if let Some(batch) = acc.flush() {
+            commit(self, &batch, &mut pending, &mut results);
+        }
+        results
+    }
+
+    /// Batched GET: one result per key, in order. Equivalent to calling
+    /// [`E2Engine::get`] per key; exists so lock-holding wrappers can
+    /// serve a whole batch under a single acquisition.
+    pub fn get_many(&mut self, keys: &[u64]) -> Vec<Result<Vec<u8>>> {
+        keys.iter().map(|&k| self.get(k)).collect()
     }
 
     /// GET: read the value back.
     pub fn get(&mut self, key: u64) -> Result<Vec<u8>> {
         let entry = *self.index.get(&key).ok_or(E2Error::KeyNotFound(key))?;
-        let mut data = self.controller.read(entry.seg)?;
-        data.truncate(entry.len);
-        Ok(data)
+        let data = self.controller.read(entry.seg)?;
+        Ok(data[entry.off..entry.off + entry.len].to_vec())
     }
 
     /// DELETE (Algorithm 2). Returns true if the key existed.
@@ -458,7 +563,7 @@ impl E2Engine {
         let Some(entry) = self.index.remove(&key) else {
             return Ok(false);
         };
-        self.recycle_segment(entry.seg)?;
+        self.release_entry(entry)?;
         Ok(true)
     }
 
@@ -468,9 +573,8 @@ impl E2Engine {
         entries
             .into_iter()
             .map(|(k, e)| {
-                let mut data = self.controller.read(e.seg)?;
-                data.truncate(e.len);
-                Ok((k, data))
+                let data = self.controller.read(e.seg)?;
+                Ok((k, data[e.off..e.off + e.len].to_vec()))
             })
             .collect()
     }
@@ -850,6 +954,102 @@ mod tests {
         for seg in retired {
             assert!(!e.dap.is_free(seg));
         }
+    }
+
+    #[test]
+    fn put_many_packs_small_values_into_shared_segments() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut e = engine(32, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        let free_before = e.free_count();
+        // Eight 8-byte values fit four-to-a-segment: two segments total.
+        let pairs: Vec<(u64, Vec<u8>)> = (0..8u64).map(|k| (k, k.to_le_bytes().to_vec())).collect();
+        let borrowed: Vec<(u64, &[u8])> = pairs.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        let results = e.put_many(&borrowed);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(
+            free_before - e.free_count(),
+            2,
+            "8x8B values must occupy exactly two 32B segments"
+        );
+        for k in 0..8u64 {
+            assert_eq!(e.get(k).unwrap(), k.to_le_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn packed_segment_recycles_only_after_last_entry_dies() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut e = engine(32, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        let pairs: Vec<(u64, &[u8])> = vec![(1, &[0u8; 8]), (2, &[0u8; 8]), (3, &[0u8; 8])];
+        assert!(e.put_many(&pairs).iter().all(Result::is_ok));
+        let after_batch = e.free_count();
+        // Two of three packed entries die: the shared segment stays
+        // live (the survivor still points into it).
+        assert!(e.delete(1).unwrap());
+        assert!(e.delete(2).unwrap());
+        assert_eq!(e.free_count(), after_batch);
+        // The last entry dies: now the segment comes back.
+        assert!(e.delete(3).unwrap());
+        assert_eq!(e.free_count(), after_batch + 1);
+    }
+
+    #[test]
+    fn put_many_duplicate_key_last_wins() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut e = engine(32, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        let pairs: Vec<(u64, &[u8])> = vec![(7, b"first"), (8, b"other"), (7, b"second")];
+        assert!(e.put_many(&pairs).iter().all(Result::is_ok));
+        assert_eq!(e.get(7).unwrap(), b"second");
+        assert_eq!(e.get(8).unwrap(), b"other");
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn put_many_mixed_sizes_and_errors() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut e = engine(32, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        let big = [0u8; 33];
+        let pairs: Vec<(u64, &[u8])> = vec![(1, b"ok"), (2, &big), (3, b""), (4, &[0xAA; 32])];
+        let results = e.put_many(&pairs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(E2Error::ValueTooLarge { len: 33, .. })
+        ));
+        assert!(results[2].is_ok(), "empty value stored: {:?}", results[2]);
+        assert!(results[3].is_ok());
+        assert_eq!(e.get(1).unwrap(), b"ok");
+        assert_eq!(e.get(2), Err(E2Error::KeyNotFound(2)));
+        assert_eq!(e.get(3).unwrap(), Vec::<u8>::new());
+        assert_eq!(e.get(4).unwrap(), vec![0xAA; 32]);
+        let got = e.get_many(&[1, 2, 3]);
+        assert_eq!(got[0].as_deref(), Ok(&b"ok"[..]));
+        assert_eq!(got[1], Err(E2Error::KeyNotFound(2)));
+    }
+
+    #[test]
+    fn put_many_overwrite_then_single_put_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut e = engine(32, 32, 2);
+        seed_two_families(&mut e, &mut rng);
+        e.train().unwrap();
+        e.put(5, b"single").unwrap();
+        let pairs: Vec<(u64, &[u8])> = vec![(5, b"batched"), (6, b"mate")];
+        assert!(e.put_many(&pairs).iter().all(Result::is_ok));
+        assert_eq!(e.get(5).unwrap(), b"batched");
+        // Overwrite a packed entry with a single put; its batch-mate
+        // must survive on the shared segment.
+        e.put(5, b"again").unwrap();
+        assert_eq!(e.get(5).unwrap(), b"again");
+        assert_eq!(e.get(6).unwrap(), b"mate");
     }
 
     #[test]

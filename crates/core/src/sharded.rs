@@ -140,6 +140,56 @@ impl ShardedEngine {
         self.shards[self.shard_for(key)].delete(key)
     }
 
+    /// Batched PUT: pairs are grouped by destination shard and each
+    /// group runs through that shard's segment-packing batch path
+    /// ([`SharedEngine::put_many`]) under one lock acquisition.
+    /// Results come back in the order of `pairs`. Within a shard the
+    /// shard's batch order follows `pairs` order, so duplicate keys
+    /// still resolve last-occurrence-wins.
+    pub fn put_many(&self, pairs: &[(u64, &[u8])]) -> Vec<Result<()>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &(key, _)) in pairs.iter().enumerate() {
+            by_shard[self.shard_for(key)].push(i);
+        }
+        let mut out: Vec<Option<Result<()>>> = (0..pairs.len()).map(|_| None).collect();
+        for (shard, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let group: Vec<(u64, &[u8])> = idxs.iter().map(|&i| pairs[i]).collect();
+            let results = self.shards[shard].put_many(&group);
+            for (&i, r) in idxs.iter().zip(results) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every pair routed to exactly one shard"))
+            .collect()
+    }
+
+    /// Batched GET: keys are grouped by shard, served under one lock
+    /// acquisition per shard, and reassembled into `keys` order.
+    pub fn get_many(&self, keys: &[u64]) -> Vec<Result<Vec<u8>>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &key) in keys.iter().enumerate() {
+            by_shard[self.shard_for(key)].push(i);
+        }
+        let mut out: Vec<Option<Result<Vec<u8>>>> = (0..keys.len()).map(|_| None).collect();
+        for (shard, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let group: Vec<u64> = idxs.iter().map(|&i| keys[i]).collect();
+            let results = self.shards[shard].get_many(&group);
+            for (&i, r) in idxs.iter().zip(results) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every key routed to exactly one shard"))
+            .collect()
+    }
+
     /// SCAN over an inclusive key range: every shard contributes its
     /// matches (keys are hash-routed, so any shard may hold any part of
     /// the range), merged into key order.
@@ -322,6 +372,27 @@ mod tests {
         assert_eq!(s.len(), 24);
         assert_eq!(s.get(2), Err(E2Error::KeyNotFound(2)));
         assert_eq!(s.get(3).unwrap(), 3u64.to_le_bytes());
+    }
+
+    #[test]
+    fn batch_ops_roundtrip_across_shards_in_input_order() {
+        let s = sharded(4, 128, 32);
+        let values: Vec<(u64, Vec<u8>)> =
+            (0..40u64).map(|k| (k, k.to_le_bytes().to_vec())).collect();
+        let pairs: Vec<(u64, &[u8])> = values.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        let results = s.put_many(&pairs);
+        assert_eq!(results.len(), 40);
+        assert!(results.iter().all(Result::is_ok));
+        // get_many must return results aligned with the *request*
+        // order, not shard order — interleave hits and misses.
+        let keys: Vec<u64> = vec![39, 1000, 0, 17, 1001, 23];
+        let got = s.get_many(&keys);
+        assert_eq!(got[0].as_deref(), Ok(&39u64.to_le_bytes()[..]));
+        assert_eq!(got[1], Err(E2Error::KeyNotFound(1000)));
+        assert_eq!(got[2].as_deref(), Ok(&0u64.to_le_bytes()[..]));
+        assert_eq!(got[3].as_deref(), Ok(&17u64.to_le_bytes()[..]));
+        assert_eq!(got[4], Err(E2Error::KeyNotFound(1001)));
+        assert_eq!(got[5].as_deref(), Ok(&23u64.to_le_bytes()[..]));
     }
 
     #[test]

@@ -7,13 +7,15 @@ use crate::rbtree::RbTree;
 use crate::store::{Result, StoreError};
 use crate::telemetry::StoreTelemetry;
 use crate::traits::NvmKvStore;
-use e2nvm_core::{E2Engine, E2Error, ShardedEngine};
+use e2nvm_core::{Batch, BatchAccumulator, E2Engine, E2Error, ShardedEngine};
 use e2nvm_sim::SegmentId;
 use e2nvm_telemetry::TelemetryRegistry;
+use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Loc {
     seg: SegmentId,
+    off: usize,
     len: usize,
 }
 
@@ -21,6 +23,7 @@ impl Default for Loc {
     fn default() -> Self {
         Self {
             seg: SegmentId(usize::MAX),
+            off: 0,
             len: 0,
         }
     }
@@ -30,6 +33,10 @@ impl Default for Loc {
 pub struct E2KvStore {
     engine: E2Engine,
     index: RbTree<Loc>,
+    /// Live-entry counts for segments shared by a packed
+    /// [`NvmKvStore::put_many`] batch; absent segments hold exactly one
+    /// entry. A shared segment is recycled only when its count hits 0.
+    live: HashMap<SegmentId, usize>,
     telemetry: StoreTelemetry,
 }
 
@@ -43,8 +50,55 @@ impl E2KvStore {
         Self {
             engine,
             index: RbTree::new(),
+            live: HashMap::new(),
             telemetry: StoreTelemetry::disconnected(),
         }
+    }
+
+    /// Drop one live reference to the segment behind a displaced index
+    /// entry; recycle it once no entry points there any more.
+    fn release_loc(&mut self, loc: Loc) -> Result<()> {
+        match self.live.get_mut(&loc.seg) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    self.live.remove(&loc.seg);
+                    self.engine.recycle_segment(loc.seg)?;
+                }
+            }
+            None => self.engine.recycle_segment(loc.seg)?,
+        }
+        Ok(())
+    }
+
+    /// Commit one emitted batch; on placement failure, fail every
+    /// pending pair's result slot. Clears `pending` either way.
+    fn commit_pending(
+        &mut self,
+        batch: &Batch,
+        pending: &mut Vec<usize>,
+        results: &mut [Result<()>],
+    ) {
+        if let Err(e) = self.commit_batch(batch) {
+            for &i in pending.iter() {
+                results[i] = Err(e.clone());
+            }
+        }
+        pending.clear();
+    }
+
+    /// Place one emitted batch on a segment and index every item.
+    fn commit_batch(&mut self, batch: &Batch) -> Result<()> {
+        let (seg, _report) = self.engine.place_value(&batch.data)?;
+        // Count the whole batch up front so an intra-batch duplicate
+        // release cannot recycle the segment under later items.
+        self.live.insert(seg, batch.items.len());
+        for &(key, off, len) in &batch.items {
+            if let Some(old) = self.index.insert(key, Loc { seg, off, len }) {
+                self.release_loc(old)?;
+            }
+        }
+        Ok(())
     }
 
     /// Register this store's KV-op metrics — and the wrapped engine's
@@ -81,7 +135,10 @@ impl NvmKvStore for E2KvStore {
     }
 
     fn put(&mut self, key: u64, value: &[u8]) -> Result<()> {
-        let _timer = self.telemetry.put_latency_ns.start_timer();
+        // Timed explicitly (not via the drop-guard timer) because
+        // release_loc needs `&mut self` while a guard would hold the
+        // telemetry borrow.
+        let t0 = crate::telemetry::now_if_enabled();
         self.telemetry.puts.inc();
         // Algorithm 1: predict -> pop address -> differential write ->
         // index update.
@@ -90,12 +147,66 @@ impl NvmKvStore for E2KvStore {
             key,
             Loc {
                 seg,
+                off: 0,
                 len: value.len(),
             },
         ) {
-            self.engine.recycle_segment(old.seg)?;
+            self.release_loc(old)?;
+        }
+        if let Some(t0) = t0 {
+            self.telemetry
+                .put_latency_ns
+                .observe(t0.elapsed().as_nanos() as u64);
         }
         Ok(())
+    }
+
+    fn put_many(&mut self, pairs: &[(u64, &[u8])]) -> Vec<Result<()>> {
+        self.telemetry.puts.add(pairs.len() as u64);
+        let seg_bytes = self.engine.config().segment_bytes;
+        let mut results: Vec<Result<()>> = (0..pairs.len()).map(|_| Ok(())).collect();
+        let mut acc = BatchAccumulator::new(seg_bytes);
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, &(key, value)) in pairs.iter().enumerate() {
+            if value.len() > seg_bytes {
+                results[i] = Err(StoreError::from(E2Error::ValueTooLarge {
+                    len: value.len(),
+                    segment_bytes: seg_bytes,
+                }));
+                continue;
+            }
+            if value.is_empty() {
+                // The accumulator cannot carry zero-length payloads;
+                // flush first (order matters for duplicate keys), then
+                // place the empty value on its own segment.
+                if let Some(batch) = acc.flush() {
+                    self.commit_pending(&batch, &mut pending, &mut results);
+                }
+                results[i] = match self.engine.place_value(value) {
+                    Ok((seg, _report)) => match self.index.insert(
+                        key,
+                        Loc {
+                            seg,
+                            off: 0,
+                            len: 0,
+                        },
+                    ) {
+                        Some(old) => self.release_loc(old),
+                        None => Ok(()),
+                    },
+                    Err(e) => Err(e.into()),
+                };
+                continue;
+            }
+            if let Some(batch) = acc.push(key, value) {
+                self.commit_pending(&batch, &mut pending, &mut results);
+            }
+            pending.push(i);
+        }
+        if let Some(batch) = acc.flush() {
+            self.commit_pending(&batch, &mut pending, &mut results);
+        }
+        results
     }
 
     fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>> {
@@ -104,9 +215,8 @@ impl NvmKvStore for E2KvStore {
         let Some(loc) = self.index.get(key).copied() else {
             return Ok(None);
         };
-        let mut data = self.engine.controller_mut().read(loc.seg)?;
-        data.truncate(loc.len);
-        Ok(Some(data))
+        let data = self.engine.controller_mut().read(loc.seg)?;
+        Ok(Some(data[loc.off..loc.off + loc.len].to_vec()))
     }
 
     fn delete(&mut self, key: u64) -> Result<bool> {
@@ -116,7 +226,7 @@ impl NvmKvStore for E2KvStore {
         let Some(loc) = self.index.remove(key) else {
             return Ok(false);
         };
-        self.engine.recycle_segment(loc.seg)?;
+        self.release_loc(loc)?;
         Ok(true)
     }
 
@@ -130,9 +240,8 @@ impl NvmKvStore for E2KvStore {
             .collect();
         locs.into_iter()
             .map(|(k, loc)| {
-                let mut data = self.engine.controller_mut().read(loc.seg)?;
-                data.truncate(loc.len);
-                Ok((k, data))
+                let data = self.engine.controller_mut().read(loc.seg)?;
+                Ok((k, data[loc.off..loc.off + loc.len].to_vec()))
             })
             .collect()
     }
@@ -212,6 +321,18 @@ impl NvmKvStore for ShardedE2KvStore {
         Ok(())
     }
 
+    fn put_many(&mut self, pairs: &[(u64, &[u8])]) -> Vec<Result<()>> {
+        self.telemetry.puts.add(pairs.len() as u64);
+        // Each shard packs its share of the batch into shared segments
+        // under a single lock acquisition (see
+        // [`ShardedEngine::put_many`]).
+        self.engine
+            .put_many(pairs)
+            .into_iter()
+            .map(|r| r.map_err(StoreError::from))
+            .collect()
+    }
+
     fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>> {
         let _timer = self.telemetry.get_latency_ns.start_timer();
         self.telemetry.gets.inc();
@@ -220,6 +341,19 @@ impl NvmKvStore for ShardedE2KvStore {
             Err(E2Error::KeyNotFound(_)) => Ok(None),
             Err(e) => Err(StoreError::from(e)),
         }
+    }
+
+    fn get_many(&mut self, keys: &[u64]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.telemetry.gets.add(keys.len() as u64);
+        self.engine
+            .get_many(keys)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => Ok(Some(v)),
+                Err(E2Error::KeyNotFound(_)) => Ok(None),
+                Err(e) => Err(StoreError::from(e)),
+            })
+            .collect()
     }
 
     fn delete(&mut self, key: u64) -> Result<bool> {
@@ -366,6 +500,47 @@ mod tests {
     fn sharded_shadow_stress() {
         let mut s = sharded_store(4, 192, 64);
         check_against_shadow(&mut s, 400, 12, 31).unwrap();
+    }
+
+    #[test]
+    fn put_many_packs_and_roundtrips() {
+        let mut s = store(32, 64);
+        let values: Vec<(u64, Vec<u8>)> = (0..12u64).map(|k| (k, vec![k as u8; 16])).collect();
+        let pairs: Vec<(u64, &[u8])> = values.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        let free_before = s.engine.free_count();
+        assert!(s.put_many(&pairs).iter().all(Result::is_ok));
+        // Twelve 16-byte values pack four-to-a-64B-segment.
+        assert_eq!(free_before - s.engine.free_count(), 3);
+        for (k, v) in &values {
+            assert_eq!(s.get(*k).unwrap().as_ref(), Some(v));
+        }
+        // Deleting batch-mates frees the segment only when the last
+        // entry dies.
+        for k in 0..4u64 {
+            assert!(s.delete(k).unwrap());
+        }
+        assert_eq!(s.engine.free_count(), free_before - 2);
+        // Batched reads agree, including misses.
+        let got = s.get_many(&[5, 0, 7]).unwrap();
+        assert_eq!(got[0].as_deref(), Some(&[5u8; 16][..]));
+        assert_eq!(got[1], None);
+        assert_eq!(got[2].as_deref(), Some(&[7u8; 16][..]));
+    }
+
+    #[test]
+    fn sharded_put_many_roundtrips() {
+        let mut s = sharded_store(4, 128, 64);
+        let values: Vec<(u64, Vec<u8>)> = (0..32u64).map(|k| (k, vec![!(k as u8); 12])).collect();
+        let pairs: Vec<(u64, &[u8])> = values.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        assert!(s.put_many(&pairs).iter().all(Result::is_ok));
+        assert_eq!(s.len(), 32);
+        let keys: Vec<u64> = (0..34u64).collect();
+        let got = s.get_many(&keys).unwrap();
+        for k in 0..32usize {
+            assert_eq!(got[k].as_deref(), Some(&values[k].1[..]), "key {k}");
+        }
+        assert_eq!(got[32], None);
+        assert_eq!(got[33], None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!    vs plugged into E2-NVM" is a one-line switch.
 
 pub mod btree;
+pub mod cache;
 pub mod e2store;
 pub mod fptree;
 pub mod novelsm;
@@ -23,12 +24,13 @@ pub mod traits;
 pub mod wisckey;
 
 pub use btree::BPlusTree;
+pub use cache::{CacheConfig, CacheConfigBuilder, CacheStats, CachedKvStore, HotCache};
 pub use e2store::{E2KvStore, ShardedE2KvStore};
 pub use fptree::FpTree;
 pub use novelsm::NoveLsm;
 pub use path_hashing::PathHashing;
 pub use rbtree::RbTree;
 pub use store::{DirectNodeStore, E2NodeStore, NodeId, NodeStore, StoreError};
-pub use telemetry::StoreTelemetry;
+pub use telemetry::{CacheTelemetry, StoreTelemetry};
 pub use traits::NvmKvStore;
 pub use wisckey::WiscKey;

@@ -35,6 +35,9 @@ pub enum StoreError {
     },
     /// The node id was never allocated (or already freed).
     UnknownNode(NodeId),
+    /// An invalid configuration was rejected at build time (e.g. a
+    /// [`crate::CacheConfig`] with a non-power-of-two shard count).
+    Config(String),
     /// Device-level failure.
     Sim(SimError),
     /// E2 engine failure (the original error, not a rendered string, so
@@ -51,6 +54,7 @@ impl std::fmt::Display for StoreError {
                 "node store degraded: pool dry after {retired} segments retired by wear-out"
             ),
             StoreError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            StoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             StoreError::Sim(e) => write!(f, "device error: {e}"),
             StoreError::Engine(e) => write!(f, "E2 engine error: {e}"),
         }

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p e2nvm-server --bin e2nvm-server -- \
 //!     [--addr 127.0.0.1:4242] [--shards 4] [--segments 2048] \
-//!     [--seg-bytes 64] [--max-conns 64]
+//!     [--seg-bytes 64] [--max-conns 64] [--cache] [--cache-mb 64]
 //! ```
 //!
 //! Prints the bound address on the first line (`listening on ADDR`),
@@ -11,7 +11,7 @@
 //! embedder would build its own store (own device geometry, own
 //! training corpus) and hand it to [`Server`] the same way.
 
-use e2nvm_server::{demo, Server, ServerConfig};
+use e2nvm_server::{demo, CacheConfig, Server, ServerConfig};
 use e2nvm_telemetry::TelemetryRegistry;
 
 fn arg_after(args: &[String], flag: &str) -> Option<String> {
@@ -32,17 +32,26 @@ fn main() {
     let segments: usize = parse_or(arg_after(&args, "--segments"), 2048);
     let seg_bytes: usize = parse_or(arg_after(&args, "--seg-bytes"), 64);
     let max_conns: usize = parse_or(arg_after(&args, "--max-conns"), 64);
+    let cache = args.iter().any(|a| a == "--cache");
+    let cache_mb: usize = parse_or(arg_after(&args, "--cache-mb"), 64);
 
     eprintln!("training {shards} shard models over {segments} × {seg_bytes} B segments...");
     let mut store = demo::demo_store(shards, segments, seg_bytes, 0xE2);
     let registry = TelemetryRegistry::new();
     store.attach_telemetry(&registry);
 
-    let config = ServerConfig {
-        addr,
-        max_connections: max_conns,
-        ..ServerConfig::default()
-    };
+    let mut builder = ServerConfig::builder()
+        .addr(addr)
+        .max_connections(max_conns);
+    if cache {
+        eprintln!("fronting the store with a {cache_mb} MiB read-through cache");
+        let cache_cfg = CacheConfig::builder()
+            .capacity_bytes(cache_mb << 20)
+            .build()
+            .expect("valid cache config");
+        builder = builder.cache(cache_cfg);
+    }
+    let config = builder.build().expect("valid server config");
     let handle = Server::new(store, config)
         .with_telemetry(&registry)
         .start()

@@ -7,7 +7,8 @@
 //! the k-th request.
 
 use crate::frame::{
-    encode_request, parse_response, FrameDecoder, Request, Response, Status, DEFAULT_MAX_BODY,
+    encode_request, parse_response, FrameDecoder, FrameError, RawFrame, Request, Response, Status,
+    DEFAULT_MAX_BODY,
 };
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -47,19 +48,78 @@ impl Client {
     /// response per request, in order. This is the unit of pipelining:
     /// `depth` outstanding requests = a `reqs` slice of that length.
     pub fn pipeline(&mut self, reqs: &[Request]) -> std::io::Result<Vec<Response>> {
+        let mut responses = Vec::with_capacity(reqs.len());
+        let mut bad: Option<FrameError> = None;
+        self.pipeline_with(reqs, |raw| {
+            if bad.is_none() {
+                match parse_response(raw) {
+                    Ok(resp) => responses.push(resp),
+                    Err(e) => bad = Some(e),
+                }
+            }
+        })?;
+        if let Some(e) = bad {
+            return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+        }
+        Ok(responses)
+    }
+
+    /// The zero-copy pipeline underneath [`Client::pipeline`]: send
+    /// `reqs` in one write, then invoke `f` once per response frame, in
+    /// request order, without building owned [`Response`] values. The
+    /// frame borrows the receive buffer — `f` gets the status byte in
+    /// `code` and the echoed opcode in `aux` (see `PROTOCOL.md`). This
+    /// is what throughput tooling (`e2nvm-loadgen`) drives, so the
+    /// measurement isn't dominated by client-side allocations.
+    pub fn pipeline_with(
+        &mut self,
+        reqs: &[Request],
+        f: impl FnMut(&RawFrame<'_>),
+    ) -> std::io::Result<()> {
+        self.send_batch(reqs)?;
+        self.recv_frames(reqs.len(), f)
+    }
+
+    /// The send half of [`Client::pipeline_with`]: encode `reqs` back to
+    /// back and flush them in one write, without reading anything. Every
+    /// request sent obligates one [`Client::recv_frames`] frame later;
+    /// interleaving sends across *different* clients is how a single
+    /// driver thread keeps several connections' pipelines full at once.
+    pub fn send_batch(&mut self, reqs: &[Request]) -> std::io::Result<()> {
         self.wrbuf.clear();
         for req in reqs {
             encode_request(req, &mut self.wrbuf);
         }
-        self.stream.write_all(&self.wrbuf)?;
-        let mut responses = Vec::with_capacity(reqs.len());
-        while responses.len() < reqs.len() {
+        self.stream.write_all(&self.wrbuf)
+    }
+
+    /// Like [`Client::send_batch`] but for request frames already
+    /// encoded with [`crate::frame::encode_request`] — the caller owns
+    /// the bytes, so a load generator can encode its whole trace before
+    /// the clock starts. `frames` must be a well-formed concatenation
+    /// of request frames; the server answers garbage with typed error
+    /// frames (and closes on framing violations), and each request in
+    /// `frames` obligates one [`Client::recv_frames`] frame.
+    pub fn send_encoded(&mut self, frames: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(frames)
+    }
+
+    /// The receive half of [`Client::pipeline_with`]: read exactly `n`
+    /// response frames (in request order, per the protocol), invoking
+    /// `f` on each. `n` must not exceed the number of responses still
+    /// owed by the server, or this blocks forever.
+    pub fn recv_frames(
+        &mut self,
+        n: usize,
+        mut f: impl FnMut(&RawFrame<'_>),
+    ) -> std::io::Result<()> {
+        let mut received = 0usize;
+        while received < n {
             // Drain frames already buffered before touching the socket.
             match self.decoder.next_frame() {
                 Ok(Some(raw)) => {
-                    let resp = parse_response(&raw)
-                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
-                    responses.push(resp);
+                    f(&raw);
+                    received += 1;
                     continue;
                 }
                 Ok(None) => {}
@@ -67,20 +127,19 @@ impl Client {
                     return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
                 }
             }
-            let n = self.stream.read(&mut self.rdbuf)?;
-            if n == 0 {
+            let got = self.stream.read(&mut self.rdbuf)?;
+            if got == 0 {
                 return Err(std::io::Error::new(
                     ErrorKind::UnexpectedEof,
                     format!(
-                        "server closed the connection with {} of {} responses outstanding",
-                        reqs.len() - responses.len(),
-                        reqs.len()
+                        "server closed the connection with {} of {n} responses outstanding",
+                        n - received,
                     ),
                 ));
             }
-            self.decoder.extend(&self.rdbuf[..n]);
+            self.decoder.extend(&self.rdbuf[..got]);
         }
-        Ok(responses)
+        Ok(())
     }
 
     /// GET `key`; `Ok(None)` when absent.
@@ -101,6 +160,42 @@ impl Client {
             Response::Stored => Ok(()),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// GET every key in `keys` through one pipelined round trip;
+    /// result `i` answers `keys[i]` (`None` when absent). Equivalent
+    /// to, and much faster than, calling [`Client::get`] in a loop —
+    /// one write, one read batch, instead of a round trip per key.
+    pub fn get_many(&mut self, keys: &[u64]) -> std::io::Result<Vec<Option<Vec<u8>>>> {
+        let reqs: Vec<Request> = keys.iter().map(|&key| Request::Get { key }).collect();
+        self.pipeline(&reqs)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::Value(v) => Ok(Some(v)),
+                Response::NotFound => Ok(None),
+                other => Err(unexpected(&other)),
+            })
+            .collect()
+    }
+
+    /// PUT every pair in `pairs` through one pipelined round trip.
+    /// Fails on the first pair the server rejected; earlier pairs in
+    /// the slice are already stored when that happens.
+    pub fn put_many(&mut self, pairs: &[(u64, Vec<u8>)]) -> std::io::Result<()> {
+        let reqs: Vec<Request> = pairs
+            .iter()
+            .map(|(key, value)| Request::Put {
+                key: *key,
+                value: value.clone(),
+            })
+            .collect();
+        for resp in self.pipeline(&reqs)? {
+            match resp {
+                Response::Stored => {}
+                other => return Err(unexpected(&other)),
+            }
+        }
+        Ok(())
     }
 
     /// DELETE `key`; returns whether it existed.

@@ -380,15 +380,19 @@ impl fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// A decoded-but-unparsed frame: header fields plus the raw body.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RawFrame {
+/// A decoded-but-unparsed frame: header fields plus the raw body,
+/// borrowed straight from the decoder's buffer — decoding a frame
+/// copies nothing. The borrow ends at the decoder's next
+/// [`FrameDecoder::next_frame`] / [`FrameDecoder::extend`] call;
+/// parse (or copy) the body before then.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawFrame<'a> {
     /// Byte 6: opcode (requests) or status (responses).
     pub code: u8,
     /// Byte 7: reserved (requests) or echoed opcode (responses).
     pub aux: u8,
     /// The body bytes after the header.
-    pub body: Vec<u8>,
+    pub body: &'a [u8],
 }
 
 fn put_header(out: &mut Vec<u8>, body_len: usize, code: u8, aux: u8) {
@@ -468,6 +472,20 @@ pub fn encode_response(resp: &Response, echo: Option<Opcode>, out: &mut Vec<u8>)
     }
 }
 
+/// Encode an OK response carrying `value` — byte-identical to
+/// `encode_response(&Response::Value(value.to_vec()), echo, out)`
+/// without materialising the intermediate `Vec`. The server's GET
+/// fast path: a cache hit encodes straight from the cached bytes.
+pub fn encode_value_frame(value: &[u8], echo: Option<Opcode>, out: &mut Vec<u8>) {
+    put_header(
+        out,
+        value.len(),
+        Status::Ok as u8,
+        echo.map_or(0, |op| op as u8),
+    );
+    out.extend_from_slice(value);
+}
+
 fn take_u64(body: &[u8], at: usize) -> Option<u64> {
     body.get(at..at + 8)
         .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
@@ -479,12 +497,12 @@ fn take_u32(body: &[u8], at: usize) -> Option<u32> {
 }
 
 /// Parse a raw frame as a request.
-pub fn parse_request(frame: &RawFrame) -> Result<Request, FrameError> {
+pub fn parse_request(frame: &RawFrame<'_>) -> Result<Request, FrameError> {
     if frame.aux != 0 {
         return Err(FrameError::NonzeroReserved(frame.aux));
     }
     let op = Opcode::from_u8(frame.code).ok_or(FrameError::UnknownOpcode(frame.code))?;
-    let body = &frame.body[..];
+    let body = frame.body;
     match op {
         Opcode::Ping | Opcode::Stats | Opcode::Metrics | Opcode::Shutdown => {
             if !body.is_empty() {
@@ -533,9 +551,9 @@ pub fn parse_request(frame: &RawFrame) -> Result<Request, FrameError> {
 /// Parse a raw frame as a response. The echoed opcode in `aux`
 /// determines the body shape of OK responses, which is what makes
 /// pipelined responses self-describing.
-pub fn parse_response(frame: &RawFrame) -> Result<Response, FrameError> {
+pub fn parse_response(frame: &RawFrame<'_>) -> Result<Response, FrameError> {
     let status = Status::from_u8(frame.code).ok_or(FrameError::UnknownStatus(frame.code))?;
-    let body = &frame.body[..];
+    let body = frame.body;
     match status {
         Status::Ok => {
             let op = Opcode::from_u8(frame.aux).ok_or(FrameError::UnknownOpcode(frame.aux))?;
@@ -650,7 +668,7 @@ impl FrameDecoder {
     /// `Ok(None)` means more bytes are needed. Errors classified fatal
     /// by [`FrameError::is_fatal`] poison the stream: the caller must
     /// stop decoding and close the connection after answering.
-    pub fn next_frame(&mut self) -> Result<Option<RawFrame>, FrameError> {
+    pub fn next_frame(&mut self) -> Result<Option<RawFrame<'_>>, FrameError> {
         let avail = &self.buf[self.consumed..];
         if avail.len() < HEADER_LEN {
             return Ok(None);
@@ -673,13 +691,14 @@ impl FrameDecoder {
         if avail.len() < HEADER_LEN + body_len {
             return Ok(None);
         }
-        let frame = RawFrame {
-            code: avail[6],
-            aux: avail[7],
-            body: avail[HEADER_LEN..HEADER_LEN + body_len].to_vec(),
-        };
-        self.consumed += HEADER_LEN + body_len;
-        Ok(Some(frame))
+        let (code, aux) = (avail[6], avail[7]);
+        let start = self.consumed + HEADER_LEN;
+        self.consumed = start + body_len;
+        Ok(Some(RawFrame {
+            code,
+            aux,
+            body: &self.buf[start..start + body_len],
+        }))
     }
 }
 

@@ -42,5 +42,9 @@ pub mod telemetry;
 
 pub use client::Client;
 pub use frame::{FrameDecoder, FrameError, Opcode, Request, Response, Status};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerConfigBuilder, ServerHandle};
 pub use telemetry::ServerTelemetry;
+
+// Re-exported so server embedders can shape `ServerConfig::cache`
+// without naming the kvstore crate directly.
+pub use e2nvm_kvstore::{CacheConfig, CacheConfigBuilder};

@@ -15,12 +15,12 @@
 //! SHUTDOWN frame from any client.
 
 use crate::frame::{
-    encode_response, parse_request, FrameDecoder, FrameError, Request, Response, Status,
-    DEFAULT_MAX_BODY,
+    encode_response, encode_value_frame, parse_request, FrameDecoder, FrameError, Opcode, Request,
+    Response, Status, DEFAULT_MAX_BODY,
 };
 use crate::telemetry::ServerTelemetry;
 use e2nvm_core::E2Error;
-use e2nvm_kvstore::{NvmKvStore, ShardedE2KvStore, StoreError};
+use e2nvm_kvstore::{CacheConfig, CachedKvStore, NvmKvStore, ShardedE2KvStore, StoreError};
 use e2nvm_telemetry::{Event, TelemetryRegistry};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,6 +45,18 @@ pub struct ServerConfig {
     /// Socket read timeout — the granularity at which idle connections
     /// notice a shutdown. Must be nonzero.
     pub read_timeout: Duration,
+    /// When set, front the store with a DRAM read-through
+    /// [`e2nvm_kvstore::HotCache`] of this shape. `None` (the default)
+    /// serves every GET from the store, byte-for-byte as before the
+    /// cache existed. Caching is a server-side concern: nothing about
+    /// the wire protocol changes either way.
+    pub cache: Option<CacheConfig>,
+    /// Coalesce runs of consecutive pipelined PUT frames into one
+    /// batched `put_many` against the store, so they share segment
+    /// placements. Off by default: batching changes how values pack
+    /// into segments, and the default must stay bit-identical to the
+    /// unbatched server.
+    pub coalesce_puts: bool,
 }
 
 impl Default for ServerConfig {
@@ -54,7 +66,120 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_frame_body: DEFAULT_MAX_BODY,
             read_timeout: Duration::from_millis(25),
+            cache: None,
+            coalesce_puts: false,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Start building a config from the defaults. The builder validates
+    /// on [`ServerConfigBuilder::build`], so a constructed config is
+    /// always serveable.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Check the invariants [`ServerConfigBuilder::build`] enforces.
+    /// Useful when a config was assembled by hand via struct update
+    /// syntax instead of the builder.
+    pub fn validate(&self) -> std::io::Result<()> {
+        fn invalid(msg: String) -> std::io::Error {
+            std::io::Error::new(ErrorKind::InvalidInput, msg)
+        }
+        if self.read_timeout.is_zero() {
+            return Err(invalid(
+                "ServerConfig::read_timeout must be nonzero (it paces shutdown polling)".into(),
+            ));
+        }
+        if self.max_connections == 0 {
+            return Err(invalid(
+                "ServerConfig::max_connections must be at least 1".into(),
+            ));
+        }
+        if self.max_frame_body == 0 {
+            return Err(invalid(
+                "ServerConfig::max_frame_body must be nonzero".into(),
+            ));
+        }
+        if let Some(cache) = &self.cache {
+            cache
+                .validate()
+                .map_err(|e| invalid(format!("ServerConfig::cache is invalid: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServerConfig`], mirroring `E2Config::builder()` and
+/// [`CacheConfig::builder`]: chain setters, then
+/// [`ServerConfigBuilder::build`] validates and returns the config.
+///
+/// ```
+/// use e2nvm_server::ServerConfig;
+/// use std::time::Duration;
+///
+/// let cfg = ServerConfig::builder()
+///     .addr("127.0.0.1:0")
+///     .max_connections(8)
+///     .read_timeout(Duration::from_millis(10))
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.max_connections, 8);
+/// assert!(cfg.cache.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Address to bind (see [`ServerConfig::addr`]).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.addr = addr.into();
+        self
+    }
+
+    /// Connection limit (see [`ServerConfig::max_connections`]).
+    pub fn max_connections(mut self, max: usize) -> Self {
+        self.cfg.max_connections = max;
+        self
+    }
+
+    /// Frame body cap (see [`ServerConfig::max_frame_body`]).
+    pub fn max_frame_body(mut self, bytes: usize) -> Self {
+        self.cfg.max_frame_body = bytes;
+        self
+    }
+
+    /// Socket read timeout (see [`ServerConfig::read_timeout`]).
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.read_timeout = timeout;
+        self
+    }
+
+    /// Front the store with a read-through cache of this shape (see
+    /// [`ServerConfig::cache`]).
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.cache = Some(cache);
+        self
+    }
+
+    /// Coalesce consecutive pipelined PUTs into batched `put_many`
+    /// calls (see [`ServerConfig::coalesce_puts`]).
+    pub fn coalesce_puts(mut self, on: bool) -> Self {
+        self.cfg.coalesce_puts = on;
+        self
+    }
+
+    /// Validate and return the config. Rejects a zero read timeout,
+    /// a zero connection limit, a zero frame cap, and any invalid
+    /// cache shape with [`ErrorKind::InvalidInput`].
+    pub fn build(self) -> std::io::Result<ServerConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -92,10 +217,7 @@ impl Server {
     /// serving happens on background threads owned by the returned
     /// handle.
     pub fn start(self) -> std::io::Result<ServerHandle> {
-        assert!(
-            !self.config.read_timeout.is_zero(),
-            "ServerConfig::read_timeout must be nonzero (it paces shutdown polling)"
-        );
+        self.config.validate()?;
         let listener = TcpListener::bind(&self.config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -181,6 +303,15 @@ fn accept_loop(listener: TcpListener, server: Server, shutdown: Arc<AtomicBool>)
         telemetry,
         registry,
     } = server;
+    // Build the front once: clones share the cache's shards, so a PUT
+    // on one connection invalidates what another connection cached.
+    let front = match config.cache.clone() {
+        Some(cache_cfg) => Front::Cached(match &registry {
+            Some(reg) => CachedKvStore::with_telemetry(store, cache_cfg, reg),
+            None => CachedKvStore::new(store, cache_cfg),
+        }),
+        None => Front::Plain(store),
+    };
     let active = Arc::new(AtomicUsize::new(0));
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     let mut served = 0usize;
@@ -199,13 +330,14 @@ fn accept_loop(listener: TcpListener, server: Server, shutdown: Arc<AtomicBool>)
                 telemetry.connections_active.add(1);
                 active.fetch_add(1, Ordering::SeqCst);
                 let ctx = ConnCtx {
-                    store: store.clone(),
+                    store: front.clone(),
                     registry: registry.clone(),
                     telemetry: telemetry.clone(),
                     shutdown: Arc::clone(&shutdown),
                     active: Arc::clone(&active),
                     max_frame_body: config.max_frame_body,
                     read_timeout: config.read_timeout,
+                    coalesce_puts: config.coalesce_puts,
                 };
                 match std::thread::Builder::new()
                     .name("e2nvm-conn".into())
@@ -253,15 +385,61 @@ fn reject_busy(mut stream: TcpStream) {
     let _ = stream.write_all(&out);
 }
 
+/// What the connection threads serve from: the bare sharded store, or
+/// the same store behind a read-through cache. Clones share both the
+/// store shards and the cache shards, so coherence is cross-connection.
+#[derive(Clone)]
+enum Front {
+    Plain(ShardedE2KvStore),
+    Cached(CachedKvStore<ShardedE2KvStore>),
+}
+
+impl Front {
+    /// The store as a trait object — every request dispatches through
+    /// the same [`NvmKvStore`] surface regardless of caching.
+    fn kv(&mut self) -> &mut dyn NvmKvStore {
+        match self {
+            Front::Plain(store) => store,
+            Front::Cached(cached) => cached,
+        }
+    }
+
+    /// Live key count (inherent on the concrete store, not the trait).
+    fn len(&self) -> usize {
+        match self {
+            Front::Plain(store) => store.len(),
+            Front::Cached(cached) => cached.inner().len(),
+        }
+    }
+
+    /// Retired segment count across shards.
+    fn retired_count(&self) -> usize {
+        match self {
+            Front::Plain(store) => store.retired_count(),
+            Front::Cached(cached) => cached.inner().retired_count(),
+        }
+    }
+
+    /// Simulated-device counters (the cache forwards to its inner
+    /// store; DRAM hits never touch the device).
+    fn stats(&self) -> e2nvm_sim::DeviceStats {
+        match self {
+            Front::Plain(store) => store.stats(),
+            Front::Cached(cached) => cached.stats(),
+        }
+    }
+}
+
 /// Everything one connection thread needs.
 struct ConnCtx {
-    store: ShardedE2KvStore,
+    store: Front,
     registry: Option<TelemetryRegistry>,
     telemetry: ServerTelemetry,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     max_frame_body: usize,
     read_timeout: Duration,
+    coalesce_puts: bool,
 }
 
 impl ConnCtx {
@@ -313,43 +491,87 @@ impl ConnCtx {
     /// Decode and serve every complete frame in the buffer, appending
     /// responses (one per request, in order) to `outbuf`. Returns
     /// `false` when the connection must close after the flush.
+    ///
+    /// With [`ServerConfig::coalesce_puts`] set, runs of consecutive
+    /// PUT frames are buffered and served by one `put_many` call; the
+    /// run flushes before any other frame kind is handled (and at the
+    /// end of the read batch), so responses still come back in request
+    /// order.
     fn drain_frames(&mut self, decoder: &mut FrameDecoder, outbuf: &mut Vec<u8>) -> bool {
+        let mut pending_puts: Vec<(u64, Vec<u8>)> = Vec::new();
         loop {
             match decoder.next_frame() {
-                Ok(None) => return true,
+                Ok(None) => {
+                    self.flush_puts(&mut pending_puts, outbuf);
+                    return true;
+                }
                 Ok(Some(raw)) => {
                     // Timed explicitly (not via the histogram's drop
                     // guard, which would hold a borrow of the telemetry
-                    // struct across the `&mut self` dispatch).
-                    let t0 = std::time::Instant::now();
+                    // struct across the `&mut self` dispatch), and only
+                    // when the observation can go somewhere.
+                    let t0 = crate::telemetry::now_if_enabled();
                     let close = match parse_request(&raw) {
                         Ok(req) => {
                             let op = req.opcode();
                             self.telemetry.count_frame(op);
-                            let shutdown_requested = req == Request::Shutdown;
-                            let resp = self.handle(req);
-                            if let Response::Error { status, .. } = &resp {
-                                self.telemetry.count_error(*status);
+                            let req = if self.coalesce_puts {
+                                match req {
+                                    Request::Put { key, value } => {
+                                        // Answered when the run flushes;
+                                        // its latency is folded into the
+                                        // flush observation.
+                                        pending_puts.push((key, value));
+                                        continue;
+                                    }
+                                    other => {
+                                        self.flush_puts(&mut pending_puts, outbuf);
+                                        other
+                                    }
+                                }
+                            } else {
+                                req
+                            };
+                            match req {
+                                // GETs are the hot path: serve them
+                                // straight into the output buffer (a
+                                // cache hit encodes from the cached
+                                // bytes, no intermediate Vec).
+                                Request::Get { key } => {
+                                    self.serve_get(key, outbuf);
+                                    false
+                                }
+                                req => {
+                                    let shutdown_requested = req == Request::Shutdown;
+                                    let resp = self.handle(req);
+                                    if let Response::Error { status, .. } = &resp {
+                                        self.telemetry.count_error(*status);
+                                    }
+                                    encode_response(&resp, Some(op), outbuf);
+                                    if shutdown_requested {
+                                        self.shutdown.store(true, Ordering::SeqCst);
+                                    }
+                                    shutdown_requested
+                                }
                             }
-                            encode_response(&resp, Some(op), outbuf);
-                            if shutdown_requested {
-                                self.shutdown.store(true, Ordering::SeqCst);
-                            }
-                            shutdown_requested
                         }
                         Err(e) => {
                             // Body-level violation: framing is intact,
                             // answer with a typed error frame and keep
                             // the connection (never panic, never drop
-                            // silently).
+                            // silently). Flush first so the error frame
+                            // stays in request order.
+                            self.flush_puts(&mut pending_puts, outbuf);
                             self.telemetry.count_error(e.status());
                             encode_response(&error_frame(&e), None, outbuf);
                             e.is_fatal()
                         }
                     };
-                    self.telemetry
-                        .frame_latency_ns
-                        .observe(t0.elapsed().as_nanos() as u64);
+                    if let Some(t0) = t0 {
+                        self.telemetry
+                            .frame_latency_ns
+                            .observe(t0.elapsed().as_nanos() as u64);
+                    }
                     if close {
                         return false;
                     }
@@ -357,6 +579,7 @@ impl ConnCtx {
                 Err(e) => {
                     // Framing-level violation: answer, then close — the
                     // byte stream can no longer be trusted.
+                    self.flush_puts(&mut pending_puts, outbuf);
                     self.telemetry.count_error(e.status());
                     encode_response(&error_frame(&e), None, outbuf);
                     return false;
@@ -365,19 +588,87 @@ impl ConnCtx {
         }
     }
 
+    /// Serve a buffered run of PUTs through one `put_many`, appending
+    /// one Stored/error response per PUT in request order. No-op when
+    /// the run is empty (which is always the case without
+    /// [`ServerConfig::coalesce_puts`]).
+    fn flush_puts(&mut self, pending: &mut Vec<(u64, Vec<u8>)>, outbuf: &mut Vec<u8>) {
+        if pending.is_empty() {
+            return;
+        }
+        let t0 = crate::telemetry::now_if_enabled();
+        let pairs: Vec<(u64, &[u8])> = pending.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        let results = self.store.kv().put_many(&pairs);
+        for result in results {
+            let resp = match result {
+                Ok(()) => Response::Stored,
+                Err(e) => store_error_frame(&e),
+            };
+            if let Response::Error { status, .. } = &resp {
+                self.telemetry.count_error(*status);
+            }
+            encode_response(&resp, Some(Opcode::Put), outbuf);
+        }
+        // One observation for the whole run: the run was served as one
+        // store operation, and that is the latency that existed.
+        if let Some(t0) = t0 {
+            self.telemetry
+                .frame_latency_ns
+                .observe(t0.elapsed().as_nanos() as u64);
+        }
+        pending.clear();
+    }
+
+    /// Serve one GET, appending its response frame to `outbuf`. Split
+    /// from [`ConnCtx::handle`] so the cache-hit path can encode
+    /// straight from the cached bytes under the shard lock instead of
+    /// materialising a `Response::Value` allocation per read.
+    fn serve_get(&mut self, key: u64, outbuf: &mut Vec<u8>) {
+        let echo = Some(Opcode::Get);
+        let error = match &mut self.store {
+            Front::Cached(cached) => {
+                match cached.get_with(key, |value| encode_value_frame(value, echo, outbuf)) {
+                    Ok(Some(())) => None,
+                    Ok(None) => {
+                        encode_response(&Response::NotFound, echo, outbuf);
+                        None
+                    }
+                    Err(e) => Some(store_error_frame(&e)),
+                }
+            }
+            Front::Plain(store) => match store.get(key) {
+                Ok(Some(v)) => {
+                    encode_value_frame(&v, echo, outbuf);
+                    None
+                }
+                Ok(None) => {
+                    encode_response(&Response::NotFound, echo, outbuf);
+                    None
+                }
+                Err(e) => Some(store_error_frame(&e)),
+            },
+        };
+        if let Some(resp) = error {
+            if let Response::Error { status, .. } = &resp {
+                self.telemetry.count_error(*status);
+            }
+            encode_response(&resp, echo, outbuf);
+        }
+    }
+
     fn handle(&mut self, req: Request) -> Response {
         match req {
             Request::Ping => Response::Pong,
-            Request::Get { key } => match self.store.get(key) {
+            Request::Get { key } => match self.store.kv().get(key) {
                 Ok(Some(v)) => Response::Value(v),
                 Ok(None) => Response::NotFound,
                 Err(e) => store_error_frame(&e),
             },
-            Request::Put { key, value } => match self.store.put(key, &value) {
+            Request::Put { key, value } => match self.store.kv().put(key, &value) {
                 Ok(()) => Response::Stored,
                 Err(e) => store_error_frame(&e),
             },
-            Request::Delete { key } => match self.store.delete(key) {
+            Request::Delete { key } => match self.store.kv().delete(key) {
                 Ok(existed) => Response::Deleted(existed),
                 Err(e) => store_error_frame(&e),
             },
@@ -387,7 +678,7 @@ impl ConnCtx {
                 } else {
                     limit as usize
                 };
-                match self.store.scan_limit(lo, hi, limit) {
+                match self.store.kv().scan_limit(lo, hi, limit) {
                     Ok(entries) => Response::Entries(entries),
                     Err(e) => store_error_frame(&e),
                 }

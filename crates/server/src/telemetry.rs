@@ -6,6 +6,15 @@
 use crate::frame::{Opcode, Status};
 use e2nvm_telemetry::{Counter, Gauge, Histogram, TelemetryRegistry};
 
+/// `Instant::now()` only in telemetry builds. Without the feature every
+/// histogram is a no-op ZST, so this skips the clock read on the
+/// per-frame hot path instead of timing into the void (clock reads are
+/// not free, especially under virtualised clocksources).
+#[inline]
+pub(crate) fn now_if_enabled() -> Option<std::time::Instant> {
+    cfg!(feature = "telemetry").then(std::time::Instant::now)
+}
+
 /// Latency bucket bounds in nanoseconds for one served frame (decode →
 /// store call → response encode; excludes socket wait).
 const FRAME_LATENCY_BOUNDS: [u64; 8] = [

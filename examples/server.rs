@@ -26,7 +26,13 @@ fn main() {
     let registry = TelemetryRegistry::new();
     store.attach_telemetry(&registry);
 
-    let handle = Server::new(store, ServerConfig::default())
+    // The validated builder is the construction path: invalid knobs
+    // (zero timeout, empty cache, ...) fail here, not at start().
+    let config = ServerConfig::builder()
+        .max_connections(32)
+        .build()
+        .expect("valid server config");
+    let handle = Server::new(store, config)
         .with_telemetry(&registry)
         .start()
         .expect("bind an ephemeral loopback port");
@@ -53,6 +59,15 @@ fn main() {
     let responses = client.pipeline(&batch).expect("pipelined puts");
     assert!(responses.iter().all(|r| matches!(r, Response::Stored)));
     println!("pipelined {} PUTs in one round trip", responses.len());
+
+    // The batch helpers wrap the same pipeline with typed results.
+    let values = client.get_many(&[0, 1, 2, 999]).expect("batched gets");
+    assert_eq!(values[0].as_deref(), Some(&0u64.to_le_bytes()[..]));
+    assert_eq!(values[3], None);
+    client
+        .put_many(&[(100, b"alpha".to_vec()), (101, b"beta".to_vec())])
+        .expect("batched puts");
+    println!("get_many/put_many round-tripped");
 
     // Bounded scan: at most 5 entries of [0, 10].
     let entries = client.scan(0, 10, 5).expect("scan");

@@ -64,8 +64,11 @@ pub mod prelude {
         E2Config, E2ConfigBuilder, E2Engine, E2Error, PaddingLocation, PaddingType, ShardedEngine,
         SharedEngine,
     };
-    pub use e2nvm_kvstore::{E2KvStore, NvmKvStore, ShardedE2KvStore, StoreError};
-    pub use e2nvm_server::{Client, Server, ServerConfig, ServerHandle};
+    pub use e2nvm_kvstore::{
+        CacheConfig, CacheConfigBuilder, CacheStats, CachedKvStore, E2KvStore, HotCache,
+        NvmKvStore, ShardedE2KvStore, StoreError,
+    };
+    pub use e2nvm_server::{Client, Server, ServerConfig, ServerConfigBuilder, ServerHandle};
     pub use e2nvm_sim::{
         DeviceConfig, DeviceStats, FaultConfig, MemoryController, NvmDevice, SegmentId,
     };
