@@ -13,6 +13,12 @@
 //! per-workload hit rates when built with `--features telemetry`) in
 //! `results/cache_throughput.md` instead.
 //!
+//! With `--compare-servers` it runs the suite across both serving
+//! engines (the epoll reactor and the thread-per-connection baseline)
+//! at a small and a large connection count, and records the grid in
+//! `results/reactor_throughput.md` — the reactor's high-fan-in case
+//! against the model it replaced.
+//!
 //! Run: `cargo run -p e2nvm-bench --release --bin e2nvm-loadgen`
 //! (add `--quick` for a CI-sized burst that writes the `_quick`
 //! variant of the results file).
@@ -20,27 +26,41 @@
 //! Flags: `--connections N` (default 4), `--pipeline D` (default 16),
 //! `--ops N` per connection per workload, `--shards`, `--segments`,
 //! `--seg-bytes`, `--workloads A,B,C`, `--addr`, `--cache`,
-//! `--cache-mb N` (default 64), `--quick`.
+//! `--cache-mb N` (default 64), `--threaded` (serve with the
+//! thread-per-connection baseline), `--workers N` (reactor pool size,
+//! 0 = auto), `--compare-servers`, `--quick`.
+//!
+//! After the run the binary prints `server error frames: N` (summed
+//! across wire statuses from the final METRICS frame) so CI can assert
+//! a clean run end to end.
 
 use e2nvm_server::frame::{encode_request, Request, Status};
-use e2nvm_server::{demo::demo_store, CacheConfig, Client, Server, ServerConfig, ServerHandle};
+use e2nvm_server::{
+    demo::demo_store, CacheConfig, Client, Server, ServerConfig, ServerHandle, ThreadedServer,
+};
 use e2nvm_telemetry::TelemetryRegistry;
 use e2nvm_workloads::ycsb::{Operation, Ycsb};
 use std::io::Write as _;
 use std::net::SocketAddr;
 use std::time::Instant;
 
+#[derive(Clone)]
 struct Args {
     addr: Option<String>,
     connections: usize,
+    connections_set: bool,
     pipeline: usize,
     ops: usize,
+    ops_set: bool,
     shards: usize,
     segments: usize,
     seg_bytes: usize,
     workloads: Vec<char>,
     cache: bool,
     cache_mb: usize,
+    threaded: bool,
+    workers: usize,
+    compare: bool,
     quick: bool,
 }
 
@@ -48,14 +68,19 @@ fn parse_args() -> Args {
     let mut args = Args {
         addr: None,
         connections: 4,
+        connections_set: false,
         pipeline: 16,
         ops: 0, // resolved after --quick is known
+        ops_set: false,
         shards: 4,
         segments: 0,
         seg_bytes: 64,
         workloads: vec!['A', 'B', 'C'],
         cache: false,
         cache_mb: 64,
+        threaded: false,
+        workers: 0,
+        compare: false,
         quick: false,
     };
     let mut ops_set = false;
@@ -68,11 +93,15 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--addr" => args.addr = Some(value("--addr")),
-            "--connections" => args.connections = value("--connections").parse().unwrap(),
+            "--connections" => {
+                args.connections = value("--connections").parse().unwrap();
+                args.connections_set = true;
+            }
             "--pipeline" => args.pipeline = value("--pipeline").parse().unwrap(),
             "--ops" => {
                 args.ops = value("--ops").parse().unwrap();
                 ops_set = true;
+                args.ops_set = true;
             }
             "--shards" => args.shards = value("--shards").parse().unwrap(),
             "--segments" => {
@@ -95,12 +124,24 @@ fn parse_args() -> Args {
             }
             "--cache" => args.cache = true,
             "--cache-mb" => args.cache_mb = value("--cache-mb").parse().unwrap(),
+            "--threaded" => args.threaded = true,
+            "--workers" => args.workers = value("--workers").parse().unwrap(),
+            "--compare-servers" => args.compare = true,
             "--quick" => args.quick = true,
             other => panic!("unknown flag {other:?}"),
         }
     }
     if !ops_set {
-        args.ops = if args.quick { 150 } else { 25_000 };
+        // The compare grid multiplies engines x connection counts, so
+        // its per-connection default is smaller to keep total wall
+        // clock comparable to a plain run.
+        args.ops = if args.quick {
+            150
+        } else if args.compare {
+            1_000
+        } else {
+            25_000
+        };
     }
     if !segments_set {
         args.segments = if args.quick { 256 } else { 2048 };
@@ -220,6 +261,43 @@ fn metric_value(metrics: &str, name: &str) -> Option<u64> {
     })
 }
 
+/// The sum of every sample of `name` across its label sets (e.g. the
+/// per-status `e2nvm_server_error_frames_total{status=...}` family),
+/// or `None` when the series is absent entirely.
+fn metric_sum(metrics: &str, name: &str) -> Option<u64> {
+    let mut found = false;
+    let mut total = 0f64;
+    for line in metrics.lines() {
+        let Some(rest) = line.strip_prefix(name) else {
+            continue;
+        };
+        // Accept `name{labels} value` and `name value`; reject other
+        // series that merely share the prefix.
+        let value = if let Some(labeled) = rest.strip_prefix('{') {
+            labeled
+                .split_once('}')
+                .and_then(|(_, v)| v.trim().parse::<f64>().ok())
+        } else if let Some(v) = rest.strip_prefix(' ') {
+            v.trim().parse::<f64>().ok()
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            found = true;
+            total += v;
+        }
+    }
+    found.then_some(total as u64)
+}
+
+/// Print the CI-checkable error-frame summary for one finished suite.
+fn print_error_frames(metrics: &str) {
+    match metric_sum(metrics, "e2nvm_server_error_frames_total") {
+        Some(n) => println!("server error frames: {n}"),
+        None => println!("server error frames: unavailable (build with --features telemetry)"),
+    }
+}
+
 /// Everything one full suite run produced: per-workload throughput,
 /// the final STATS document, and the final METRICS exposition.
 struct SuiteOutcome {
@@ -243,8 +321,9 @@ fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
         Some(addr) => (addr.parse().expect("--addr must be HOST:PORT"), None),
         None => {
             eprintln!(
-                "booting {}-shard server ({} segments x {} B{}) ...",
+                "booting {}-shard {} server ({} segments x {} B{}) ...",
                 args.shards,
+                if args.threaded { "threaded" } else { "reactor" },
                 args.segments,
                 args.seg_bytes,
                 match &cache_cfg {
@@ -255,14 +334,24 @@ fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
             let mut store = demo_store(args.shards, args.segments, args.seg_bytes, 0xE2);
             let registry = TelemetryRegistry::new();
             store.attach_telemetry(&registry);
-            let mut config = ServerConfig::builder();
+            // Leave headroom above the driven connection count: the
+            // loader + shutdown connections ride alongside the fleet,
+            // and a BUSY reject mid-run would poison the measurement.
+            let mut config = ServerConfig::builder()
+                .max_connections(args.connections + 16)
+                .workers(args.workers);
             if let Some(cache) = cache_cfg.clone() {
                 config = config.cache(cache);
             }
-            let handle = Server::new(store, config.build().expect("loadgen server config"))
-                .with_telemetry(&registry)
-                .start()
-                .expect("server binds an ephemeral port");
+            let config = config.build().expect("loadgen server config");
+            let handle = if args.threaded {
+                ThreadedServer::new(store, config)
+                    .with_telemetry(&registry)
+                    .start()
+            } else {
+                Server::new(store, config).with_telemetry(&registry).start()
+            }
+            .expect("server binds an ephemeral port");
             (handle.local_addr(), Some(handle))
         }
     };
@@ -543,14 +632,144 @@ fn report_cache(args: &Args, baseline: &SuiteOutcome, cached: &SuiteOutcome) {
     write_report(path, &md);
 }
 
+/// The `--compare-servers` report: both serving engines across the
+/// connection-count grid, one table row per (connections, workload).
+fn report_compare(args: &Args, rows: &[(usize, SuiteOutcome, SuiteOutcome)]) {
+    let records = (args.segments / 4) as u64;
+    let value_len = args.seg_bytes * 3 / 4;
+    let workers = match args.workers {
+        0 => "auto".to_string(),
+        n => n.to_string(),
+    };
+    let mut md = String::from(
+        "# Serving engines: epoll reactor vs thread-per-connection under connection fan-in\n\n",
+    );
+    md.push_str(&format!(
+        "`e2nvm-loadgen --compare-servers` drives the same pipelined YCSB suite against both \
+         serving engines of a {}-shard `e2nvm-server` ({} segments x {} B, {} records, {}-byte \
+         values; reactor workers: {}): the thread-per-connection baseline (one OS thread per \
+         socket) and the epoll reactor (one event loop + a fixed worker pool). Pipeline depth \
+         {}, {} ops per workload. The wire protocol and responses are \
+         byte-identical between engines (PROTOCOL.md); only the serving model differs. The \
+         interesting column is the large-connection-count row: per-thread stacks and context \
+         switches are what the reactor removes. At low fan-in the reactor runs batches inline \
+         on its event-loop thread (DESIGN.md \u{a7}13, dual-regime dispatch), so the small-count \
+         rows measure parity, not pool-handoff overhead.\n\n",
+        args.shards,
+        args.segments,
+        args.seg_bytes,
+        records,
+        value_len,
+        workers,
+        args.pipeline,
+        if args.ops_set {
+            format!("{} per connection", args.ops)
+        } else {
+            let total = if args.quick { 8_000 } else { 100_000 };
+            format!(
+                "the same total per suite at every connection count (>= {total}, \
+                 floored at {} per connection)",
+                args.ops
+            )
+        },
+    ));
+    md.push_str(METHODOLOGY);
+    md.push_str(
+        "| connections | workload | mix | threaded ops/s | reactor ops/s | reactor/threaded |\n",
+    );
+    md.push_str(
+        "|------------:|---------:|----:|---------------:|--------------:|-----------------:|\n",
+    );
+    for (conns, threaded, reactor) in rows {
+        for (t, r) in threaded.results.iter().zip(&reactor.results) {
+            assert_eq!(t.name, r.name, "suites ran the same workloads in order");
+            md.push_str(&format!(
+                "| {} | YCSB-{} | {} | {:.0} | {:.0} | {:.2}x |\n",
+                conns,
+                t.name,
+                mix_label(t.name),
+                t.ops_per_s(),
+                r.ops_per_s(),
+                r.ops_per_s() / t.ops_per_s(),
+            ));
+        }
+    }
+    md.push('\n');
+    let path = if args.quick {
+        "results/reactor_throughput_quick.md"
+    } else {
+        "results/reactor_throughput.md"
+    };
+    write_report(path, &md);
+}
+
 fn main() {
     let args = parse_args();
+
+    if args.compare {
+        assert!(
+            args.addr.is_none(),
+            "--compare-servers boots its own servers; drop --addr"
+        );
+        assert!(
+            !args.cache,
+            "--compare-servers measures serving engines; drop --cache"
+        );
+        // Small count = per-connection parity check; large count = the
+        // fan-in case the reactor exists for. An explicit --connections
+        // pins the grid to that single point.
+        let grid: Vec<usize> = if args.connections_set {
+            vec![args.connections]
+        } else if args.quick {
+            vec![4, 64]
+        } else {
+            vec![4, 512]
+        };
+        let mut rows: Vec<(usize, SuiteOutcome, SuiteOutcome)> = Vec::new();
+        let mut error_frames = 0u64;
+        for &conns in &grid {
+            let mut sub = args.clone();
+            sub.connections = conns;
+            if !args.ops_set {
+                // Equalize measurement duration across grid points: at
+                // a flat per-connection count the small-fan-in suites
+                // finish in milliseconds and measure scheduler noise,
+                // not the engine. Target the same total ops per suite
+                // at every count (floored at the per-connection
+                // default).
+                let total = if args.quick { 8_000 } else { 100_000 };
+                sub.ops = (total / conns).max(args.ops);
+            }
+            eprintln!("== threaded engine, {conns} connections ==");
+            sub.threaded = true;
+            let threaded = run_suite(&sub, None);
+            eprintln!("== reactor engine, {conns} connections ==");
+            sub.threaded = false;
+            let reactor = run_suite(&sub, None);
+            for out in [&threaded, &reactor] {
+                error_frames +=
+                    metric_sum(&out.metrics, "e2nvm_server_error_frames_total").unwrap_or(0);
+            }
+            rows.push((conns, threaded, reactor));
+        }
+        report_compare(&args, &rows);
+        let total_ops: u64 = rows
+            .iter()
+            .flat_map(|(_, t, r)| t.results.iter().chain(&r.results))
+            .map(|r| r.ops)
+            .sum();
+        println!("completed {total_ops} ops");
+        println!("server error frames: {error_frames}");
+        assert!(total_ops > 0, "load generator completed zero operations");
+        return;
+    }
 
     if !args.cache {
         let out = run_suite(&args, None);
         report_plain(&args, &out);
         let total_ops: u64 = out.results.iter().map(|r| r.ops).sum();
         println!("completed {total_ops} ops");
+        print_error_frames(&out.metrics);
         assert!(total_ops > 0, "load generator completed zero operations");
         return;
     }
@@ -590,5 +809,6 @@ fn main() {
         .map(|r| r.ops)
         .sum();
     println!("completed {total_ops} ops");
+    print_error_frames(&cached.metrics);
     assert!(total_ops > 0, "load generator completed zero operations");
 }

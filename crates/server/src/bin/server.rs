@@ -3,15 +3,20 @@
 //! ```text
 //! cargo run --release -p e2nvm-server --bin e2nvm-server -- \
 //!     [--addr 127.0.0.1:4242] [--shards 4] [--segments 2048] \
-//!     [--seg-bytes 64] [--max-conns 64] [--cache] [--cache-mb 64]
+//!     [--seg-bytes 64] [--max-conns 1024] [--workers 0] \
+//!     [--threaded] [--cache] [--cache-mb 64]
 //! ```
 //!
 //! Prints the bound address on the first line (`listening on ADDR`),
 //! then serves until a client sends a SHUTDOWN frame. A production
 //! embedder would build its own store (own device geometry, own
 //! training corpus) and hand it to [`Server`] the same way.
+//!
+//! `--workers N` sizes the reactor's worker pool (0 = auto);
+//! `--threaded` serves with the thread-per-connection baseline engine
+//! instead of the epoll reactor.
 
-use e2nvm_server::{demo, CacheConfig, Server, ServerConfig};
+use e2nvm_server::{demo, CacheConfig, Server, ServerConfig, ThreadedServer};
 use e2nvm_telemetry::TelemetryRegistry;
 
 fn arg_after(args: &[String], flag: &str) -> Option<String> {
@@ -31,7 +36,9 @@ fn main() {
     let shards: usize = parse_or(arg_after(&args, "--shards"), 4);
     let segments: usize = parse_or(arg_after(&args, "--segments"), 2048);
     let seg_bytes: usize = parse_or(arg_after(&args, "--seg-bytes"), 64);
-    let max_conns: usize = parse_or(arg_after(&args, "--max-conns"), 64);
+    let max_conns: usize = parse_or(arg_after(&args, "--max-conns"), 1024);
+    let workers: usize = parse_or(arg_after(&args, "--workers"), 0);
+    let threaded = args.iter().any(|a| a == "--threaded");
     let cache = args.iter().any(|a| a == "--cache");
     let cache_mb: usize = parse_or(arg_after(&args, "--cache-mb"), 64);
 
@@ -42,7 +49,8 @@ fn main() {
 
     let mut builder = ServerConfig::builder()
         .addr(addr)
-        .max_connections(max_conns);
+        .max_connections(max_conns)
+        .workers(workers);
     if cache {
         eprintln!("fronting the store with a {cache_mb} MiB read-through cache");
         let cache_cfg = CacheConfig::builder()
@@ -52,10 +60,15 @@ fn main() {
         builder = builder.cache(cache_cfg);
     }
     let config = builder.build().expect("valid server config");
-    let handle = Server::new(store, config)
-        .with_telemetry(&registry)
-        .start()
-        .expect("bind");
+    let handle = if threaded {
+        eprintln!("serving with the thread-per-connection baseline engine");
+        ThreadedServer::new(store, config)
+            .with_telemetry(&registry)
+            .start()
+    } else {
+        Server::new(store, config).with_telemetry(&registry).start()
+    }
+    .expect("bind");
     println!("listening on {}", handle.local_addr());
     let served = handle.join();
     println!("clean shutdown after {served} connections");

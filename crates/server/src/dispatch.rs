@@ -1,0 +1,482 @@
+//! Request execution shared by the reactor's worker pool and the
+//! thread-per-connection baseline.
+//!
+//! Both serving models funnel through the same two steps so their
+//! observable behavior is identical byte for byte:
+//!
+//! 1. [`collect_work`] — drain every complete frame out of a
+//!    [`FrameDecoder`] into an ordered list of [`Work`] items
+//!    (well-formed requests and protocol violations alike — a
+//!    violation is an item so its error frame stays in request order).
+//! 2. [`ExecCtx::exec_batch`] — execute the items against the store in
+//!    order, appending one response frame per item to an output
+//!    buffer, with the same PUT-coalescing, GET fast path, typed error
+//!    mapping, and telemetry the threaded server always had.
+//!
+//! The only thing the serving models differ in is *where* these run:
+//! the threaded server runs both on the connection's own thread; the
+//! reactor runs step 1 on the event loop and ships the items to a
+//! worker.
+
+use crate::frame::{
+    encode_response, encode_value_frame, parse_request, FrameDecoder, FrameError, Opcode, Request,
+    Response, Status,
+};
+use crate::telemetry::ServerTelemetry;
+use e2nvm_core::E2Error;
+use e2nvm_kvstore::{CachedKvStore, NvmKvStore, ShardedE2KvStore, StoreError};
+use e2nvm_telemetry::TelemetryRegistry;
+
+/// What the connection handlers serve from: the bare sharded store, or
+/// the same store behind a read-through cache. Clones share both the
+/// store shards and the cache shards, so coherence is cross-connection
+/// (and, under the reactor, cross-worker).
+#[derive(Clone)]
+pub(crate) enum Front {
+    Plain(ShardedE2KvStore),
+    Cached(CachedKvStore<ShardedE2KvStore>),
+}
+
+impl Front {
+    /// The store as a trait object — every request dispatches through
+    /// the same [`NvmKvStore`] surface regardless of caching.
+    fn kv(&mut self) -> &mut dyn NvmKvStore {
+        match self {
+            Front::Plain(store) => store,
+            Front::Cached(cached) => cached,
+        }
+    }
+
+    /// Live key count (inherent on the concrete store, not the trait).
+    fn len(&self) -> usize {
+        match self {
+            Front::Plain(store) => store.len(),
+            Front::Cached(cached) => cached.inner().len(),
+        }
+    }
+
+    /// Retired segment count across shards.
+    fn retired_count(&self) -> usize {
+        match self {
+            Front::Plain(store) => store.retired_count(),
+            Front::Cached(cached) => cached.inner().retired_count(),
+        }
+    }
+
+    /// Simulated-device counters (the cache forwards to its inner
+    /// store; DRAM hits never touch the device).
+    fn stats(&self) -> e2nvm_sim::DeviceStats {
+        match self {
+            Front::Plain(store) => store.stats(),
+            Front::Cached(cached) => cached.stats(),
+        }
+    }
+}
+
+/// One unit of ordered per-connection work: a parsed request, or a
+/// protocol violation whose error frame must be emitted at exactly
+/// this position in the response stream.
+#[derive(Debug, Clone)]
+pub(crate) enum Work {
+    /// A well-formed request.
+    Req(Request),
+    /// A violation. [`FrameError::is_fatal`] decides whether the
+    /// connection closes after the error frame is flushed.
+    Bad(FrameError),
+}
+
+/// How [`collect_work`] left the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CollectEnd {
+    /// All buffered complete frames were consumed; feed more bytes.
+    NeedMore,
+    /// A framing-level violation poisoned the stream: the final item
+    /// is its [`Work::Bad`], and the caller must read no further.
+    Fatal,
+}
+
+/// Drain every complete frame out of `decoder` into `out` (appending),
+/// stopping early only on a fatal framing violation. Violations are
+/// appended as [`Work::Bad`] items so their error frames keep request
+/// order when the batch executes.
+pub(crate) fn collect_work(decoder: &mut FrameDecoder, out: &mut Vec<Work>) -> CollectEnd {
+    loop {
+        match decoder.next_frame() {
+            Ok(None) => return CollectEnd::NeedMore,
+            Ok(Some(raw)) => match parse_request(&raw) {
+                Ok(req) => out.push(Work::Req(req)),
+                Err(e) => {
+                    let fatal = e.is_fatal();
+                    out.push(Work::Bad(e));
+                    if fatal {
+                        return CollectEnd::Fatal;
+                    }
+                }
+            },
+            Err(e) => {
+                // Framing-level violation: the byte stream can no
+                // longer be trusted. Answer (in order), then close.
+                out.push(Work::Bad(e));
+                return CollectEnd::Fatal;
+            }
+        }
+    }
+}
+
+/// What executing a batch decided about the connection's future.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BatchOutcome {
+    /// Close the connection once the batch's responses are flushed
+    /// (fatal violation answered, or SHUTDOWN acknowledged).
+    pub close: bool,
+    /// A SHUTDOWN frame was served: the whole server must drain.
+    pub shutdown: bool,
+}
+
+/// Everything needed to execute requests against the store: a [`Front`]
+/// clone (shards shared), the registry for METRICS frames, the
+/// telemetry sink, and the coalescing knob. One per connection thread
+/// (threaded server) or one per worker (reactor).
+pub(crate) struct ExecCtx {
+    pub store: Front,
+    pub registry: Option<TelemetryRegistry>,
+    pub telemetry: ServerTelemetry,
+    pub coalesce_puts: bool,
+}
+
+impl ExecCtx {
+    /// Execute `items` in order, appending one response frame per item
+    /// to `outbuf`. Items after a SHUTDOWN or a fatal violation are
+    /// dropped unanswered (the connection is closing; the peer's
+    /// pipeline is void past that point — same contract the threaded
+    /// server always had).
+    ///
+    /// With [`coalesce_puts`](Self::coalesce_puts) set, runs of
+    /// consecutive PUT items are buffered and served by one `put_many`
+    /// call; the run flushes before any other item kind (and at the
+    /// end of the batch), so responses still come back in request
+    /// order.
+    pub fn exec_batch(
+        &mut self,
+        items: impl IntoIterator<Item = Work>,
+        outbuf: &mut Vec<u8>,
+    ) -> BatchOutcome {
+        let mut outcome = BatchOutcome::default();
+        let mut pending_puts: Vec<(u64, Vec<u8>)> = Vec::new();
+        for item in items {
+            match item {
+                Work::Req(req) => {
+                    // Timed explicitly (not via the histogram's drop
+                    // guard, which would hold a borrow of the telemetry
+                    // struct across the `&mut self` dispatch), and only
+                    // when the observation can go somewhere.
+                    let t0 = crate::telemetry::now_if_enabled();
+                    let op = req.opcode();
+                    self.telemetry.count_frame(op);
+                    let req = if self.coalesce_puts {
+                        match req {
+                            Request::Put { key, value } => {
+                                // Answered when the run flushes; its
+                                // latency is folded into the flush
+                                // observation.
+                                pending_puts.push((key, value));
+                                continue;
+                            }
+                            other => {
+                                self.flush_puts(&mut pending_puts, outbuf);
+                                other
+                            }
+                        }
+                    } else {
+                        req
+                    };
+                    match req {
+                        // GETs are the hot path: serve them straight
+                        // into the output buffer (a cache hit encodes
+                        // from the cached bytes, no intermediate Vec).
+                        Request::Get { key } => self.serve_get(key, outbuf),
+                        Request::Shutdown => {
+                            encode_response(&Response::ShutdownAck, Some(op), outbuf);
+                            outcome.shutdown = true;
+                            outcome.close = true;
+                        }
+                        req => {
+                            let resp = self.handle(req);
+                            if let Response::Error { status, .. } = &resp {
+                                self.telemetry.count_error(*status);
+                            }
+                            encode_response(&resp, Some(op), outbuf);
+                        }
+                    }
+                    if let Some(t0) = t0 {
+                        self.telemetry
+                            .frame_latency_ns
+                            .observe(t0.elapsed().as_nanos() as u64);
+                    }
+                    if outcome.close {
+                        break;
+                    }
+                }
+                Work::Bad(e) => {
+                    // Flush first so the error frame stays in request
+                    // order; answer with a typed error frame (never
+                    // panic, never drop silently).
+                    self.flush_puts(&mut pending_puts, outbuf);
+                    self.telemetry.count_error(e.status());
+                    encode_response(&error_frame(&e), None, outbuf);
+                    if e.is_fatal() {
+                        outcome.close = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.flush_puts(&mut pending_puts, outbuf);
+        outcome
+    }
+
+    /// Serve a buffered run of PUTs through one `put_many`, appending
+    /// one Stored/error response per PUT in request order. No-op when
+    /// the run is empty (which is always the case without coalescing).
+    fn flush_puts(&mut self, pending: &mut Vec<(u64, Vec<u8>)>, outbuf: &mut Vec<u8>) {
+        if pending.is_empty() {
+            return;
+        }
+        let t0 = crate::telemetry::now_if_enabled();
+        let pairs: Vec<(u64, &[u8])> = pending.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        let results = self.store.kv().put_many(&pairs);
+        for result in results {
+            let resp = match result {
+                Ok(()) => Response::Stored,
+                Err(e) => store_error_frame(&e),
+            };
+            if let Response::Error { status, .. } = &resp {
+                self.telemetry.count_error(*status);
+            }
+            encode_response(&resp, Some(Opcode::Put), outbuf);
+        }
+        // One observation for the whole run: the run was served as one
+        // store operation, and that is the latency that existed.
+        if let Some(t0) = t0 {
+            self.telemetry
+                .frame_latency_ns
+                .observe(t0.elapsed().as_nanos() as u64);
+        }
+        pending.clear();
+    }
+
+    /// Serve one GET, appending its response frame to `outbuf`. Split
+    /// from [`ExecCtx::handle`] so the cache-hit path can encode
+    /// straight from the cached bytes under the shard lock instead of
+    /// materialising a `Response::Value` allocation per read.
+    fn serve_get(&mut self, key: u64, outbuf: &mut Vec<u8>) {
+        let echo = Some(Opcode::Get);
+        let error = match &mut self.store {
+            Front::Cached(cached) => {
+                match cached.get_with(key, |value| encode_value_frame(value, echo, outbuf)) {
+                    Ok(Some(())) => None,
+                    Ok(None) => {
+                        encode_response(&Response::NotFound, echo, outbuf);
+                        None
+                    }
+                    Err(e) => Some(store_error_frame(&e)),
+                }
+            }
+            Front::Plain(store) => match store.get(key) {
+                Ok(Some(v)) => {
+                    encode_value_frame(&v, echo, outbuf);
+                    None
+                }
+                Ok(None) => {
+                    encode_response(&Response::NotFound, echo, outbuf);
+                    None
+                }
+                Err(e) => Some(store_error_frame(&e)),
+            },
+        };
+        if let Some(resp) = error {
+            if let Response::Error { status, .. } = &resp {
+                self.telemetry.count_error(*status);
+            }
+            encode_response(&resp, echo, outbuf);
+        }
+    }
+
+    fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Get { key } => match self.store.kv().get(key) {
+                Ok(Some(v)) => Response::Value(v),
+                Ok(None) => Response::NotFound,
+                Err(e) => store_error_frame(&e),
+            },
+            Request::Put { key, value } => match self.store.kv().put(key, &value) {
+                Ok(()) => Response::Stored,
+                Err(e) => store_error_frame(&e),
+            },
+            Request::Delete { key } => match self.store.kv().delete(key) {
+                Ok(existed) => Response::Deleted(existed),
+                Err(e) => store_error_frame(&e),
+            },
+            Request::Scan { lo, hi, limit } => {
+                let limit = if limit == 0 {
+                    usize::MAX
+                } else {
+                    limit as usize
+                };
+                match self.store.kv().scan_limit(lo, hi, limit) {
+                    Ok(entries) => Response::Entries(entries),
+                    Err(e) => store_error_frame(&e),
+                }
+            }
+            Request::Stats => Response::Stats(self.stats_json()),
+            Request::Metrics => Response::Metrics(match &self.registry {
+                Some(reg) => reg.render_prometheus(),
+                None => "# no telemetry registry attached\n".to_string(),
+            }),
+            Request::Shutdown => Response::ShutdownAck,
+        }
+    }
+
+    /// Self-contained JSON stats document (schema in `PROTOCOL.md`).
+    fn stats_json(&self) -> String {
+        let s = self.store.stats();
+        format!(
+            concat!(
+                "{{\"keys\":{},\"retired_segments\":{},\"device\":{{",
+                "\"writes\":{},\"reads\":{},\"lines_written\":{},\"lines_skipped\":{},",
+                "\"bits_flipped\":{},\"bits_set\":{},\"bits_reset\":{},\"bits_programmed\":{},",
+                "\"bits_requested\":{},\"energy_pj\":{},\"latency_ns\":{},\"swaps\":{}}}}}"
+            ),
+            self.store.len(),
+            self.store.retired_count(),
+            s.writes,
+            s.reads,
+            s.lines_written,
+            s.lines_skipped,
+            s.bits_flipped,
+            s.bits_set,
+            s.bits_reset,
+            s.bits_programmed,
+            s.bits_requested,
+            s.energy_pj,
+            s.latency_ns,
+            s.swaps,
+        )
+    }
+}
+
+/// The error frame for a protocol violation.
+pub(crate) fn error_frame(e: &FrameError) -> Response {
+    Response::Error {
+        status: e.status(),
+        retired: 0,
+        message: e.to_string(),
+    }
+}
+
+/// Map a [`StoreError`] to its typed wire status — degraded mode and
+/// pool depletion become first-class statuses the client can match on
+/// instead of a dropped connection.
+pub(crate) fn store_error_frame(e: &StoreError) -> Response {
+    match e {
+        StoreError::Degraded { retired } => Response::Error {
+            status: Status::Degraded,
+            retired: *retired as u64,
+            message: e.to_string(),
+        },
+        StoreError::Engine(E2Error::PoolDepleted { retired }) => Response::Error {
+            status: Status::PoolDepleted,
+            retired: *retired as u64,
+            message: e.to_string(),
+        },
+        StoreError::OutOfSpace | StoreError::Engine(E2Error::OutOfSpace) => Response::Error {
+            status: Status::OutOfSpace,
+            retired: 0,
+            message: e.to_string(),
+        },
+        other => Response::Error {
+            status: Status::StoreError,
+            retired: 0,
+            message: other.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_errors_map_to_typed_statuses() {
+        let degraded = store_error_frame(&StoreError::Degraded { retired: 9 });
+        assert!(matches!(
+            degraded,
+            Response::Error {
+                status: Status::Degraded,
+                retired: 9,
+                ..
+            }
+        ));
+        let depleted = store_error_frame(&StoreError::Engine(E2Error::PoolDepleted { retired: 3 }));
+        assert!(matches!(
+            depleted,
+            Response::Error {
+                status: Status::PoolDepleted,
+                retired: 3,
+                ..
+            }
+        ));
+        let full = store_error_frame(&StoreError::OutOfSpace);
+        assert!(matches!(
+            full,
+            Response::Error {
+                status: Status::OutOfSpace,
+                ..
+            }
+        ));
+        let unknown = store_error_frame(&StoreError::UnknownNode(e2nvm_kvstore::NodeId(1)));
+        assert!(matches!(
+            unknown,
+            Response::Error {
+                status: Status::StoreError,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn collect_work_keeps_violations_in_order() {
+        use crate::frame::{encode_request, DEFAULT_MAX_BODY, MAGIC, VERSION};
+        let mut bytes = Vec::new();
+        encode_request(&Request::Ping, &mut bytes);
+        // An unknown opcode (survivable) between two good frames.
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[MAGIC, VERSION, 0x55, 0]);
+        encode_request(&Request::Get { key: 9 }, &mut bytes);
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_BODY);
+        dec.extend(&bytes);
+        let mut items = Vec::new();
+        assert_eq!(collect_work(&mut dec, &mut items), CollectEnd::NeedMore);
+        assert!(matches!(items[0], Work::Req(Request::Ping)));
+        assert!(matches!(
+            items[1],
+            Work::Bad(FrameError::UnknownOpcode(0x55))
+        ));
+        assert!(matches!(items[2], Work::Req(Request::Get { key: 9 })));
+    }
+
+    #[test]
+    fn collect_work_stops_at_fatal_violation() {
+        use crate::frame::{encode_request, DEFAULT_MAX_BODY};
+        let mut bytes = Vec::new();
+        encode_request(&Request::Ping, &mut bytes);
+        bytes.extend_from_slice(b"GET / HTTP/1.1\r\n");
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_BODY);
+        dec.extend(&bytes);
+        let mut items = Vec::new();
+        assert_eq!(collect_work(&mut dec, &mut items), CollectEnd::Fatal);
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[1], Work::Bad(FrameError::BadMagic(_))));
+    }
+}

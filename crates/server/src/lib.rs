@@ -8,10 +8,14 @@
 //! * [`frame`] — the wire format: opcodes, statuses, frame
 //!   encode/decode, and the incremental split-read-safe
 //!   [`FrameDecoder`].
-//! * [`server`] — [`Server`]: a std-only threaded TCP server fronting
-//!   a [`ShardedE2KvStore`](e2nvm_kvstore::ShardedE2KvStore) with
+//! * [`server`] — [`Server`]: a std-only TCP server fronting a
+//!   [`ShardedE2KvStore`](e2nvm_kvstore::ShardedE2KvStore) with
 //!   request pipelining, bounded connections, typed error frames, and
-//!   graceful shutdown.
+//!   graceful shutdown. On Linux it serves with a readiness-based
+//!   epoll reactor plus a fixed worker pool ([`reactor`]); elsewhere
+//!   it falls back to thread-per-connection.
+//! * [`threaded`] — [`ThreadedServer`]: the thread-per-connection
+//!   engine, kept as a measurable baseline you can select explicitly.
 //! * [`client`] — [`Client`]: a blocking pipelined client (also what
 //!   the `e2nvm-loadgen` binary drives).
 //! * [`telemetry`] — wire-level counters/gauges/histograms under
@@ -36,14 +40,23 @@
 
 pub mod client;
 pub mod demo;
+mod dispatch;
 pub mod frame;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
+#[cfg(target_os = "linux")]
+mod sys;
 pub mod telemetry;
+pub mod threaded;
+#[cfg(target_os = "linux")]
+mod worker;
 
 pub use client::Client;
 pub use frame::{FrameDecoder, FrameError, Opcode, Request, Response, Status};
 pub use server::{Server, ServerConfig, ServerConfigBuilder, ServerHandle};
 pub use telemetry::ServerTelemetry;
+pub use threaded::ThreadedServer;
 
 // Re-exported so server embedders can shape `ServerConfig::cache`
 // without naming the kvstore crate directly.

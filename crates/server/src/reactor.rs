@@ -1,0 +1,588 @@
+//! The readiness-based serving engine: one event-loop thread driving
+//! nonblocking sockets through epoll, plus a small fixed worker pool
+//! (`crate::worker`) executing decoded request batches.
+//!
+//! ```text
+//!             epoll (level-triggered)
+//!   listener ──► accept, register            ┌──────────────┐
+//!   eventfd  ──► completion/shutdown wakeup  │ worker pool  │
+//!   conn fd  ──► read ─► FrameDecoder ─► per-connection queue
+//!        ▲                                   │  exec batch  │
+//!        └── flush ◄─ write buffer ◄─ Completion bytes ◄────┘
+//! ```
+//!
+//! Per-connection state machine: bytes read on the event loop are
+//! decoded into ordered `Work` items; when a connection has items
+//! queued and no batch in flight, the whole queue ships to a worker as
+//! one `Job`. The worker's `Completion` carries the encoded
+//! response bytes back; the event loop appends them to the
+//! connection's write buffer and flushes under level-triggered
+//! `EPOLLOUT`. At most one batch per connection is ever in flight, so
+//! responses keep request order with zero cross-worker coordination.
+//!
+//! **Backpressure** replaces the BUSY-at-accept cliff: when a
+//! connection's queue reaches [`ServerConfig::queue_depth`] items (or
+//! its un-flushed write backlog exceeds one frame cap), the reactor
+//! drops the connection's read interest — the kernel receive buffer
+//! fills, TCP flow control pauses the sender, and nobody is
+//! disconnected. Reads resume once the queue drains below half. The
+//! bound is approximate by up to one read's worth of frames (the
+//! scratch read that crosses the threshold is still decoded in full).
+//!
+//! **Graceful drain** walks the readiness set instead of joining N
+//! threads: on shutdown the listener is deregistered, reads stop,
+//! every queued item is dispatched and answered, write buffers flush,
+//! and connections close — promptly (an eventfd wakeup, not a
+//! read-timeout poll), bounded by [`DRAIN_DEADLINE`] against peers
+//! that stop reading their responses.
+
+#![cfg(target_os = "linux")]
+
+use crate::dispatch::{collect_work, CollectEnd, ExecCtx, Work};
+use crate::frame::FrameDecoder;
+use crate::server::{ServeParts, ServerConfig};
+use crate::sys::{Poller, PollerEvent, Waker};
+use crate::telemetry::ServerTelemetry;
+use crate::threaded::reject_busy;
+use crate::worker::{Completion, Job, WorkerPool};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Hard bound on how long a drain waits for peers to accept their
+/// final responses before force-closing them.
+pub const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Pause reads when a connection's un-flushed write backlog exceeds
+/// this many bytes (one default frame cap): a client that pipelines
+/// requests but never reads responses stops being read long before
+/// its responses exhaust server memory.
+const WRITE_BACKLOG_PAUSE: usize = 1 << 20;
+
+/// At or below this many active connections, batches run to completion
+/// on the reactor thread instead of being handed to the worker pool.
+/// At low fan-in the pool buys no meaningful parallelism but charges
+/// two thread handoffs per batch (submit wake + completion wake) —
+/// on microsecond store ops that overhead is 20–40% of throughput.
+/// Past the threshold the pool takes over: it keeps a slow batch from
+/// stalling hundreds of ready connections and spreads execution
+/// across cores. Correctness is identical either way (one batch per
+/// connection in flight, same `ExecCtx`), so the switch can flap with
+/// `active` freely.
+const INLINE_ACTIVE_MAX: usize = 8;
+
+/// epoll token of the listener.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// epoll token of the wakeup eventfd.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// Spawn the reactor thread. Returns once the thread is running; the
+/// thread returns the number of connections served over its lifetime.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    parts: ServeParts,
+    shutdown: Arc<AtomicBool>,
+    waker: Waker,
+) -> std::io::Result<JoinHandle<usize>> {
+    let workers = parts.config.effective_workers();
+    let pool = WorkerPool::spawn(workers, waker.clone(), || ExecCtx {
+        store: parts.front.clone(),
+        registry: parts.registry.clone(),
+        telemetry: parts.telemetry.clone(),
+        coalesce_puts: parts.config.coalesce_puts,
+    })?;
+    // The reactor thread's own execution context, for batches it runs
+    // inline at low fan-in (see `INLINE_ACTIVE_MAX`).
+    let exec = ExecCtx {
+        store: parts.front.clone(),
+        registry: parts.registry.clone(),
+        telemetry: parts.telemetry.clone(),
+        coalesce_puts: parts.config.coalesce_puts,
+    };
+    let poller = Poller::new()?;
+    std::thread::Builder::new()
+        .name("e2nvm-reactor".into())
+        .spawn(move || Reactor::new(listener, parts, shutdown, waker, poller, pool, exec).run())
+}
+
+/// One connection's state, owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Decoded, not yet dispatched items (ordered).
+    pending: VecDeque<Work>,
+    /// Whether a batch is at a worker right now.
+    in_flight: bool,
+    /// Items in the in-flight batch (gauge bookkeeping).
+    in_flight_items: usize,
+    /// Encoded-but-unflushed response bytes, `out_pos` already written.
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// Reads stopped for good: EOF, fatal violation queued, SHUTDOWN
+    /// answered, or server drain.
+    read_closed: bool,
+    /// Reads stopped temporarily by backpressure.
+    paused: bool,
+    /// Close as soon as the write buffer flushes, without waiting for
+    /// `pending` (which was voided) — fatal violation or SHUTDOWN.
+    close_after_flush: bool,
+    /// Interest bits currently registered with the poller.
+    reg_readable: bool,
+    reg_writable: bool,
+}
+
+impl Conn {
+    fn backlog(&self) -> usize {
+        self.outbuf.len() - self.out_pos
+    }
+
+    fn queued(&self) -> usize {
+        self.pending.len() + self.in_flight_items
+    }
+}
+
+struct Reactor {
+    listener: TcpListener,
+    config: ServerConfig,
+    telemetry: ServerTelemetry,
+    parts_for_stop: ServeParts,
+    shutdown: Arc<AtomicBool>,
+    waker: Waker,
+    poller: Poller,
+    pool: Option<WorkerPool>,
+    /// Execution context for inline (low fan-in) batches.
+    exec: ExecCtx,
+    conns: Vec<Option<Conn>>,
+    /// Slot generations; bumped on free so a stale completion or a
+    /// stale event from the current batch can never reach a slot's new
+    /// tenant.
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    active: usize,
+    served: usize,
+    draining: Option<Instant>,
+    scratch: Vec<u8>,
+    completions: Vec<Completion>,
+    events: Vec<PollerEvent>,
+}
+
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        parts: ServeParts,
+        shutdown: Arc<AtomicBool>,
+        waker: Waker,
+        poller: Poller,
+        pool: WorkerPool,
+        exec: ExecCtx,
+    ) -> Self {
+        Self {
+            listener,
+            config: parts.config.clone(),
+            telemetry: parts.telemetry.clone(),
+            parts_for_stop: parts,
+            shutdown,
+            waker,
+            poller,
+            pool: Some(pool),
+            exec,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            served: 0,
+            draining: None,
+            scratch: vec![0u8; 64 * 1024],
+            completions: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    fn token_of(&self, idx: usize) -> u64 {
+        ((self.gens[idx] as u64) << 32) | idx as u64
+    }
+
+    fn run(mut self) -> usize {
+        if self.poller.listener_setup(&self.listener).is_err()
+            || self
+                .poller
+                .add(self.waker.as_raw_fd(), TOKEN_WAKER, true, false)
+                .is_err()
+        {
+            // Registration failed at boot: nothing is serveable.
+            self.pool.take().unwrap().stop();
+            return 0;
+        }
+        let tick_ms = self
+            .config
+            .read_timeout
+            .as_millis()
+            .clamp(1, i32::MAX as u128) as i32;
+        loop {
+            self.apply_completions();
+            if self.shutdown.load(Ordering::SeqCst) && self.draining.is_none() {
+                self.enter_drain();
+            }
+            if let Some(since) = self.draining {
+                if self.active == 0 {
+                    break;
+                }
+                if since.elapsed() > DRAIN_DEADLINE {
+                    // Peers refusing to read their final responses:
+                    // force the remaining sockets closed.
+                    for idx in 0..self.conns.len() {
+                        if self.conns[idx].is_some() {
+                            self.close(idx);
+                        }
+                    }
+                    break;
+                }
+            }
+            let timeout = if self.draining.is_some() { 10 } else { tick_ms };
+            self.events.clear();
+            let mut events = std::mem::take(&mut self.events);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                self.events = events;
+                break;
+            }
+            self.telemetry.reactor_wakeups.inc();
+            self.telemetry.reactor_ready_events.add(events.len() as u64);
+            for ev in &events {
+                match ev.token {
+                    TOKEN_WAKER => self.waker.drain(),
+                    TOKEN_LISTENER => {
+                        if self.draining.is_none() {
+                            self.accept_ready();
+                        }
+                    }
+                    token => self.conn_ready(token, ev.readable, ev.writable),
+                }
+            }
+            self.events = events;
+        }
+        self.pool.take().unwrap().stop();
+        self.parts_for_stop.record_stopped(self.served);
+        self.served
+    }
+
+    // ---- accept ------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.active >= self.config.max_connections {
+                        self.telemetry.connections_rejected.inc();
+                        self.telemetry.count_error(crate::frame::Status::Busy);
+                        reject_busy(stream);
+                        continue;
+                    }
+                    if self.register(stream).is_ok() {
+                        self.served += 1;
+                        self.telemetry.connections_opened.inc();
+                        self.telemetry.connections_active.add(1);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient accept errors (ECONNABORTED, EMFILE...):
+                // leave the rest for the next readiness event.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) -> std::io::Result<()> {
+        use std::os::fd::AsRawFd;
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.conns.push(None);
+                self.gens.push(0);
+                self.conns.len() - 1
+            }
+        };
+        let token = self.token_of(idx);
+        self.poller.add(stream.as_raw_fd(), token, true, false)?;
+        self.conns[idx] = Some(Conn {
+            stream,
+            decoder: FrameDecoder::new(self.config.max_frame_body),
+            pending: VecDeque::new(),
+            in_flight: false,
+            in_flight_items: 0,
+            outbuf: Vec::with_capacity(4096),
+            out_pos: 0,
+            read_closed: false,
+            paused: false,
+            close_after_flush: false,
+            reg_readable: true,
+            reg_writable: false,
+        });
+        self.active += 1;
+        Ok(())
+    }
+
+    // ---- per-connection events --------------------------------------
+
+    fn conn_ready(&mut self, token: u64, readable: bool, writable: bool) {
+        let idx = (token & 0xFFFF_FFFF) as usize;
+        let gen = (token >> 32) as u32;
+        // Stale event for a slot that was closed (and possibly reused)
+        // earlier in this same event batch.
+        if idx >= self.conns.len() || self.gens[idx] != gen || self.conns[idx].is_none() {
+            return;
+        }
+        if writable && !self.flush(idx) {
+            return;
+        }
+        if readable {
+            self.read_ready(idx);
+        }
+        self.after_progress(idx);
+    }
+
+    /// Read until WouldBlock / EOF / pause, decoding as we go.
+    fn read_ready(&mut self, idx: usize) {
+        loop {
+            let conn = match &mut self.conns[idx] {
+                Some(c) if !c.read_closed && !c.paused => c,
+                _ => return,
+            };
+            let n = match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // Peer EOF: answer what already arrived, then the
+                    // close falls out of the pending/flush walk.
+                    conn.read_closed = true;
+                    return;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx);
+                    return;
+                }
+            };
+            self.telemetry.bytes_read.add(n as u64);
+            conn.decoder.extend(&self.scratch[..n]);
+            let before = conn.pending.len();
+            let mut items = Vec::new();
+            let end = collect_work(&mut conn.decoder, &mut items);
+            conn.pending.extend(items);
+            self.telemetry
+                .queued_items
+                .add((conn.pending.len() - before) as i64);
+            if end == CollectEnd::Fatal {
+                // The stream is poisoned: the final pending item is the
+                // fatal violation's error frame; answer-then-close.
+                conn.read_closed = true;
+                return;
+            }
+            if conn.pending.len() >= self.config.queue_depth || conn.backlog() > WRITE_BACKLOG_PAUSE
+            {
+                conn.paused = true;
+                self.telemetry.reads_paused.inc();
+                return;
+            }
+        }
+    }
+
+    /// Flush the write buffer as far as the socket allows. Returns
+    /// `false` when the connection died (and was closed).
+    fn flush(&mut self, idx: usize) -> bool {
+        let conn = match &mut self.conns[idx] {
+            Some(c) => c,
+            None => return false,
+        };
+        while conn.out_pos < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close(idx);
+                    return false;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    self.telemetry.bytes_written.add(n as u64);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx);
+                    return false;
+                }
+            }
+        }
+        if conn.out_pos == conn.outbuf.len() {
+            conn.outbuf.clear();
+            conn.out_pos = 0;
+        } else if conn.out_pos >= 64 * 1024 {
+            // Reclaim the flushed prefix so a long-lived slow reader
+            // doesn't pin its history.
+            conn.outbuf.drain(..conn.out_pos);
+            conn.out_pos = 0;
+        }
+        true
+    }
+
+    /// After any read/flush/completion progress on `idx`: dispatch the
+    /// next batch, re-balance backpressure, sync poller interest, and
+    /// close if this connection is finished.
+    fn after_progress(&mut self, idx: usize) {
+        let Some(conn) = &mut self.conns[idx] else {
+            return;
+        };
+        // Dispatch: one batch per connection in flight at a time. At
+        // low fan-in the batch runs to completion right here on the
+        // reactor thread (no pool handoff); past `INLINE_ACTIVE_MAX`
+        // it goes to the worker pool.
+        let mut ran_inline = false;
+        if !conn.in_flight && !conn.pending.is_empty() {
+            let items: Vec<Work> = conn.pending.drain(..).collect();
+            let n = items.len();
+            self.telemetry.dispatch_batch_items.observe(n as u64);
+            if self.active <= INLINE_ACTIVE_MAX {
+                let outcome = self.exec.exec_batch(items, &mut conn.outbuf);
+                self.telemetry.queued_items.sub(n as i64);
+                if outcome.shutdown {
+                    self.shutdown.store(true, Ordering::SeqCst);
+                }
+                if outcome.close {
+                    // `pending` is already empty (the batch was all of
+                    // it), so unlike the completion path there is no
+                    // voided remainder to clear.
+                    conn.read_closed = true;
+                    conn.close_after_flush = true;
+                }
+                ran_inline = true;
+            } else {
+                conn.in_flight = true;
+                conn.in_flight_items = n;
+                let job = Job {
+                    token: idx as u32,
+                    gen: self.gens[idx],
+                    items,
+                };
+                self.pool.as_ref().unwrap().submit(job);
+            }
+        }
+        if ran_inline && !self.flush(idx) {
+            return; // the connection died on the write
+        }
+        let Some(conn) = &mut self.conns[idx] else {
+            return;
+        };
+        // Resume reads once the queue has drained below half and the
+        // write backlog is sane again.
+        if conn.paused
+            && conn.pending.len() <= self.config.queue_depth / 2
+            && conn.backlog() <= WRITE_BACKLOG_PAUSE
+        {
+            conn.paused = false;
+        }
+        // Finished? (EOF/fatal/drain with everything answered, or an
+        // explicit close-after-flush with the buffer empty.)
+        let flushed = conn.backlog() == 0;
+        let done = (conn.close_after_flush && flushed && !conn.in_flight)
+            || (conn.read_closed && conn.pending.is_empty() && !conn.in_flight && flushed);
+        if done {
+            self.close(idx);
+            return;
+        }
+        // Sync poller interest with desired state (level-triggered:
+        // wanting EPOLLOUT only while there is backlog avoids a
+        // busy-wake on always-writable idle sockets).
+        let want_r = !conn.read_closed && !conn.paused;
+        let want_w = !flushed;
+        if want_r != conn.reg_readable || want_w != conn.reg_writable {
+            use std::os::fd::AsRawFd;
+            let fd = conn.stream.as_raw_fd();
+            let token = ((self.gens[idx] as u64) << 32) | idx as u64;
+            conn.reg_readable = want_r;
+            conn.reg_writable = want_w;
+            if self.poller.modify(fd, token, want_r, want_w).is_err() {
+                self.close(idx);
+            }
+        }
+    }
+
+    fn close(&mut self, idx: usize) {
+        use std::os::fd::AsRawFd;
+        let Some(conn) = self.conns[idx].take() else {
+            return;
+        };
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        self.telemetry.queued_items.sub(conn.queued() as i64);
+        self.telemetry.connections_active.sub(1);
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        self.free.push(idx);
+        self.active -= 1;
+        // conn drops here, closing the fd.
+    }
+
+    // ---- completions & drain ----------------------------------------
+
+    fn apply_completions(&mut self) {
+        let mut completions = std::mem::take(&mut self.completions);
+        self.pool
+            .as_ref()
+            .unwrap()
+            .drain_completions(&mut completions);
+        for done in completions.drain(..) {
+            if done.shutdown {
+                self.shutdown.store(true, Ordering::SeqCst);
+            }
+            let idx = done.token as usize;
+            if idx >= self.conns.len() || self.gens[idx] != done.gen || self.conns[idx].is_none() {
+                continue; // the connection died mid-flight
+            }
+            let conn = self.conns[idx].as_mut().unwrap();
+            self.telemetry.queued_items.sub(conn.in_flight_items as i64);
+            conn.in_flight = false;
+            conn.in_flight_items = 0;
+            conn.outbuf.extend_from_slice(&done.bytes);
+            if done.close {
+                // Fatal violation answered or SHUTDOWN acked: anything
+                // decoded after it is void (the peer's pipeline ends
+                // at the close), exactly as the threaded server drops
+                // the rest of a poisoned read batch.
+                self.telemetry.queued_items.sub(conn.pending.len() as i64);
+                conn.pending.clear();
+                conn.read_closed = true;
+                conn.close_after_flush = true;
+            }
+            if self.flush(idx) {
+                self.after_progress(idx);
+            }
+        }
+        self.completions = completions;
+    }
+
+    fn enter_drain(&mut self) {
+        use std::os::fd::AsRawFd;
+        self.draining = Some(Instant::now());
+        let _ = self.poller.remove(self.listener.as_raw_fd());
+        // Walk the set once: stop reads everywhere, dispatch whatever
+        // is still queued, and let the normal completion/flush path
+        // retire each connection.
+        for idx in 0..self.conns.len() {
+            if let Some(conn) = &mut self.conns[idx] {
+                conn.read_closed = true;
+                self.after_progress(idx);
+            }
+        }
+    }
+}
+
+impl Poller {
+    /// Register the listener under its fixed token.
+    fn listener_setup(&self, listener: &TcpListener) -> std::io::Result<()> {
+        use std::os::fd::AsRawFd;
+        self.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)
+    }
+}

@@ -1,50 +1,72 @@
-//! The threaded TCP server fronting a [`ShardedE2KvStore`].
+//! The TCP server fronting a [`ShardedE2KvStore`]: shared
+//! configuration, the [`Server`] front door, and the [`ServerHandle`]
+//! lifecycle controls.
 //!
-//! Threading model: one non-blocking accept loop plus one thread per
-//! connection, bounded by [`ServerConfig::max_connections`] (excess
-//! connections are greeted with a BUSY error frame and closed). The
-//! fronted store is a [`ShardedE2KvStore`] clone per connection —
-//! clones share the shards, so cross-connection coordination is the
-//! engine's per-shard locking, not the server's.
+//! Two serving engines share this surface (and byte-identical wire
+//! behavior — `PROTOCOL.md` does not change between them):
 //!
-//! Per-connection codec: each read drains as many complete frames as
-//! arrived (request pipelining), responses are appended to one write
-//! buffer and flushed once per read batch. Graceful shutdown is a
-//! shared flag polled by the accept loop and by every connection's
-//! read timeout; it is set by [`ServerHandle::shutdown`] or by a
-//! SHUTDOWN frame from any client.
+//! * **Reactor** (the default, [`Server`]): a readiness-based event
+//!   loop — nonblocking sockets registered with epoll, per-connection
+//!   state machines, and a small fixed worker pool executing decoded
+//!   request batches. One process holds thousands of idle-or-bursty
+//!   clients; backpressure pauses a flooding connection's reads
+//!   instead of dropping clients. See [`crate::reactor`].
+//! * **Thread-per-connection** ([`crate::ThreadedServer`]): the
+//!   original model, kept as the measurable baseline (and as the
+//!   serving engine on non-Linux hosts, where the epoll poller is
+//!   unavailable). See [`crate::threaded`].
+//!
+//! Graceful shutdown is a shared flag plus (for the reactor) an
+//! eventfd wakeup, set by [`ServerHandle::shutdown`] or by a SHUTDOWN
+//! frame from any client; the reactor drains promptly by walking its
+//! readiness set instead of waiting out per-thread read timeouts.
 
-use crate::frame::{
-    encode_response, encode_value_frame, parse_request, FrameDecoder, FrameError, Opcode, Request,
-    Response, Status, DEFAULT_MAX_BODY,
-};
+use crate::dispatch::Front;
+use crate::frame::DEFAULT_MAX_BODY;
 use crate::telemetry::ServerTelemetry;
-use e2nvm_core::E2Error;
-use e2nvm_kvstore::{CacheConfig, CachedKvStore, NvmKvStore, ShardedE2KvStore, StoreError};
+use e2nvm_kvstore::{CacheConfig, CachedKvStore, ShardedE2KvStore};
 use e2nvm_telemetry::{Event, TelemetryRegistry};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server tuning knobs. `Default` binds an ephemeral loopback port
-/// with a 64-connection limit and the protocol's 1 MiB frame cap.
+/// with a 1024-connection limit, the protocol's 1 MiB frame cap, an
+/// auto-sized worker pool, and a 64-item per-connection queue bound.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port; read
     /// the actual one from [`ServerHandle::local_addr`]).
     pub addr: String,
     /// Maximum simultaneously open connections; the next one is sent a
-    /// BUSY error frame and closed.
+    /// BUSY error frame and closed. This is fd-exhaustion protection —
+    /// under the reactor, load is governed by per-connection
+    /// backpressure ([`ServerConfig::queue_depth`]) long before this
+    /// cliff is reached.
     pub max_connections: usize,
     /// Cap on a frame's `body_len`; larger frames are answered with
     /// FRAME_TOO_LARGE and the connection closes.
     pub max_frame_body: usize,
-    /// Socket read timeout — the granularity at which idle connections
-    /// notice a shutdown. Must be nonzero.
+    /// Liveness tick. The reactor uses it as the upper bound on one
+    /// `epoll_wait` (wakeups normally arrive via eventfd well before
+    /// it); the threaded baseline uses it as each connection's socket
+    /// read timeout, which paces its shutdown polling. Must be
+    /// nonzero.
     pub read_timeout: Duration,
+    /// Reactor worker pool size; `0` (the default) auto-sizes to the
+    /// host's available parallelism, clamped to `[1, 8]`. Ignored by
+    /// the threaded baseline.
+    pub workers: usize,
+    /// Per-connection bound on decoded-but-unserved request items.
+    /// When a connection's queue reaches this bound (or its write
+    /// backlog exceeds one frame cap), the reactor stops reading from
+    /// it until the queue drains below half — TCP backpressure pauses
+    /// the client instead of a dropped connection. Ignored by the
+    /// threaded baseline.
+    pub queue_depth: usize,
     /// When set, front the store with a DRAM read-through
     /// [`e2nvm_kvstore::HotCache`] of this shape. `None` (the default)
     /// serves every GET from the store, byte-for-byte as before the
@@ -63,9 +85,11 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
-            max_connections: 64,
+            max_connections: 1024,
             max_frame_body: DEFAULT_MAX_BODY,
             read_timeout: Duration::from_millis(25),
+            workers: 0,
+            queue_depth: 64,
             cache: None,
             coalesce_puts: false,
         }
@@ -91,7 +115,7 @@ impl ServerConfig {
         }
         if self.read_timeout.is_zero() {
             return Err(invalid(
-                "ServerConfig::read_timeout must be nonzero (it paces shutdown polling)".into(),
+                "ServerConfig::read_timeout must be nonzero (it paces liveness ticks)".into(),
             ));
         }
         if self.max_connections == 0 {
@@ -104,12 +128,30 @@ impl ServerConfig {
                 "ServerConfig::max_frame_body must be nonzero".into(),
             ));
         }
+        if self.queue_depth == 0 {
+            return Err(invalid(
+                "ServerConfig::queue_depth must be at least 1".into(),
+            ));
+        }
         if let Some(cache) = &self.cache {
             cache
                 .validate()
                 .map_err(|e| invalid(format!("ServerConfig::cache is invalid: {e}")))?;
         }
         Ok(())
+    }
+
+    /// The worker-pool size after resolving `0` = auto (available
+    /// parallelism clamped to `[1, 8]`).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(1, 8)
+        }
     }
 }
 
@@ -124,10 +166,13 @@ impl ServerConfig {
 /// let cfg = ServerConfig::builder()
 ///     .addr("127.0.0.1:0")
 ///     .max_connections(8)
+///     .workers(2)
+///     .queue_depth(32)
 ///     .read_timeout(Duration::from_millis(10))
 ///     .build()
 ///     .unwrap();
 /// assert_eq!(cfg.max_connections, 8);
+/// assert_eq!(cfg.workers, 2);
 /// assert!(cfg.cache.is_none());
 /// ```
 #[derive(Debug, Clone)]
@@ -154,9 +199,21 @@ impl ServerConfigBuilder {
         self
     }
 
-    /// Socket read timeout (see [`ServerConfig::read_timeout`]).
+    /// Liveness tick / read timeout (see [`ServerConfig::read_timeout`]).
     pub fn read_timeout(mut self, timeout: Duration) -> Self {
         self.cfg.read_timeout = timeout;
+        self
+    }
+
+    /// Reactor worker pool size, 0 = auto (see [`ServerConfig::workers`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Per-connection queue bound (see [`ServerConfig::queue_depth`]).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
         self
     }
 
@@ -175,16 +232,74 @@ impl ServerConfigBuilder {
     }
 
     /// Validate and return the config. Rejects a zero read timeout,
-    /// a zero connection limit, a zero frame cap, and any invalid
-    /// cache shape with [`ErrorKind::InvalidInput`].
+    /// a zero connection limit, a zero frame cap, a zero queue depth,
+    /// and any invalid cache shape with [`ErrorKind::InvalidInput`].
     pub fn build(self) -> std::io::Result<ServerConfig> {
         self.cfg.validate()?;
         Ok(self.cfg)
     }
 }
 
+/// Everything a serving engine needs besides its sockets: the fronted
+/// store, the resolved config, and the telemetry plumbing.
+pub(crate) struct ServeParts {
+    pub front: Front,
+    pub config: ServerConfig,
+    pub telemetry: ServerTelemetry,
+    pub registry: Option<TelemetryRegistry>,
+}
+
+impl ServeParts {
+    pub(crate) fn assemble(
+        store: ShardedE2KvStore,
+        config: ServerConfig,
+        telemetry: ServerTelemetry,
+        registry: Option<TelemetryRegistry>,
+    ) -> Self {
+        // Build the front once: clones share the cache's shards, so a
+        // PUT on one connection invalidates what another connection
+        // cached.
+        let front = match config.cache.clone() {
+            Some(cache_cfg) => Front::Cached(match &registry {
+                Some(reg) => CachedKvStore::with_telemetry(store, cache_cfg, reg),
+                None => CachedKvStore::new(store, cache_cfg),
+            }),
+            None => Front::Plain(store),
+        };
+        Self {
+            front,
+            config,
+            telemetry,
+            registry,
+        }
+    }
+
+    /// Record the started event (once the listener is live).
+    pub(crate) fn record_started(&self, addr: SocketAddr) {
+        if let Some(reg) = &self.registry {
+            reg.journal().record(Event::ServerStarted {
+                port: addr.port() as usize,
+            });
+        }
+    }
+
+    /// Record the stopped event (after the last connection closed).
+    pub(crate) fn record_stopped(&self, served: usize) {
+        if let Some(reg) = &self.registry {
+            reg.journal().record(Event::ServerStopped {
+                connections_served: served,
+            });
+        }
+    }
+}
+
 /// A configured-but-not-started server. Build with [`Server::new`],
 /// optionally attach telemetry, then [`Server::start`].
+///
+/// `Server` serves with the epoll reactor on Linux and falls back to
+/// the thread-per-connection engine elsewhere; to *force* the threaded
+/// engine (e.g. as a measurement baseline) use
+/// [`ThreadedServer`](crate::ThreadedServer).
 pub struct Server {
     store: ShardedE2KvStore,
     config: ServerConfig,
@@ -221,23 +336,30 @@ impl Server {
         let listener = TcpListener::bind(&self.config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        if let Some(reg) = &self.registry {
-            reg.journal().record(Event::ServerStarted {
-                port: addr.port() as usize,
-            });
-        }
+        let parts = ServeParts::assemble(self.store, self.config, self.telemetry, self.registry);
+        parts.record_started(addr);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::Builder::new()
-                .name("e2nvm-accept".into())
-                .spawn(move || accept_loop(listener, self, shutdown))?
-        };
-        Ok(ServerHandle {
-            addr,
-            shutdown,
-            accept_thread: Some(accept_thread),
-        })
+        #[cfg(target_os = "linux")]
+        {
+            let waker = crate::sys::Waker::new()?;
+            let thread =
+                crate::reactor::spawn(listener, parts, Arc::clone(&shutdown), waker.clone())?;
+            Ok(ServerHandle {
+                addr,
+                shutdown,
+                waker: Some(waker),
+                thread: Some(thread),
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let thread = crate::threaded::spawn(listener, parts, Arc::clone(&shutdown))?;
+            Ok(ServerHandle {
+                addr,
+                shutdown,
+                thread: Some(thread),
+            })
+        }
     }
 }
 
@@ -245,9 +367,14 @@ impl Server {
 /// controls. Dropping the handle shuts the server down and joins it.
 #[derive(Debug)]
 pub struct ServerHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<usize>>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// Present for reactor-backed servers: kicks the event loop out of
+    /// `epoll_wait` so a shutdown is observed immediately rather than
+    /// at the next liveness tick.
+    #[cfg(target_os = "linux")]
+    pub(crate) waker: Option<crate::sys::Waker>,
+    pub(crate) thread: Option<JoinHandle<usize>>,
 }
 
 impl ServerHandle {
@@ -257,11 +384,15 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Request graceful shutdown: stop accepting, let every connection
-    /// finish its current batch, then close. Idempotent; returns
+    /// Request graceful shutdown: stop accepting, answer everything
+    /// already received, flush, then close. Idempotent; returns
     /// immediately — pair with [`ServerHandle::join`] to wait.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
     }
 
     /// Whether shutdown has been requested (by this handle or by a
@@ -270,16 +401,17 @@ impl ServerHandle {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Block until the server has fully stopped (all connection
-    /// threads joined). Returns the number of connections served over
-    /// the server's lifetime. Does not itself request shutdown: call
-    /// [`ServerHandle::shutdown`] first, or let a SHUTDOWN frame do it.
+    /// Block until the server has fully stopped (every connection
+    /// drained and closed). Returns the number of connections served
+    /// over the server's lifetime. Does not itself request shutdown:
+    /// call [`ServerHandle::shutdown`] first, or let a SHUTDOWN frame
+    /// do it.
     pub fn join(mut self) -> usize {
         self.join_inner()
     }
 
     fn join_inner(&mut self) -> usize {
-        self.accept_thread
+        self.thread
             .take()
             .map(|t| t.join().unwrap_or(0))
             .unwrap_or(0)
@@ -293,509 +425,22 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Accept loop: poll-accept (non-blocking + sleep) so the shutdown
-/// flag is observed without platform signal machinery. Returns the
-/// number of connections served.
-fn accept_loop(listener: TcpListener, server: Server, shutdown: Arc<AtomicBool>) -> usize {
-    let Server {
-        store,
-        config,
-        telemetry,
-        registry,
-    } = server;
-    // Build the front once: clones share the cache's shards, so a PUT
-    // on one connection invalidates what another connection cached.
-    let front = match config.cache.clone() {
-        Some(cache_cfg) => Front::Cached(match &registry {
-            Some(reg) => CachedKvStore::with_telemetry(store, cache_cfg, reg),
-            None => CachedKvStore::new(store, cache_cfg),
-        }),
-        None => Front::Plain(store),
-    };
-    let active = Arc::new(AtomicUsize::new(0));
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
-    let mut served = 0usize;
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                workers.retain(|w| !w.is_finished());
-                if active.load(Ordering::SeqCst) >= config.max_connections {
-                    telemetry.connections_rejected.inc();
-                    telemetry.count_error(Status::Busy);
-                    reject_busy(stream);
-                    continue;
-                }
-                served += 1;
-                telemetry.connections_opened.inc();
-                telemetry.connections_active.add(1);
-                active.fetch_add(1, Ordering::SeqCst);
-                let ctx = ConnCtx {
-                    store: front.clone(),
-                    registry: registry.clone(),
-                    telemetry: telemetry.clone(),
-                    shutdown: Arc::clone(&shutdown),
-                    active: Arc::clone(&active),
-                    max_frame_body: config.max_frame_body,
-                    read_timeout: config.read_timeout,
-                    coalesce_puts: config.coalesce_puts,
-                };
-                match std::thread::Builder::new()
-                    .name("e2nvm-conn".into())
-                    .spawn(move || ctx.run(stream))
-                {
-                    Ok(handle) => workers.push(handle),
-                    Err(_) => {
-                        // Spawn failed (resource exhaustion): undo the
-                        // accounting; the stream drops and the client
-                        // sees a close.
-                        telemetry.connections_active.sub(1);
-                        active.fetch_sub(1, Ordering::SeqCst);
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
-        }
-    }
-    for w in workers {
-        let _ = w.join();
-    }
-    if let Some(reg) = &registry {
-        reg.journal().record(Event::ServerStopped {
-            connections_served: served,
-        });
-    }
-    served
-}
-
-/// Send a BUSY error frame (best effort) and close.
-fn reject_busy(mut stream: TcpStream) {
-    let mut out = Vec::new();
-    encode_response(
-        &Response::Error {
-            status: Status::Busy,
-            retired: 0,
-            message: "connection limit reached".into(),
-        },
-        None,
-        &mut out,
-    );
-    let _ = stream.write_all(&out);
-}
-
-/// What the connection threads serve from: the bare sharded store, or
-/// the same store behind a read-through cache. Clones share both the
-/// store shards and the cache shards, so coherence is cross-connection.
-#[derive(Clone)]
-enum Front {
-    Plain(ShardedE2KvStore),
-    Cached(CachedKvStore<ShardedE2KvStore>),
-}
-
-impl Front {
-    /// The store as a trait object — every request dispatches through
-    /// the same [`NvmKvStore`] surface regardless of caching.
-    fn kv(&mut self) -> &mut dyn NvmKvStore {
-        match self {
-            Front::Plain(store) => store,
-            Front::Cached(cached) => cached,
-        }
-    }
-
-    /// Live key count (inherent on the concrete store, not the trait).
-    fn len(&self) -> usize {
-        match self {
-            Front::Plain(store) => store.len(),
-            Front::Cached(cached) => cached.inner().len(),
-        }
-    }
-
-    /// Retired segment count across shards.
-    fn retired_count(&self) -> usize {
-        match self {
-            Front::Plain(store) => store.retired_count(),
-            Front::Cached(cached) => cached.inner().retired_count(),
-        }
-    }
-
-    /// Simulated-device counters (the cache forwards to its inner
-    /// store; DRAM hits never touch the device).
-    fn stats(&self) -> e2nvm_sim::DeviceStats {
-        match self {
-            Front::Plain(store) => store.stats(),
-            Front::Cached(cached) => cached.stats(),
-        }
-    }
-}
-
-/// Everything one connection thread needs.
-struct ConnCtx {
-    store: Front,
-    registry: Option<TelemetryRegistry>,
-    telemetry: ServerTelemetry,
-    shutdown: Arc<AtomicBool>,
-    active: Arc<AtomicUsize>,
-    max_frame_body: usize,
-    read_timeout: Duration,
-    coalesce_puts: bool,
-}
-
-impl ConnCtx {
-    fn run(mut self, stream: TcpStream) {
-        let _ = stream.set_nodelay(true);
-        self.serve_connection(stream);
-        self.telemetry.connections_active.sub(1);
-        self.active.fetch_sub(1, Ordering::SeqCst);
-    }
-
-    fn serve_connection(&mut self, mut stream: TcpStream) {
-        if stream.set_read_timeout(Some(self.read_timeout)).is_err() {
-            return;
-        }
-        let mut decoder = FrameDecoder::new(self.max_frame_body);
-        let mut rdbuf = vec![0u8; 16 * 1024];
-        let mut outbuf: Vec<u8> = Vec::with_capacity(4096);
-        loop {
-            if self.shutdown.load(Ordering::SeqCst) {
-                // Everything received before shutdown was answered at
-                // the end of its read batch; nothing is in flight.
-                return;
-            }
-            let n = match stream.read(&mut rdbuf) {
-                Ok(0) => return, // peer closed
-                Ok(n) => n,
-                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    continue;
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return,
-            };
-            self.telemetry.bytes_read.add(n as u64);
-            decoder.extend(&rdbuf[..n]);
-            let keep_going = self.drain_frames(&mut decoder, &mut outbuf);
-            if !outbuf.is_empty() {
-                self.telemetry.bytes_written.add(outbuf.len() as u64);
-                if stream.write_all(&outbuf).is_err() {
-                    return;
-                }
-                outbuf.clear();
-            }
-            if !keep_going {
-                return;
-            }
-        }
-    }
-
-    /// Decode and serve every complete frame in the buffer, appending
-    /// responses (one per request, in order) to `outbuf`. Returns
-    /// `false` when the connection must close after the flush.
-    ///
-    /// With [`ServerConfig::coalesce_puts`] set, runs of consecutive
-    /// PUT frames are buffered and served by one `put_many` call; the
-    /// run flushes before any other frame kind is handled (and at the
-    /// end of the read batch), so responses still come back in request
-    /// order.
-    fn drain_frames(&mut self, decoder: &mut FrameDecoder, outbuf: &mut Vec<u8>) -> bool {
-        let mut pending_puts: Vec<(u64, Vec<u8>)> = Vec::new();
-        loop {
-            match decoder.next_frame() {
-                Ok(None) => {
-                    self.flush_puts(&mut pending_puts, outbuf);
-                    return true;
-                }
-                Ok(Some(raw)) => {
-                    // Timed explicitly (not via the histogram's drop
-                    // guard, which would hold a borrow of the telemetry
-                    // struct across the `&mut self` dispatch), and only
-                    // when the observation can go somewhere.
-                    let t0 = crate::telemetry::now_if_enabled();
-                    let close = match parse_request(&raw) {
-                        Ok(req) => {
-                            let op = req.opcode();
-                            self.telemetry.count_frame(op);
-                            let req = if self.coalesce_puts {
-                                match req {
-                                    Request::Put { key, value } => {
-                                        // Answered when the run flushes;
-                                        // its latency is folded into the
-                                        // flush observation.
-                                        pending_puts.push((key, value));
-                                        continue;
-                                    }
-                                    other => {
-                                        self.flush_puts(&mut pending_puts, outbuf);
-                                        other
-                                    }
-                                }
-                            } else {
-                                req
-                            };
-                            match req {
-                                // GETs are the hot path: serve them
-                                // straight into the output buffer (a
-                                // cache hit encodes from the cached
-                                // bytes, no intermediate Vec).
-                                Request::Get { key } => {
-                                    self.serve_get(key, outbuf);
-                                    false
-                                }
-                                req => {
-                                    let shutdown_requested = req == Request::Shutdown;
-                                    let resp = self.handle(req);
-                                    if let Response::Error { status, .. } = &resp {
-                                        self.telemetry.count_error(*status);
-                                    }
-                                    encode_response(&resp, Some(op), outbuf);
-                                    if shutdown_requested {
-                                        self.shutdown.store(true, Ordering::SeqCst);
-                                    }
-                                    shutdown_requested
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            // Body-level violation: framing is intact,
-                            // answer with a typed error frame and keep
-                            // the connection (never panic, never drop
-                            // silently). Flush first so the error frame
-                            // stays in request order.
-                            self.flush_puts(&mut pending_puts, outbuf);
-                            self.telemetry.count_error(e.status());
-                            encode_response(&error_frame(&e), None, outbuf);
-                            e.is_fatal()
-                        }
-                    };
-                    if let Some(t0) = t0 {
-                        self.telemetry
-                            .frame_latency_ns
-                            .observe(t0.elapsed().as_nanos() as u64);
-                    }
-                    if close {
-                        return false;
-                    }
-                }
-                Err(e) => {
-                    // Framing-level violation: answer, then close — the
-                    // byte stream can no longer be trusted.
-                    self.flush_puts(&mut pending_puts, outbuf);
-                    self.telemetry.count_error(e.status());
-                    encode_response(&error_frame(&e), None, outbuf);
-                    return false;
-                }
-            }
-        }
-    }
-
-    /// Serve a buffered run of PUTs through one `put_many`, appending
-    /// one Stored/error response per PUT in request order. No-op when
-    /// the run is empty (which is always the case without
-    /// [`ServerConfig::coalesce_puts`]).
-    fn flush_puts(&mut self, pending: &mut Vec<(u64, Vec<u8>)>, outbuf: &mut Vec<u8>) {
-        if pending.is_empty() {
-            return;
-        }
-        let t0 = crate::telemetry::now_if_enabled();
-        let pairs: Vec<(u64, &[u8])> = pending.iter().map(|(k, v)| (*k, v.as_slice())).collect();
-        let results = self.store.kv().put_many(&pairs);
-        for result in results {
-            let resp = match result {
-                Ok(()) => Response::Stored,
-                Err(e) => store_error_frame(&e),
-            };
-            if let Response::Error { status, .. } = &resp {
-                self.telemetry.count_error(*status);
-            }
-            encode_response(&resp, Some(Opcode::Put), outbuf);
-        }
-        // One observation for the whole run: the run was served as one
-        // store operation, and that is the latency that existed.
-        if let Some(t0) = t0 {
-            self.telemetry
-                .frame_latency_ns
-                .observe(t0.elapsed().as_nanos() as u64);
-        }
-        pending.clear();
-    }
-
-    /// Serve one GET, appending its response frame to `outbuf`. Split
-    /// from [`ConnCtx::handle`] so the cache-hit path can encode
-    /// straight from the cached bytes under the shard lock instead of
-    /// materialising a `Response::Value` allocation per read.
-    fn serve_get(&mut self, key: u64, outbuf: &mut Vec<u8>) {
-        let echo = Some(Opcode::Get);
-        let error = match &mut self.store {
-            Front::Cached(cached) => {
-                match cached.get_with(key, |value| encode_value_frame(value, echo, outbuf)) {
-                    Ok(Some(())) => None,
-                    Ok(None) => {
-                        encode_response(&Response::NotFound, echo, outbuf);
-                        None
-                    }
-                    Err(e) => Some(store_error_frame(&e)),
-                }
-            }
-            Front::Plain(store) => match store.get(key) {
-                Ok(Some(v)) => {
-                    encode_value_frame(&v, echo, outbuf);
-                    None
-                }
-                Ok(None) => {
-                    encode_response(&Response::NotFound, echo, outbuf);
-                    None
-                }
-                Err(e) => Some(store_error_frame(&e)),
-            },
-        };
-        if let Some(resp) = error {
-            if let Response::Error { status, .. } = &resp {
-                self.telemetry.count_error(*status);
-            }
-            encode_response(&resp, echo, outbuf);
-        }
-    }
-
-    fn handle(&mut self, req: Request) -> Response {
-        match req {
-            Request::Ping => Response::Pong,
-            Request::Get { key } => match self.store.kv().get(key) {
-                Ok(Some(v)) => Response::Value(v),
-                Ok(None) => Response::NotFound,
-                Err(e) => store_error_frame(&e),
-            },
-            Request::Put { key, value } => match self.store.kv().put(key, &value) {
-                Ok(()) => Response::Stored,
-                Err(e) => store_error_frame(&e),
-            },
-            Request::Delete { key } => match self.store.kv().delete(key) {
-                Ok(existed) => Response::Deleted(existed),
-                Err(e) => store_error_frame(&e),
-            },
-            Request::Scan { lo, hi, limit } => {
-                let limit = if limit == 0 {
-                    usize::MAX
-                } else {
-                    limit as usize
-                };
-                match self.store.kv().scan_limit(lo, hi, limit) {
-                    Ok(entries) => Response::Entries(entries),
-                    Err(e) => store_error_frame(&e),
-                }
-            }
-            Request::Stats => Response::Stats(self.stats_json()),
-            Request::Metrics => Response::Metrics(match &self.registry {
-                Some(reg) => reg.render_prometheus(),
-                None => "# no telemetry registry attached\n".to_string(),
-            }),
-            Request::Shutdown => Response::ShutdownAck,
-        }
-    }
-
-    /// Self-contained JSON stats document (schema in `PROTOCOL.md`).
-    fn stats_json(&self) -> String {
-        let s = self.store.stats();
-        format!(
-            concat!(
-                "{{\"keys\":{},\"retired_segments\":{},\"device\":{{",
-                "\"writes\":{},\"reads\":{},\"lines_written\":{},\"lines_skipped\":{},",
-                "\"bits_flipped\":{},\"bits_set\":{},\"bits_reset\":{},\"bits_programmed\":{},",
-                "\"bits_requested\":{},\"energy_pj\":{},\"latency_ns\":{},\"swaps\":{}}}}}"
-            ),
-            self.store.len(),
-            self.store.retired_count(),
-            s.writes,
-            s.reads,
-            s.lines_written,
-            s.lines_skipped,
-            s.bits_flipped,
-            s.bits_set,
-            s.bits_reset,
-            s.bits_programmed,
-            s.bits_requested,
-            s.energy_pj,
-            s.latency_ns,
-            s.swaps,
-        )
-    }
-}
-
-/// The error frame for a protocol violation.
-fn error_frame(e: &FrameError) -> Response {
-    Response::Error {
-        status: e.status(),
-        retired: 0,
-        message: e.to_string(),
-    }
-}
-
-/// Map a [`StoreError`] to its typed wire status — degraded mode and
-/// pool depletion become first-class statuses the client can match on
-/// instead of a dropped connection.
-fn store_error_frame(e: &StoreError) -> Response {
-    match e {
-        StoreError::Degraded { retired } => Response::Error {
-            status: Status::Degraded,
-            retired: *retired as u64,
-            message: e.to_string(),
-        },
-        StoreError::Engine(E2Error::PoolDepleted { retired }) => Response::Error {
-            status: Status::PoolDepleted,
-            retired: *retired as u64,
-            message: e.to_string(),
-        },
-        StoreError::OutOfSpace | StoreError::Engine(E2Error::OutOfSpace) => Response::Error {
-            status: Status::OutOfSpace,
-            retired: 0,
-            message: e.to_string(),
-        },
-        other => Response::Error {
-            status: Status::StoreError,
-            retired: 0,
-            message: other.to_string(),
-        },
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn store_errors_map_to_typed_statuses() {
-        let degraded = store_error_frame(&StoreError::Degraded { retired: 9 });
-        assert!(matches!(
-            degraded,
-            Response::Error {
-                status: Status::Degraded,
-                retired: 9,
-                ..
-            }
-        ));
-        let depleted = store_error_frame(&StoreError::Engine(E2Error::PoolDepleted { retired: 3 }));
-        assert!(matches!(
-            depleted,
-            Response::Error {
-                status: Status::PoolDepleted,
-                retired: 3,
-                ..
-            }
-        ));
-        let full = store_error_frame(&StoreError::OutOfSpace);
-        assert!(matches!(
-            full,
-            Response::Error {
-                status: Status::OutOfSpace,
-                ..
-            }
-        ));
-        let unknown = store_error_frame(&StoreError::UnknownNode(e2nvm_kvstore::NodeId(1)));
-        assert!(matches!(
-            unknown,
-            Response::Error {
-                status: Status::StoreError,
-                ..
-            }
-        ));
+    fn zero_queue_depth_is_rejected() {
+        let err = ServerConfig::builder().queue_depth(0).build().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn auto_workers_resolve_to_a_sane_pool() {
+        let cfg = ServerConfig::default();
+        let n = cfg.effective_workers();
+        assert!((1..=8).contains(&n), "auto workers resolved to {n}");
+        let cfg = ServerConfig::builder().workers(3).build().unwrap();
+        assert_eq!(cfg.effective_workers(), 3);
     }
 }

@@ -1,7 +1,8 @@
 //! Wire-level telemetry: per-opcode frame counters, per-frame latency
-//! histograms, connection gauges, and byte counters — all under the
-//! `e2nvm_server_*` namespace, composing with the engine/device/KV
-//! series the fronted store already publishes on the same registry.
+//! histograms, connection gauges, byte counters, and the reactor's
+//! event-loop/worker-pool series — all under the `e2nvm_server_*`
+//! namespace, composing with the engine/device/KV series the fronted
+//! store already publishes on the same registry.
 
 use crate::frame::{Opcode, Status};
 use e2nvm_telemetry::{Counter, Gauge, Histogram, TelemetryRegistry};
@@ -51,7 +52,31 @@ pub struct ServerTelemetry {
     pub(crate) bytes_read: Counter,
     /// Payload bytes written to sockets.
     pub(crate) bytes_written: Counter,
+    /// Reactor only: times the event loop woke from `epoll_wait`.
+    pub(crate) reactor_wakeups: Counter,
+    /// Reactor only: readiness events delivered across all wakeups.
+    pub(crate) reactor_ready_events: Counter,
+    /// Reactor only: times a connection's reads were paused by
+    /// backpressure (queue bound or write backlog reached).
+    pub(crate) reads_paused: Counter,
+    /// Reactor only: decoded items currently queued on connections,
+    /// waiting for (or riding in) a worker batch.
+    pub(crate) queued_items: Gauge,
+    /// Reactor only: items per dispatched batch (inline fast path or
+    /// worker pool — the histogram count is total batches).
+    pub(crate) dispatch_batch_items: Histogram,
+    /// Reactor only: batches executed by the worker pool. Batches run
+    /// inline on the reactor thread at low fan-in are the
+    /// `dispatch_batch_items` count minus this.
+    pub(crate) worker_batches: Counter,
+    /// Reactor only: nanoseconds workers spent executing batches.
+    /// Utilization = rate(worker_busy_ns) / (workers × 1e9).
+    pub(crate) worker_busy_ns: Counter,
 }
+
+/// Bucket bounds for items-per-worker-batch: powers of two up to the
+/// default per-connection queue bound.
+const BATCH_ITEM_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 
 /// The statuses an error-frame counter is kept for (everything that can
 /// appear on the wire as a non-OK, non-NOT_FOUND status).
@@ -81,6 +106,13 @@ impl ServerTelemetry {
             connections_rejected: Counter::disconnected(),
             bytes_read: Counter::disconnected(),
             bytes_written: Counter::disconnected(),
+            reactor_wakeups: Counter::disconnected(),
+            reactor_ready_events: Counter::disconnected(),
+            reads_paused: Counter::disconnected(),
+            queued_items: Gauge::disconnected(),
+            dispatch_batch_items: Histogram::disconnected(&BATCH_ITEM_BOUNDS),
+            worker_batches: Counter::disconnected(),
+            worker_busy_ns: Counter::disconnected(),
         }
     }
 
@@ -127,6 +159,35 @@ impl ServerTelemetry {
             bytes_written: registry.counter(
                 "e2nvm_server_bytes_written_total",
                 "Bytes written to client sockets",
+            ),
+            reactor_wakeups: registry.counter(
+                "e2nvm_server_reactor_wakeups_total",
+                "Times the reactor event loop returned from epoll_wait",
+            ),
+            reactor_ready_events: registry.counter(
+                "e2nvm_server_reactor_ready_events_total",
+                "Readiness events delivered to the reactor",
+            ),
+            reads_paused: registry.counter(
+                "e2nvm_server_reads_paused_total",
+                "Connections whose reads were paused by backpressure (queue bound or write backlog)",
+            ),
+            queued_items: registry.gauge(
+                "e2nvm_server_queued_items",
+                "Decoded request items queued on connections, awaiting or riding in a worker batch",
+            ),
+            dispatch_batch_items: registry.histogram(
+                "e2nvm_server_dispatch_batch_items",
+                "Items per dispatched batch (inline or worker pool)",
+                &BATCH_ITEM_BOUNDS,
+            ),
+            worker_batches: registry.counter(
+                "e2nvm_server_worker_batches_total",
+                "Batches executed by the worker pool (dispatched minus inline)",
+            ),
+            worker_busy_ns: registry.counter(
+                "e2nvm_server_worker_busy_ns_total",
+                "Nanoseconds workers spent executing batches (utilization numerator)",
             ),
         }
     }

@@ -1,0 +1,243 @@
+//! The thread-per-connection serving engine — the original server
+//! model, kept as the measurable baseline for the reactor (and as the
+//! fallback engine on hosts without epoll).
+//!
+//! Threading model: one non-blocking accept loop plus one thread per
+//! connection, bounded by `ServerConfig::max_connections` (excess
+//! connections are greeted with a BUSY error frame and closed). Each
+//! connection thread reads with a timeout, drains every complete
+//! frame that arrived (request pipelining), executes the batch through
+//! the shared `crate::dispatch` layer, and flushes all responses in
+//! one write. Shutdown is a shared flag observed by the accept loop's
+//! poll sleep and by every connection's read timeout — which is why
+//! its drain latency is up to one `read_timeout` per idle connection,
+//! the exact cliff the reactor removes (pinned by
+//! `tests/reactor.rs::reactor_drain_is_prompt`).
+
+use crate::dispatch::{collect_work, CollectEnd, ExecCtx, Work};
+use crate::frame::{encode_response, FrameDecoder, Response, Status};
+use crate::server::{ServeParts, ServerConfig, ServerHandle};
+use crate::telemetry::ServerTelemetry;
+use e2nvm_kvstore::ShardedE2KvStore;
+use e2nvm_telemetry::TelemetryRegistry;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A configured-but-not-started thread-per-connection server. Same
+/// construction surface as [`crate::Server`] — build, optionally
+/// attach telemetry, then [`ThreadedServer::start`] — but always
+/// serves with the threaded engine, regardless of platform.
+///
+/// Use this when you specifically want the baseline model (A/B
+/// measurements against the reactor, `e2nvm-loadgen --threaded`); use
+/// [`crate::Server`] otherwise.
+pub struct ThreadedServer {
+    store: ShardedE2KvStore,
+    config: ServerConfig,
+    telemetry: ServerTelemetry,
+    registry: Option<TelemetryRegistry>,
+}
+
+impl ThreadedServer {
+    /// A threaded server fronting `store` with `config`.
+    pub fn new(store: ShardedE2KvStore, config: ServerConfig) -> Self {
+        Self {
+            store,
+            config,
+            telemetry: ServerTelemetry::disconnected(),
+            registry: None,
+        }
+    }
+
+    /// Register the server's wire-level series on `registry` (see
+    /// [`crate::Server::with_telemetry`]).
+    pub fn with_telemetry(mut self, registry: &TelemetryRegistry) -> Self {
+        self.telemetry = ServerTelemetry::register(registry);
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Bind and start serving on background threads. The returned
+    /// handle is interchangeable with the reactor's.
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        self.config.validate()?;
+        let listener = TcpListener::bind(&self.config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let parts = ServeParts::assemble(self.store, self.config, self.telemetry, self.registry);
+        parts.record_started(addr);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = spawn(listener, parts, Arc::clone(&shutdown))?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            #[cfg(target_os = "linux")]
+            waker: None,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Spawn the accept-loop thread.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    parts: ServeParts,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<JoinHandle<usize>> {
+    std::thread::Builder::new()
+        .name("e2nvm-accept".into())
+        .spawn(move || accept_loop(listener, parts, shutdown))
+}
+
+/// Accept loop: poll-accept (non-blocking + sleep) so the shutdown
+/// flag is observed without platform signal machinery. Returns the
+/// number of connections served.
+fn accept_loop(listener: TcpListener, parts: ServeParts, shutdown: Arc<AtomicBool>) -> usize {
+    let ServeParts {
+        front,
+        config,
+        telemetry,
+        registry,
+    } = parts;
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut served = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                workers.retain(|w| !w.is_finished());
+                if active.load(Ordering::SeqCst) >= config.max_connections {
+                    telemetry.connections_rejected.inc();
+                    telemetry.count_error(Status::Busy);
+                    reject_busy(stream);
+                    continue;
+                }
+                served += 1;
+                telemetry.connections_opened.inc();
+                telemetry.connections_active.add(1);
+                active.fetch_add(1, Ordering::SeqCst);
+                let ctx = ConnCtx {
+                    exec: ExecCtx {
+                        store: front.clone(),
+                        registry: registry.clone(),
+                        telemetry: telemetry.clone(),
+                        coalesce_puts: config.coalesce_puts,
+                    },
+                    shutdown: Arc::clone(&shutdown),
+                    active: Arc::clone(&active),
+                    max_frame_body: config.max_frame_body,
+                    read_timeout: config.read_timeout,
+                };
+                match std::thread::Builder::new()
+                    .name("e2nvm-conn".into())
+                    .spawn(move || ctx.run(stream))
+                {
+                    Ok(handle) => workers.push(handle),
+                    Err(_) => {
+                        // Spawn failed (resource exhaustion): undo the
+                        // accounting; the stream drops and the client
+                        // sees a close.
+                        telemetry.connections_active.sub(1);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    if let Some(reg) = &registry {
+        reg.journal().record(e2nvm_telemetry::Event::ServerStopped {
+            connections_served: served,
+        });
+    }
+    served
+}
+
+/// Send a BUSY error frame (best effort) and close.
+pub(crate) fn reject_busy(mut stream: TcpStream) {
+    let mut out = Vec::new();
+    encode_response(
+        &Response::Error {
+            status: Status::Busy,
+            retired: 0,
+            message: "connection limit reached".into(),
+        },
+        None,
+        &mut out,
+    );
+    let _ = stream.write_all(&out);
+}
+
+/// Everything one connection thread needs.
+struct ConnCtx {
+    exec: ExecCtx,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    max_frame_body: usize,
+    read_timeout: Duration,
+}
+
+impl ConnCtx {
+    fn run(mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        self.serve_connection(stream);
+        self.exec.telemetry.connections_active.sub(1);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn serve_connection(&mut self, mut stream: TcpStream) {
+        if stream.set_read_timeout(Some(self.read_timeout)).is_err() {
+            return;
+        }
+        let mut decoder = FrameDecoder::new(self.max_frame_body);
+        let mut rdbuf = vec![0u8; 16 * 1024];
+        let mut outbuf: Vec<u8> = Vec::with_capacity(4096);
+        let mut items: Vec<Work> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                // Everything received before shutdown was answered at
+                // the end of its read batch; nothing is in flight.
+                return;
+            }
+            let n = match stream.read(&mut rdbuf) {
+                Ok(0) => return, // peer closed
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            self.exec.telemetry.bytes_read.add(n as u64);
+            decoder.extend(&rdbuf[..n]);
+            // One read's worth of frames = one batch: collect, execute
+            // in order, flush once.
+            items.clear();
+            let end = collect_work(&mut decoder, &mut items);
+            let outcome = self.exec.exec_batch(items.drain(..), &mut outbuf);
+            if outcome.shutdown {
+                self.shutdown.store(true, Ordering::SeqCst);
+            }
+            if !outbuf.is_empty() {
+                self.exec.telemetry.bytes_written.add(outbuf.len() as u64);
+                if stream.write_all(&outbuf).is_err() {
+                    return;
+                }
+                outbuf.clear();
+            }
+            if outcome.close || end == CollectEnd::Fatal {
+                return;
+            }
+        }
+    }
+}

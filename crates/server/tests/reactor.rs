@@ -1,0 +1,280 @@
+//! Reactor-specific behavior the threaded baseline never had to prove:
+//! slow-loris byte trickles, backpressure under a pipelined flood,
+//! idle connections riding alongside active ones, prompt drain, and
+//! the BUSY cliff at the connection limit. Everything here runs
+//! against `Server` (the reactor on Linux, the threaded fallback
+//! elsewhere) — the wire-visible behavior must hold either way, with
+//! the drain-promptness pin being the one reactor-only guarantee.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use e2nvm_server::frame::{
+    encode_request, parse_response, FrameDecoder, Request, Response, Status, DEFAULT_MAX_BODY,
+};
+use e2nvm_server::{demo::demo_store, Client, Server, ServerConfig, ServerHandle};
+
+fn start_server(config: ServerConfig) -> ServerHandle {
+    let store = demo_store(2, 64, 32, 11);
+    Server::new(store, config)
+        .start()
+        .expect("server binds an ephemeral port")
+}
+
+/// Read exactly `n` responses off `stream`, in order.
+fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<Response> {
+    let mut dec = FrameDecoder::new(DEFAULT_MAX_BODY);
+    let mut out = Vec::with_capacity(n);
+    let mut chunk = [0u8; 16 * 1024];
+    while out.len() < n {
+        if let Some(frame) = dec.next_frame().expect("response frames are well-formed") {
+            out.push(parse_response(&frame).expect("response parses"));
+            continue;
+        }
+        let read = stream.read(&mut chunk).expect("read from server");
+        assert!(
+            read > 0,
+            "server closed with {} responses owed",
+            n - out.len()
+        );
+        dec.extend(&chunk[..read]);
+    }
+    out
+}
+
+/// A request stream dribbled in one byte at a time must decode — and
+/// answer — exactly like the same bytes in one write. This is the
+/// partial-frame path: every header and body split lands mid-field at
+/// least once.
+#[test]
+fn slow_loris_byte_trickle_is_served_identically() {
+    let handle = start_server(ServerConfig::default());
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+
+    let mut bytes = Vec::new();
+    encode_request(&Request::Ping, &mut bytes);
+    encode_request(&Request::Get { key: 999_999 }, &mut bytes);
+    encode_request(
+        &Request::Put {
+            key: 7,
+            value: b"trickled".to_vec(),
+        },
+        &mut bytes,
+    );
+    encode_request(&Request::Get { key: 7 }, &mut bytes);
+
+    for byte in &bytes {
+        s.write_all(std::slice::from_ref(byte)).unwrap();
+    }
+    let responses = read_responses(&mut s, 4);
+    assert_eq!(responses[0], Response::Pong);
+    assert_eq!(responses[1], Response::NotFound);
+    assert_eq!(responses[2], Response::Stored);
+    assert_eq!(responses[3], Response::Value(b"trickled".to_vec()));
+
+    drop(s);
+    handle.shutdown();
+    handle.join();
+}
+
+/// A connection that floods far past the per-connection queue bound
+/// gets every response, in order — backpressure pauses its reads
+/// instead of dropping it or corrupting the pipeline.
+#[test]
+fn flood_past_queue_bound_is_answered_in_order() {
+    let config = ServerConfig::builder()
+        .queue_depth(2)
+        .build()
+        .expect("tiny queue bound is valid");
+    let handle = start_server(config);
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+
+    // A small rotating key set keeps the demo store inside its segment
+    // budget while the pipeline floods; ordered execution guarantees
+    // each GET observes the PUT immediately before it, not a later
+    // overwrite of the same key.
+    const FLOOD: usize = 500;
+    const KEYS: u64 = 8;
+    let mut bytes = Vec::new();
+    for i in 0..FLOOD {
+        let key = i as u64 % KEYS;
+        encode_request(
+            &Request::Put {
+                key,
+                value: format!("v{i}").into_bytes(),
+            },
+            &mut bytes,
+        );
+        encode_request(&Request::Get { key }, &mut bytes);
+    }
+    s.write_all(&bytes).unwrap();
+
+    let responses = read_responses(&mut s, FLOOD * 2);
+    for i in 0..FLOOD {
+        assert_eq!(responses[2 * i], Response::Stored, "PUT {i}");
+        assert_eq!(
+            responses[2 * i + 1],
+            Response::Value(format!("v{i}").into_bytes()),
+            "GET {i}"
+        );
+    }
+
+    drop(s);
+    handle.shutdown();
+    handle.join();
+}
+
+/// With telemetry built, the flood above must actually exercise the
+/// pause path (not just happen to keep up).
+#[cfg(all(feature = "telemetry", target_os = "linux"))]
+#[test]
+fn flood_past_queue_bound_pauses_reads() {
+    use e2nvm_telemetry::TelemetryRegistry;
+
+    let store = demo_store(2, 64, 32, 11);
+    let registry = TelemetryRegistry::new();
+    let config = ServerConfig::builder()
+        .queue_depth(2)
+        .build()
+        .expect("tiny queue bound is valid");
+    let handle = Server::new(store, config)
+        .with_telemetry(&registry)
+        .start()
+        .expect("server binds an ephemeral port");
+
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    // Rotate a small key set (stays inside the demo store's segment
+    // budget); the 400-deep pipeline against queue_depth=2 is what
+    // forces the pause.
+    let pairs: Vec<(u64, Vec<u8>)> = (0..400u64).map(|i| (i % 8, vec![i as u8; 16])).collect();
+    client.put_many(&pairs).expect("flooded puts all answered");
+    let metrics = client.metrics().expect("METRICS frame");
+
+    let paused: f64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("e2nvm_server_reads_paused_total "))
+        .expect("reactor publishes the reads-paused series")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(
+        paused > 0.0,
+        "a 400-deep pipeline against a 2-item queue bound never paused reads"
+    );
+
+    drop(client);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Idle connections cost nothing and break nothing: requests on an
+/// active connection are served normally while many idle sockets sit
+/// registered, and the idle sockets stay open throughout.
+#[test]
+fn idle_connections_ride_alongside_active_ones() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let idle: Vec<TcpStream> = (0..32).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let mut client = Client::connect(addr).unwrap();
+    for i in 0..50u64 {
+        client.put(i, format!("busy{i}").as_bytes()).unwrap();
+        assert_eq!(
+            client.get(i).unwrap(),
+            Some(format!("busy{i}").into_bytes())
+        );
+    }
+    // The idle sockets were never closed under us: a request on one is
+    // still served.
+    let mut late = idle.into_iter().next().unwrap();
+    let mut ping = Vec::new();
+    encode_request(&Request::Ping, &mut ping);
+    late.write_all(&ping).unwrap();
+    assert_eq!(read_responses(&mut late, 1)[0], Response::Pong);
+
+    drop(client);
+    drop(late);
+    handle.shutdown();
+    handle.join();
+}
+
+/// The drain-latency regression pin (the threaded engine's cliff): a
+/// server configured with a long read timeout and a fleet of idle
+/// connections must still shut down promptly. Under the old
+/// thread-per-connection model each idle connection's thread noticed
+/// the flag only at its next read timeout, so this exact scenario took
+/// up to `read_timeout` (5s here); the reactor's eventfd wakeup plus
+/// drain walk retires it in milliseconds.
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_drain_is_prompt_despite_long_read_timeout() {
+    let config = ServerConfig::builder()
+        .read_timeout(Duration::from_secs(5))
+        .build()
+        .expect("long liveness tick is valid");
+    let handle = start_server(config);
+    let addr = handle.local_addr();
+
+    let _idle: Vec<TcpStream> = (0..8).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.ping().is_ok());
+    drop(client);
+
+    handle.shutdown();
+    let t0 = Instant::now();
+    let served = handle.join();
+    let drain = t0.elapsed();
+    assert!(
+        served >= 9,
+        "expected >= 9 connections served, got {served}"
+    );
+    assert!(
+        drain < Duration::from_secs(1),
+        "drain took {drain:?}; the reactor must not wait out read timeouts"
+    );
+}
+
+/// Past `max_connections` the next client is still told why: a BUSY
+/// error frame, then close — the fd-exhaustion backstop kept from the
+/// threaded model (ordinary overload is handled by backpressure long
+/// before this).
+#[test]
+fn busy_frame_past_max_connections() {
+    let config = ServerConfig::builder()
+        .max_connections(2)
+        .build()
+        .expect("tiny connection limit is valid");
+    let handle = start_server(config);
+    let addr = handle.local_addr();
+
+    // Fill the limit and prove both are registered (served a request).
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    assert!(a.ping().is_ok());
+    assert!(b.ping().is_ok());
+
+    let mut rejected = TcpStream::connect(addr).unwrap();
+    rejected
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    match &read_responses(&mut rejected, 1)[0] {
+        Response::Error { status, .. } => assert_eq!(*status, Status::Busy),
+        other => panic!("expected BUSY error frame, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    rejected
+        .read_to_end(&mut rest)
+        .expect("rejected connection closes cleanly");
+    assert!(rest.is_empty(), "nothing follows the BUSY frame");
+
+    // The registered connections were untouched by the reject.
+    assert!(a.ping().is_ok());
+    assert!(b.ping().is_ok());
+
+    drop(a);
+    drop(b);
+    handle.shutdown();
+    handle.join();
+}
