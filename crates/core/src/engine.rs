@@ -63,6 +63,23 @@ impl PredictionStats {
     }
 }
 
+/// Everything an engine must remember across a restart, in a
+/// serialization-friendly shape: the trained model artifact
+/// ([`E2Model::to_bytes`]), the permanently retired segments, and the
+/// key index. The DAP free lists and `live` reference counts are *not*
+/// part of the state — they are derived (free = not retired ∧ not
+/// indexed, classified by the restored model), which keeps the
+/// persisted format independent of in-memory bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineState {
+    /// Serialized model ([`E2Model::to_bytes`]).
+    pub model: Vec<u8>,
+    /// Permanently retired segments, ascending.
+    pub retired: Vec<SegmentId>,
+    /// Index entries as `(key, segment, byte offset, length)`.
+    pub entries: Vec<(u64, SegmentId, usize, usize)>,
+}
+
 /// The E2-NVM engine.
 pub struct E2Engine {
     cfg: E2Config,
@@ -649,6 +666,105 @@ impl E2Engine {
     /// retrainer).
     pub fn training_snapshot(&self) -> Vec<Vec<u8>> {
         self.free_snapshot().into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Export the engine's durable state (model, retirement, index) for
+    /// persistence. Device contents and wear live in the device image
+    /// (`e2nvm_sim::snapshot`); together the two reconstruct the engine
+    /// via [`E2Engine::restore_state`]. Fails with
+    /// [`E2Error::NotTrained`] before the first training — an untrained
+    /// engine has nothing worth persisting.
+    pub fn export_state(&self) -> Result<EngineState> {
+        let model = self.model.as_ref().ok_or(E2Error::NotTrained)?;
+        Ok(EngineState {
+            model: model.to_bytes(),
+            retired: self.dap.retired_segments(),
+            entries: self
+                .index
+                .iter()
+                .map(|(&k, e)| (k, e.seg, e.off, e.len))
+                .collect(),
+        })
+    }
+
+    /// Restore a previously exported state onto a *fresh* engine whose
+    /// controller was rebuilt from the matching device image. Installs
+    /// the model without retraining, re-retires dead segments, rebuilds
+    /// the index and live counts, and reconstructs the DAP free lists
+    /// from first principles (free = not retired ∧ not indexed,
+    /// classified by the restored model against the device's current
+    /// contents).
+    pub fn restore_state(&mut self, state: &EngineState) -> Result<()> {
+        if self.model.is_some() || !self.index.is_empty() {
+            return Err(E2Error::Config(
+                "restore_state requires a freshly constructed engine".into(),
+            ));
+        }
+        let model = E2Model::from_bytes(&state.model)
+            .map_err(|e| E2Error::Config(format!("restore_state: bad model artifact: {e}")))?;
+        if model.input_bits() != self.cfg.input_bits() {
+            return Err(E2Error::Config(format!(
+                "restore_state: model expects {} input bits, config provides {}",
+                model.input_bits(),
+                self.cfg.input_bits()
+            )));
+        }
+        let num_segments = self.controller.num_segments();
+        for &seg in &state.retired {
+            if seg.index() >= num_segments {
+                return Err(E2Error::Config(format!(
+                    "restore_state: retired {seg} out of range ({num_segments} segments)"
+                )));
+            }
+        }
+        let mut per_seg: HashMap<SegmentId, usize> = HashMap::new();
+        for &(key, seg, off, len) in &state.entries {
+            if seg.index() >= num_segments {
+                return Err(E2Error::Config(format!(
+                    "restore_state: key {key} on out-of-range {seg}"
+                )));
+            }
+            if off + len > self.cfg.segment_bytes {
+                return Err(E2Error::Config(format!(
+                    "restore_state: key {key} spans [{off}, {}) past segment size {}",
+                    off + len,
+                    self.cfg.segment_bytes
+                )));
+            }
+            if state.retired.contains(&seg) {
+                return Err(E2Error::Config(format!(
+                    "restore_state: key {key} lives on retired {seg}"
+                )));
+            }
+            if self.index.insert(key, Entry { seg, off, len }).is_some() {
+                self.index.clear();
+                return Err(E2Error::Config(format!(
+                    "restore_state: duplicate key {key}"
+                )));
+            }
+            *per_seg.entry(seg).or_insert(0) += 1;
+        }
+        for &seg in &state.retired {
+            self.dap.retire(seg);
+        }
+        // Singly-occupied segments are represented by *absence* from the
+        // live map (see the `live` field docs), so only packed segments
+        // carry a count.
+        self.live = per_seg
+            .iter()
+            .filter(|&(_, &count)| count >= 2)
+            .map(|(&seg, &count)| (seg, count))
+            .collect();
+        let free: Vec<(SegmentId, Vec<u8>)> = (0..num_segments)
+            .map(SegmentId)
+            .filter(|seg| !self.dap.is_retired(*seg) && !per_seg.contains_key(seg))
+            .map(|seg| {
+                let content = self.controller.peek(seg).expect("in range").to_vec();
+                (seg, content)
+            })
+            .collect();
+        self.install_model(model, &free);
+        Ok(())
     }
 }
 

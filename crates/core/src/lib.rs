@@ -59,7 +59,7 @@ pub use batch::{Batch, BatchAccumulator};
 pub use concurrent::SharedEngine;
 pub use config::{E2Config, E2ConfigBuilder};
 pub use dap::{DapError, DynamicAddressPool};
-pub use engine::{E2Engine, PredictionStats};
+pub use engine::{E2Engine, EngineState, PredictionStats};
 pub use error::{E2Error, Result};
 pub use incremental::IncrementalIndexer;
 pub use kselect::{sweep_k, KSelection, KSweepPoint};

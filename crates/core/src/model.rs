@@ -122,11 +122,19 @@ impl E2Model {
     }
 
     /// Save to a file.
+    #[deprecated(
+        note = "use the unified persistence facade: `e2nvm_persist::save_model` \
+                (re-exported as `e2nvm::persist::save_model`)"
+    )]
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_bytes())
     }
 
     /// Load from a file.
+    #[deprecated(
+        note = "use the unified persistence facade: `e2nvm_persist::load_model` \
+                (re-exported as `e2nvm::persist::load_model`)"
+    )]
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let bytes = std::fs::read(path)?;
         Self::from_bytes(&bytes)
@@ -235,6 +243,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn save_load_file_roundtrip() {
         let mut rng = seeded(10);
         let contents = clustered_segments(20, 16, &mut rng);

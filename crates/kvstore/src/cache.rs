@@ -700,6 +700,16 @@ impl<S: NvmKvStore> NvmKvStore for CachedKvStore<S> {
         self.inner.maintenance();
     }
 
+    fn flush(&mut self) -> Result<u64> {
+        // Snapshotting reads state, it doesn't change it — cached
+        // entries stay valid, so no invalidation is needed.
+        self.inner.flush()
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        self.inner.commit()
+    }
+
     fn telemetry(&self) -> Option<&TelemetryRegistry> {
         self.cache
             .telemetry()

@@ -25,7 +25,7 @@ pub mod wisckey;
 
 pub use btree::BPlusTree;
 pub use cache::{CacheConfig, CacheConfigBuilder, CacheStats, CachedKvStore, HotCache};
-pub use e2store::{E2KvStore, ShardedE2KvStore};
+pub use e2store::{E2KvStore, RecoveryReport, ShardedE2KvStore};
 pub use fptree::FpTree;
 pub use novelsm::NoveLsm;
 pub use path_hashing::PathHashing;

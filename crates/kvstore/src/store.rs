@@ -43,6 +43,21 @@ pub enum StoreError {
     /// E2 engine failure (the original error, not a rendered string, so
     /// callers can still match on the cause).
     Engine(E2Error),
+    /// Persistence-layer failure (WAL append, snapshot IO, recovery
+    /// decode). Rendered to a string because IO errors are not
+    /// `Clone`/`PartialEq`; match [`StoreError::WearLevelingActive`]
+    /// for the one persistence refusal callers act on programmatically.
+    Persistence(String),
+    /// Snapshot refused: a wear-leveling policy with live remaps is
+    /// active, so the engine's segment ids are logical, not physical —
+    /// a restored snapshot would pin retirement and placement state to
+    /// the wrong physical segments (DESIGN.md §10). Disable wear
+    /// leveling (`MemoryController::without_wear_leveling`) on stores
+    /// that need snapshots.
+    WearLevelingActive {
+        /// `MemoryController::wear_leveling_name()` of the active policy.
+        policy: &'static str,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -57,6 +72,13 @@ impl std::fmt::Display for StoreError {
             StoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             StoreError::Sim(e) => write!(f, "device error: {e}"),
             StoreError::Engine(e) => write!(f, "E2 engine error: {e}"),
+            StoreError::Persistence(msg) => write!(f, "persistence error: {msg}"),
+            StoreError::WearLevelingActive { policy } => write!(
+                f,
+                "snapshot refused: wear-leveling policy '{policy}' is active and its \
+                 remaps would make restored retirement state point at the wrong \
+                 physical segments (DESIGN.md §10); snapshots require identity mapping"
+            ),
         }
     }
 }
@@ -84,6 +106,17 @@ impl From<E2Error> for StoreError {
             E2Error::PoolDepleted { retired } => StoreError::Degraded { retired },
             E2Error::Sim(e) => StoreError::Sim(e),
             other => StoreError::Engine(other),
+        }
+    }
+}
+
+impl From<e2nvm_persist::PersistError> for StoreError {
+    fn from(e: e2nvm_persist::PersistError) -> Self {
+        match e {
+            e2nvm_persist::PersistError::WearLevelingActive { policy } => {
+                StoreError::WearLevelingActive { policy }
+            }
+            other => StoreError::Persistence(other.to_string()),
         }
     }
 }

@@ -69,6 +69,25 @@ pub trait NvmKvStore {
     /// paper's lazy background retraining); a no-op otherwise.
     fn maintenance(&mut self) {}
 
+    /// Force durable state to stable storage: take a snapshot and fsync
+    /// the WALs, returning the snapshot bytes written. Stores without a
+    /// persistence layer configured return `Ok(0)` — a documented no-op,
+    /// so the wire protocol's FLUSH frame is safe against any store.
+    fn flush(&mut self) -> Result<u64> {
+        Ok(0)
+    }
+
+    /// Group-commit barrier: hand every WAL record buffered by the
+    /// mutations since the last call to the kernel (one `write(2)` per
+    /// dirty shard). The serving layer calls this once per pipelined
+    /// request batch, **before** the batch's acknowledgements are
+    /// flushed to the socket — that ordering is what makes an acked
+    /// write survive a process kill. Stores without persistence keep
+    /// the default no-op.
+    fn commit(&mut self) -> Result<()> {
+        Ok(())
+    }
+
     /// The telemetry registry this store publishes to, if one has been
     /// attached (e.g. [`crate::E2KvStore::attach_telemetry`]). Stores
     /// without instrumentation keep the default `None`.

@@ -89,6 +89,14 @@ impl MemoryController {
         self.leveler.name()
     }
 
+    /// Whether the active policy can remap logical→physical segments.
+    /// `false` only for the pass-through controller, whose mapping is
+    /// the identity forever — the property persistence relies on when
+    /// it snapshots logical retirement state (DESIGN.md §10 caveat).
+    pub fn wear_leveling_active(&self) -> bool {
+        self.leveler.period().is_some()
+    }
+
     fn physical(&self, logical: SegmentId) -> Result<SegmentId> {
         self.remap
             .get(logical.index())

@@ -493,6 +493,20 @@ impl NvmDevice {
             .map_err(SimError::InvalidConfig)
     }
 
+    /// Restore fault-model state (lifetime programmed-bit totals, worn
+    /// flags, transient-draw position) from a persisted device image.
+    /// The device must have been built with the matching
+    /// [`crate::FaultConfig`], so the re-drawn endurance limits equal
+    /// the ones the persisted totals were accumulated against.
+    pub fn restore_fault(&mut self, programmed: &[u64], worn: &[bool], draws: u64) -> Result<()> {
+        match &mut self.fault {
+            Some(f) => f.restore_state(programmed, worn, draws),
+            None => Err(SimError::InvalidConfig(
+                "cannot restore fault state: device has no fault model configured".into(),
+            )),
+        }
+    }
+
     /// Enable write tracing.
     pub fn enable_trace(&mut self) {
         self.trace = Some(WriteTrace::default());

@@ -206,6 +206,47 @@ impl FaultModel {
         &self.stats
     }
 
+    /// Per-segment lifetime programmed-bit totals, for persistence.
+    /// Endurance limits are *not* part of the mutable state: they are
+    /// re-derived deterministically from the config on restore.
+    pub fn programmed_totals(&self) -> &[u64] {
+        &self.programmed
+    }
+
+    /// Per-segment worn-out flags, for persistence.
+    pub fn worn_flags(&self) -> &[bool] {
+        &self.worn
+    }
+
+    /// Position in the transient-failure draw stream, for persistence.
+    pub fn draw_count(&self) -> u64 {
+        self.draws
+    }
+
+    /// Restore the mutable fault state from a persisted image. The
+    /// endurance limits stay as drawn from this model's config (same
+    /// seed ⇒ same limits), so only the lifetime totals, worn flags and
+    /// the draw-stream position move. [`FaultStats`] are measurement
+    /// state and reset, except `worn_out_segments`, which must stay
+    /// consistent with the restored flags.
+    pub fn restore_state(&mut self, programmed: &[u64], worn: &[bool], draws: u64) -> Result<()> {
+        if programmed.len() != self.programmed.len() || worn.len() != self.worn.len() {
+            return Err(SimError::InvalidConfig(format!(
+                "fault state for {} segments does not fit a {}-segment model",
+                programmed.len(),
+                self.programmed.len()
+            )));
+        }
+        self.programmed.copy_from_slice(programmed);
+        self.worn.copy_from_slice(worn);
+        self.draws = draws;
+        self.stats = FaultStats {
+            worn_out_segments: worn.iter().filter(|&&w| w).count() as u64,
+            ..FaultStats::default()
+        };
+        Ok(())
+    }
+
     /// Account a rejected write to an already worn-out segment.
     pub(crate) fn record_rejection(&mut self) {
         self.stats.worn_out_rejections += 1;

@@ -1,23 +1,31 @@
 //! Device image persistence: save and restore the simulated NVM's
-//! contents **and wear state** across process restarts — the property
-//! that makes persistent memory persistent. Examples and long-running
-//! experiments use this to resume pools without replaying history.
+//! contents, **wear state and fault state** across process restarts —
+//! the property that makes persistent memory persistent. Examples and
+//! long-running experiments use this to resume pools without replaying
+//! history; the `e2nvm-persist` crate embeds these images in its
+//! full-system snapshots.
 //!
 //! Format (little-endian): magic `E2DV`, version, geometry, flags,
-//! energy/latency parameters, pool bytes, then the optional wear
-//! counter arrays. Cumulative [`crate::DeviceStats`] are *not* stored:
-//! they are measurement state, not device state.
+//! energy/latency parameters, pool bytes, the optional wear counter
+//! arrays, then (version ≥ 2) the optional fault-model section: its
+//! config, the transient-draw position, and the per-segment lifetime
+//! programmed-bit totals and worn flags. Endurance *limits* are not
+//! stored — they are re-drawn deterministically from the persisted
+//! config. Cumulative [`crate::DeviceStats`] are *not* stored either:
+//! they are measurement state, not device state. Version-1 images
+//! (no fault section) are still read.
 
 use crate::config::{DeviceConfig, WearTracking};
 use crate::device::{NvmDevice, SegmentId};
 use crate::energy::EnergyParams;
 use crate::error::{Result, SimError};
+use crate::fault::FaultConfig;
 use crate::latency::LatencyParams;
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"E2DV";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -36,11 +44,13 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
-            return Err(SimError::InvalidConfig("device image truncated".into()));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| SimError::InvalidConfig("device image truncated".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
     fn u16(&mut self) -> Result<u16> {
@@ -107,17 +117,42 @@ pub fn to_image(device: &NvmDevice) -> Vec<u8> {
         }
         None => put_u64(&mut buf, 0),
     }
+    // Fault-model section (version 2): config + mutable state. Limits
+    // are re-drawn from the config on restore.
+    match device.fault_state() {
+        Some(f) => {
+            buf.push(1);
+            let fc = f.config();
+            put_u64(&mut buf, fc.seed);
+            put_u64(&mut buf, fc.endurance_bits);
+            put_f64(&mut buf, fc.endurance_shape);
+            put_f64(&mut buf, fc.transient_rate);
+            put_u64(&mut buf, f.draw_count());
+            put_u64(&mut buf, f.programmed_totals().len() as u64);
+            for &p in f.programmed_totals() {
+                put_u64(&mut buf, p);
+            }
+            for &w in f.worn_flags() {
+                buf.push(u8::from(w));
+            }
+        }
+        None => buf.push(0),
+    }
     buf
 }
 
-/// Rebuild a device from an image produced by [`to_image`].
+/// Rebuild a device from an image produced by [`to_image`] (current or
+/// version-1, fault-section-free).
 pub fn from_image(image: &[u8]) -> Result<NvmDevice> {
     let mut c = Cursor { buf: image, pos: 0 };
     if c.take(4)? != MAGIC {
         return Err(SimError::InvalidConfig("not a device image".into()));
     }
-    if c.u16()? != VERSION {
-        return Err(SimError::InvalidConfig("unknown image version".into()));
+    let version = c.u16()?;
+    if !(1..=VERSION).contains(&version) {
+        return Err(SimError::InvalidConfig(format!(
+            "unknown device image version {version}"
+        )));
     }
     let segment_bytes = c.u64()? as usize;
     let num_segments = c.u64()? as usize;
@@ -138,7 +173,49 @@ pub fn from_image(image: &[u8]) -> Result<NvmDevice> {
     for v in &mut f {
         *v = c.f64()?;
     }
-    let cfg = DeviceConfig::builder()
+    let pool_bytes = num_segments
+        .checked_mul(segment_bytes)
+        .ok_or_else(|| SimError::InvalidConfig("device image geometry overflows".into()))?;
+    let contents = c.take(pool_bytes)?;
+    // Wear counters.
+    let n_seg_counters = c.u64()? as usize;
+    let mut seg_counters = Vec::with_capacity(n_seg_counters.min(1 << 20));
+    for _ in 0..n_seg_counters {
+        seg_counters.push(u32::from_le_bytes(c.take(4)?.try_into().expect("4")));
+    }
+    let n_bit_counters = c.u64()? as usize;
+    let bit_counters = c.take(n_bit_counters)?.to_vec();
+    // Fault-model section (absent in version-1 images).
+    let fault = if version >= 2 && c.take(1)?[0] != 0 {
+        let cfg = FaultConfig {
+            seed: c.u64()?,
+            endurance_bits: c.u64()?,
+            endurance_shape: c.f64()?,
+            transient_rate: c.f64()?,
+        };
+        cfg.validate()?;
+        let draws = c.u64()?;
+        let n = c.u64()? as usize;
+        if n != num_segments {
+            return Err(SimError::InvalidConfig(format!(
+                "fault state covers {n} segments but the device has {num_segments}"
+            )));
+        }
+        let mut programmed = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            programmed.push(c.u64()?);
+        }
+        let worn: Vec<bool> = c.take(n)?.iter().map(|&b| b != 0).collect();
+        Some((cfg, draws, programmed, worn))
+    } else {
+        None
+    };
+    if c.pos != image.len() {
+        return Err(SimError::InvalidConfig(
+            "trailing bytes after device image".into(),
+        ));
+    }
+    let mut builder = DeviceConfig::builder()
         .segment_bytes(segment_bytes)
         .num_segments(num_segments)
         .cache_line_bytes(cache_line_bytes)
@@ -160,37 +237,39 @@ pub fn from_image(image: &[u8]) -> Result<NvmDevice> {
             write_line_ns: f[9],
             read_base_ns: f[10],
             read_line_ns: f[11],
-        })
-        .build()?;
-    let mut device = NvmDevice::new(cfg);
+        });
+    if let Some((fc, _, _, _)) = &fault {
+        builder = builder.fault(fc.clone());
+    }
+    let mut device = NvmDevice::new(builder.build()?);
     for i in 0..num_segments {
-        let data = c.take(segment_bytes)?.to_vec();
-        device.seed_segment(SegmentId(i), &data)?;
+        device.seed_segment(
+            SegmentId(i),
+            &contents[i * segment_bytes..(i + 1) * segment_bytes],
+        )?;
     }
-    // Wear counters.
-    let n_seg_counters = c.u64()? as usize;
-    let mut seg_counters = Vec::with_capacity(n_seg_counters);
-    for _ in 0..n_seg_counters {
-        seg_counters.push(u32::from_le_bytes(c.take(4)?.try_into().expect("4")));
-    }
-    let n_bit_counters = c.u64()? as usize;
-    let bit_counters = c.take(n_bit_counters)?.to_vec();
     device.restore_wear(&seg_counters, &bit_counters)?;
-    if c.pos != image.len() {
-        return Err(SimError::InvalidConfig(
-            "trailing bytes after device image".into(),
-        ));
+    if let Some((_, draws, programmed, worn)) = fault {
+        device.restore_fault(&programmed, &worn, draws)?;
     }
     Ok(device)
 }
 
 /// Save a device image to a file.
+#[deprecated(
+    note = "use the unified persistence facade: `e2nvm_persist::save_device` \
+            (re-exported as `e2nvm::persist::save_device`)"
+)]
 pub fn save(device: &NvmDevice, path: impl AsRef<Path>) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
     file.write_all(&to_image(device))
 }
 
 /// Load a device image from a file.
+#[deprecated(
+    note = "use the unified persistence facade: `e2nvm_persist::load_device` \
+            (re-exported as `e2nvm::persist::load_device`)"
+)]
 pub fn load(path: impl AsRef<Path>) -> std::io::Result<NvmDevice> {
     let mut buf = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut buf)?;
@@ -242,6 +321,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn file_roundtrip() {
         let dev = worn_device();
         let path = std::env::temp_dir().join("e2nvm_device_image_test.bin");
@@ -249,6 +329,55 @@ mod tests {
         let restored = load(&path).unwrap();
         assert_eq!(restored.peek(SegmentId(3)), dev.peek(SegmentId(3)));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_state_roundtrips_through_image() {
+        let cfg = DeviceConfig::builder()
+            .segment_bytes(64)
+            .num_segments(4)
+            .block_bytes(64)
+            .fault(crate::fault::FaultConfig {
+                seed: 7,
+                endurance_bits: 2048,
+                endurance_shape: 3.0,
+                transient_rate: 0.0,
+            })
+            .build()
+            .unwrap();
+        let mut dev = NvmDevice::new(cfg);
+        // Wear segment 0 out; accumulate partial wear on segment 1.
+        loop {
+            let a = dev.write(SegmentId(0), &[0xFFu8; 64]);
+            let b = dev.write(SegmentId(0), &[0x00u8; 64]);
+            if a.is_err() || b.is_err() {
+                break;
+            }
+        }
+        dev.write(SegmentId(1), &[0xA5u8; 64]).unwrap();
+        let orig = dev.fault_state().unwrap();
+        let restored = from_image(&to_image(&dev)).unwrap();
+        let f = restored.fault_state().unwrap();
+        assert_eq!(f.config(), orig.config());
+        assert_eq!(f.programmed_totals(), orig.programmed_totals());
+        assert_eq!(f.worn_flags(), orig.worn_flags());
+        assert_eq!(f.draw_count(), orig.draw_count());
+        assert!(restored.is_worn_out(SegmentId(0)));
+        assert_eq!(restored.worn_out_count(), 1);
+        // Worn segments keep rejecting writes after restore.
+        assert!(restored.clone().write(SegmentId(0), &[0x11u8; 64]).is_err());
+    }
+
+    #[test]
+    fn v1_images_without_fault_section_still_load() {
+        let dev = worn_device();
+        let mut image = to_image(&dev);
+        // Rewrite the version to 1 and drop the trailing fault tag.
+        image[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(image.pop(), Some(0), "fault tag of a faultless device");
+        let restored = from_image(&image).unwrap();
+        assert_eq!(restored.peek(SegmentId(3)), dev.peek(SegmentId(3)));
+        assert!(restored.fault_state().is_none());
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Typed persistence errors.
+
+use std::fmt;
+
+/// Everything that can go wrong while persisting or recovering state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A persisted artifact failed structural validation (bad magic,
+    /// unknown version, truncation, checksum mismatch, ...).
+    Corrupt(String),
+    /// The persisted state does not fit the runtime it is being
+    /// restored into (geometry or shard-count mismatch).
+    Mismatch(String),
+    /// Snapshotting was refused because the memory controller's
+    /// wear-leveling policy can remap logical→physical segments, so
+    /// restored retirement state (kept on logical ids, DESIGN.md §10)
+    /// could point at the wrong physical segments after a restart.
+    WearLevelingActive {
+        /// Name of the active wear-leveling policy.
+        policy: &'static str,
+    },
+    /// A snapshot was requested but the engine has never been trained —
+    /// there is no model or placement state worth persisting yet.
+    NotTrained,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persistence I/O error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt persistence artifact: {msg}"),
+            PersistError::Mismatch(msg) => write!(f, "persisted state mismatch: {msg}"),
+            PersistError::WearLevelingActive { policy } => write!(
+                f,
+                "refusing to snapshot: wear-leveling policy '{policy}' remaps segments, \
+                 so logical retirement state would lie about physical segments after \
+                 restore (DESIGN.md §10); snapshot requires the identity mapping"
+            ),
+            PersistError::NotTrained => {
+                write!(f, "refusing to snapshot: engine has not been trained yet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PersistError>;

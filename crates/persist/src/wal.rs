@@ -1,0 +1,618 @@
+//! The write-ahead log: length-prefixed, CRC-checksummed mutation
+//! records with group-commit fsync and torn-tail truncation on replay.
+//!
+//! # Record format (little-endian)
+//!
+//! ```text
+//! [len: u32][crc32: u32][payload: len bytes]
+//! payload = op: u8 (1 = PUT, 2 = DELETE) · key: u64 · value bytes (PUT only)
+//! ```
+//!
+//! The CRC covers the payload. Replay reads records until the first
+//! truncated, oversized or checksum-failing record, then truncates the
+//! file to the last valid prefix — a crash mid-append can only ever
+//! cost the unacknowledged tail, never a previously acked record.
+//!
+//! # Durability model
+//!
+//! [`Wal::append`] encodes into an in-memory buffer; [`Wal::commit`]
+//! flushes everything buffered with **one** `write(2)` (group commit).
+//! The contract callers must keep: commit **before** the
+//! acknowledgements reach the client — the serving layer commits once
+//! per pipelined request batch, just before it flushes the batch's
+//! response frames to the socket. An acknowledged mutation has
+//! therefore always reached the kernel, so a **process kill** (SIGKILL,
+//! OOM, panic) loses nothing regardless of the flush policy; what dies
+//! with the process is only the uncommitted tail, whose acks never left
+//! the process either. `fsync` frequency, set by [`FlushPolicy`],
+//! only governs what a **machine crash** (power loss) can take with
+//! it — see the policy docs for the throughput trade-off. Dropping a
+//! `Wal` commits best-effort, so a graceful shutdown needs no explicit
+//! final commit.
+
+use crate::config::FlushPolicy;
+use crate::crc::crc32;
+use crate::telemetry::PersistTelemetry;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+/// One logged KV mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Full-value upsert.
+    Put {
+        /// The key.
+        key: u64,
+        /// The complete value (WAL records are full values, which makes
+        /// replay idempotent: re-applying a prefix is harmless).
+        value: Vec<u8>,
+    },
+    /// Key removal.
+    Delete {
+        /// The key.
+        key: u64,
+    },
+}
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+/// `op` byte + `key` u64: the smallest (and, for DELETE, the only)
+/// valid payload size.
+const PAYLOAD_MIN: usize = 9;
+/// Upper bound on a single record's payload; anything larger during
+/// replay is treated as corruption (a torn length field), not an
+/// allocation request.
+pub const MAX_RECORD_PAYLOAD: usize = 1 << 28;
+
+/// Append the wire encoding of `op` to `out`.
+pub fn encode_record(op: &WalOp, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 8]); // len + crc backpatched below
+    match op {
+        WalOp::Put { key, value } => {
+            out.push(OP_PUT);
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(value);
+        }
+        WalOp::Delete { key } => {
+            out.push(OP_DELETE);
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+    }
+    let payload_len = out.len() - start - 8;
+    let crc = crc32(&out[start + 8..]);
+    out[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decode one record starting at `buf[pos..]`. Returns the op and the
+/// position after it, or `None` when the bytes from `pos` on do not
+/// form a complete valid record (torn tail or corruption).
+fn decode_one(buf: &[u8], pos: usize) -> Option<(WalOp, usize)> {
+    let header = buf.get(pos..pos + 8)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4")) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4"));
+    if !(PAYLOAD_MIN..=MAX_RECORD_PAYLOAD).contains(&len) {
+        return None;
+    }
+    let payload = buf.get(pos + 8..pos + 8 + len)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    let key = u64::from_le_bytes(payload[1..9].try_into().expect("8"));
+    let op = match payload[0] {
+        OP_PUT => WalOp::Put {
+            key,
+            value: payload[9..].to_vec(),
+        },
+        OP_DELETE if len == PAYLOAD_MIN => WalOp::Delete { key },
+        _ => return None,
+    };
+    Some((op, pos + 8 + len))
+}
+
+/// Decode the longest valid record prefix of `buf`. Returns the decoded
+/// ops and the byte length of that prefix. Never panics, whatever the
+/// input.
+pub fn decode_records(buf: &[u8]) -> (Vec<WalOp>, usize) {
+    let mut ops = Vec::new();
+    let mut pos = 0;
+    while let Some((op, next)) = decode_one(buf, pos) {
+        ops.push(op);
+        pos = next;
+    }
+    (ops, pos)
+}
+
+/// The outcome of replaying a WAL file.
+#[derive(Debug)]
+pub struct Replay {
+    /// The decoded mutations, oldest first.
+    pub ops: Vec<WalOp>,
+    /// Bytes of the valid prefix the ops were decoded from.
+    pub valid_bytes: u64,
+    /// Bytes the file held before torn-tail truncation.
+    pub total_bytes: u64,
+}
+
+impl Replay {
+    /// Whether a torn tail was found (and truncated away).
+    pub fn torn(&self) -> bool {
+        self.valid_bytes < self.total_bytes
+    }
+}
+
+/// Read `path`, decode the longest valid record prefix, and truncate
+/// the file down to it (dropping a torn tail from a crash mid-append).
+/// A missing file is an empty log, not an error.
+pub fn replay_and_truncate(path: &Path) -> std::io::Result<Replay> {
+    let mut buf = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut buf)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Replay {
+                ops: Vec::new(),
+                valid_bytes: 0,
+                total_bytes: 0,
+            })
+        }
+        Err(e) => return Err(e),
+    }
+    let (ops, valid) = decode_records(&buf);
+    if valid < buf.len() {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(valid as u64)?;
+        f.sync_data()?;
+    }
+    Ok(Replay {
+        ops,
+        valid_bytes: valid as u64,
+        total_bytes: buf.len() as u64,
+    })
+}
+
+/// Background fsync service for [`FlushPolicy::EveryN`] logs.
+///
+/// `fdatasync` on a journaling filesystem costs hundreds of
+/// microseconds of *I/O wait*, not CPU — paying it inline on the
+/// serving path stalls every request behind it. A `WalSyncer` owns a
+/// thread that performs policy-triggered syncs on duplicated file
+/// descriptors (`fdatasync` on a dup'd fd flushes the same file), so
+/// the wait overlaps request serving. The `EveryN` power-loss bound
+/// becomes best-effort — a queued sync lands moments after its
+/// trigger, and a full queue skips a request because an earlier sync
+/// for the same log is still in flight (the next trigger re-arms) —
+/// which is exactly the contract `EveryN` documents. Policies with a
+/// hard bound ([`FlushPolicy::EveryAppend`]) never use the syncer.
+///
+/// Requests that queue up while a sync is in flight are **coalesced**:
+/// `fdatasync` flushes everything written to the file so far, so of
+/// several pending requests for the same log only the newest is
+/// performed. Under burst load the sync rate self-clocks to the
+/// device instead of multiplying.
+///
+/// Dropping the syncer drains the queue: every accepted request is
+/// performed before `drop` returns.
+#[derive(Debug)]
+pub struct WalSyncer {
+    tx: Option<SyncSender<(u64, File)>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A cloneable handle a [`Wal`] uses to hand sync requests to its
+/// store's [`WalSyncer`]. Carries the log's id so the syncer can
+/// coalesce stacked-up requests for the same log.
+#[derive(Debug, Clone)]
+pub struct SyncPort {
+    log_id: u64,
+    tx: SyncSender<(u64, File)>,
+}
+
+impl WalSyncer {
+    /// Spawn the sync thread. Completed syncs count into
+    /// `telemetry.wal_fsyncs`, same as inline syncs.
+    pub fn spawn(telemetry: PersistTelemetry) -> std::io::Result<Self> {
+        let (tx, rx) = sync_channel::<(u64, File)>(64);
+        let thread = std::thread::Builder::new()
+            .name("e2nvm-wal-sync".into())
+            .spawn(move || {
+                while let Ok(first) = rx.recv() {
+                    // Coalesce: of the requests that queued while we
+                    // were idle or syncing, keep only the newest per
+                    // log — `fdatasync` flushes everything written to
+                    // the file so far, so the newest covers the rest.
+                    let mut batch: Vec<(u64, File)> = vec![first];
+                    while let Ok(next) = rx.try_recv() {
+                        match batch.iter_mut().find(|(id, _)| *id == next.0) {
+                            Some(slot) => *slot = next,
+                            None => batch.push(next),
+                        }
+                    }
+                    for (_, file) in batch {
+                        if file.sync_data().is_ok() {
+                            telemetry.wal_fsyncs.inc();
+                        }
+                    }
+                }
+            })?;
+        Ok(Self {
+            tx: Some(tx),
+            thread: Some(thread),
+        })
+    }
+
+    /// A sender handle for the log identified by `log_id` (the shard
+    /// index, for a sharded store). Every port must be dropped before
+    /// the syncer's own drop can finish draining.
+    pub fn port(&self, log_id: u64) -> SyncPort {
+        SyncPort {
+            log_id,
+            tx: self.tx.clone().expect("syncer is live until dropped"),
+        }
+    }
+}
+
+impl Drop for WalSyncer {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// An open, append-mode WAL file with a flush policy.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FlushPolicy,
+    /// Records encoded but not yet handed to the kernel; drained by
+    /// [`Wal::commit`] with a single `write(2)`.
+    pending: Vec<u8>,
+    pending_records: u64,
+    records_since_sync: u64,
+    syncer: Option<SyncPort>,
+    telemetry: PersistTelemetry,
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path` for appending.
+    /// Callers recovering an existing log must run
+    /// [`replay_and_truncate`] *first* so appends land after the last
+    /// valid record.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        policy: FlushPolicy,
+        telemetry: PersistTelemetry,
+    ) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            file,
+            path,
+            policy,
+            pending: Vec::new(),
+            pending_records: 0,
+            records_since_sync: 0,
+            syncer: None,
+            telemetry,
+        })
+    }
+
+    /// Route this log's policy-triggered syncs to a background
+    /// [`WalSyncer`] instead of paying `fdatasync` inline on the
+    /// serving path. Only meaningful for [`FlushPolicy::EveryN`];
+    /// explicit [`Wal::sync`]/[`Wal::reset`] calls stay synchronous.
+    pub fn with_syncer(mut self, port: SyncPort) -> Self {
+        self.syncer = Some(port);
+        self
+    }
+
+    /// The file this log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Encode a batch of records into the in-memory pending buffer.
+    /// No syscall happens here — the records reach the kernel on the
+    /// next [`Wal::commit`], which must run before the mutations are
+    /// acknowledged to the client (the serving layer commits once per
+    /// pipelined request batch). Returns `io::Result` for call-site
+    /// symmetry with `commit`; buffering itself cannot fail.
+    pub fn append(&mut self, ops: &[WalOp]) -> std::io::Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.pending.reserve(ops.iter().fold(0, |n, op| {
+            n + 8
+                + match op {
+                    WalOp::Put { value, .. } => PAYLOAD_MIN + value.len(),
+                    WalOp::Delete { .. } => PAYLOAD_MIN,
+                }
+        }));
+        for op in ops {
+            encode_record(op, &mut self.pending);
+        }
+        self.pending_records += ops.len() as u64;
+        self.telemetry.wal_appends.add(ops.len() as u64);
+        Ok(())
+    }
+
+    /// [`Wal::append`] for a single PUT, encoding straight from the
+    /// borrowed value — no intermediate [`WalOp`] (and no value clone).
+    /// This is the store's per-mutation hot path.
+    pub fn append_put(&mut self, key: u64, value: &[u8]) -> std::io::Result<()> {
+        let start = self.pending.len();
+        self.pending.reserve(8 + PAYLOAD_MIN + value.len());
+        self.pending.extend_from_slice(&[0u8; 8]);
+        self.pending.push(OP_PUT);
+        self.pending.extend_from_slice(&key.to_le_bytes());
+        self.pending.extend_from_slice(value);
+        let payload_len = self.pending.len() - start - 8;
+        let crc = crc32(&self.pending[start + 8..]);
+        self.pending[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        self.pending[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+        self.pending_records += 1;
+        self.telemetry.wal_appends.inc();
+        Ok(())
+    }
+
+    /// [`Wal::append`] for a single DELETE, without a [`WalOp`].
+    pub fn append_delete(&mut self, key: u64) -> std::io::Result<()> {
+        self.append(&[WalOp::Delete { key }])
+    }
+
+    /// Hand every pending record to the kernel with **one** `write(2)`
+    /// (group commit), then fsync if the policy says so. When this
+    /// returns, every appended record survives a process kill; the
+    /// flush policy decides how many survive power loss.
+    pub fn commit(&mut self) -> std::io::Result<()> {
+        self.flush_pending()?;
+        match self.policy {
+            FlushPolicy::EveryAppend => {
+                // Hard zero-loss bound: the sync must complete before
+                // the ack, so never the background syncer.
+                if self.records_since_sync > 0 {
+                    self.sync()?;
+                }
+            }
+            FlushPolicy::EveryN(n) => {
+                if self.records_since_sync >= u64::from(n) {
+                    self.policy_sync()?;
+                }
+            }
+            FlushPolicy::OsOnly => {}
+        }
+        Ok(())
+    }
+
+    /// An `EveryN` trigger: background sync when a [`WalSyncer`] is
+    /// attached, inline otherwise.
+    fn policy_sync(&mut self) -> std::io::Result<()> {
+        let Some(port) = &self.syncer else {
+            return self.sync();
+        };
+        match port.tx.try_send((port.log_id, self.file.try_clone()?)) {
+            // Queue full: an earlier sync for this store is still in
+            // flight; skip — the next trigger re-arms. (Accounted by
+            // the syncer thread, not here, so wal_fsyncs counts real
+            // syncs.) A disconnected syncer cannot happen while the
+            // store lives, but falling back inline is the safe answer.
+            Ok(()) | Err(TrySendError::Full(_)) => {
+                self.records_since_sync = 0;
+                Ok(())
+            }
+            Err(TrySendError::Disconnected(_)) => self.sync(),
+        }
+    }
+
+    /// Write the pending buffer (if any) to the file in one syscall.
+    fn flush_pending(&mut self) -> std::io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.pending)?;
+        self.records_since_sync += self.pending_records;
+        self.pending.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// Force the log to stable storage: flush any pending records, then
+    /// `fsync`.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.flush_pending()?;
+        self.file.sync_data()?;
+        self.records_since_sync = 0;
+        self.telemetry.wal_fsyncs.inc();
+        Ok(())
+    }
+
+    /// Discard every record — pending and on disk — after a snapshot
+    /// has captured their effects, and sync the now-empty log.
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.pending.clear();
+        self.pending_records = 0;
+        self.file.set_len(0)?;
+        // An append-mode fd tracks the (now zero) end of file, but
+        // rewind explicitly for portability.
+        self.file.seek(SeekFrom::Start(0))?;
+        self.sync()
+    }
+}
+
+impl Drop for Wal {
+    /// Best-effort flush of uncommitted records, so a *graceful* drop
+    /// (tests, clean shutdown) never loses appends. A SIGKILL still
+    /// skips this — which is fine: anything pending was never acked.
+    fn drop(&mut self) {
+        let _ = self.flush_pending();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Put {
+                key: 1,
+                value: b"hello".to_vec(),
+            },
+            WalOp::Delete { key: 2 },
+            WalOp::Put {
+                key: u64::MAX,
+                value: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        for op in ops() {
+            encode_record(&op, &mut buf);
+        }
+        let (decoded, valid) = decode_records(&buf);
+        assert_eq!(decoded, ops());
+        assert_eq!(valid, buf.len());
+    }
+
+    #[test]
+    fn every_truncation_recovers_a_prefix() {
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for op in ops() {
+            encode_record(&op, &mut buf);
+            boundaries.push(buf.len());
+        }
+        for cut in 0..=buf.len() {
+            let (decoded, valid) = decode_records(&buf[..cut]);
+            // The valid prefix is the largest record boundary <= cut.
+            let expect = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(decoded.len(), expect, "cut at {cut}");
+            assert_eq!(valid, boundaries[expect], "cut at {cut}");
+            assert_eq!(decoded[..], ops()[..expect]);
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_stops_replay() {
+        let mut buf = Vec::new();
+        for op in ops() {
+            encode_record(&op, &mut buf);
+        }
+        // Flip a byte inside the second record's payload.
+        let first_len = {
+            let (_, v) = decode_records(&buf[..22]);
+            v
+        };
+        let mut bad = buf.clone();
+        bad[first_len + 10] ^= 0x40;
+        let (decoded, valid) = decode_records(&bad);
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(valid, first_len);
+    }
+
+    #[test]
+    fn file_append_replay_reset() {
+        let dir = std::env::temp_dir().join("e2nvm_wal_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wal");
+        std::fs::remove_file(&path).ok();
+        let mut wal = Wal::open(
+            &path,
+            FlushPolicy::EveryN(2),
+            PersistTelemetry::disconnected(),
+        )
+        .unwrap();
+        wal.append(&ops()).unwrap();
+        wal.append(&[WalOp::Delete { key: 9 }]).unwrap();
+        drop(wal);
+        let replay = replay_and_truncate(&path).unwrap();
+        assert_eq!(replay.ops.len(), 4);
+        assert!(!replay.torn());
+        // Tear the tail: append garbage, replay truncates it away.
+        OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(&[1, 2, 3])
+            .unwrap();
+        let replay = replay_and_truncate(&path).unwrap();
+        assert_eq!(replay.ops.len(), 4);
+        assert!(replay.torn());
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            replay.valid_bytes,
+            "torn tail physically truncated"
+        );
+        let mut wal =
+            Wal::open(&path, FlushPolicy::OsOnly, PersistTelemetry::disconnected()).unwrap();
+        wal.reset().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_put_matches_encode_record() {
+        let dir = std::env::temp_dir().join("e2nvm_wal_put_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wal");
+        std::fs::remove_file(&path).ok();
+        let mut wal =
+            Wal::open(&path, FlushPolicy::OsOnly, PersistTelemetry::disconnected()).unwrap();
+        wal.append_put(42, b"direct").unwrap();
+        wal.append_delete(42).unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let mut expect = Vec::new();
+        encode_record(
+            &WalOp::Put {
+                key: 42,
+                value: b"direct".to_vec(),
+            },
+            &mut expect,
+        );
+        encode_record(&WalOp::Delete { key: 42 }, &mut expect);
+        assert_eq!(std::fs::read(&path).unwrap(), expect);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_buffers_until_commit() {
+        let dir = std::env::temp_dir().join("e2nvm_wal_commit_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wal");
+        std::fs::remove_file(&path).ok();
+        let mut wal =
+            Wal::open(&path, FlushPolicy::OsOnly, PersistTelemetry::disconnected()).unwrap();
+        wal.append(&ops()).unwrap();
+        // Not yet committed: nothing has reached the kernel.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        wal.commit().unwrap();
+        let committed = std::fs::metadata(&path).unwrap().len();
+        assert!(committed > 0);
+        // Idempotent: a second commit with nothing pending writes nothing.
+        wal.commit().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
+        drop(wal);
+        let replay = replay_and_truncate(&path).unwrap();
+        assert_eq!(replay.ops, ops());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty_log() {
+        let replay = replay_and_truncate(Path::new("/nonexistent/e2nvm/never.wal")).unwrap();
+        assert!(replay.ops.is_empty());
+        assert_eq!(replay.total_bytes, 0);
+    }
+}

@@ -4,7 +4,9 @@
 //! cargo run --release -p e2nvm-server --bin e2nvm-server -- \
 //!     [--addr 127.0.0.1:4242] [--shards 4] [--segments 2048] \
 //!     [--seg-bytes 64] [--max-conns 1024] [--workers 0] \
-//!     [--threaded] [--cache] [--cache-mb 64]
+//!     [--threaded] [--cache] [--cache-mb 64] \
+//!     [--data-dir PATH] [--flush-policy every|batch:N|os] \
+//!     [--snapshot-every OPS]
 //! ```
 //!
 //! Prints the bound address on the first line (`listening on ADDR`),
@@ -15,7 +17,17 @@
 //! `--workers N` sizes the reactor's worker pool (0 = auto);
 //! `--threaded` serves with the thread-per-connection baseline engine
 //! instead of the epoll reactor.
+//!
+//! `--data-dir PATH` enables crash-consistent persistence: mutations
+//! are logged to per-shard WALs under `PATH/wal/` and snapshots land
+//! in `PATH/snapshot.e2s`. On boot the server first tries to recover
+//! from that directory — replaying snapshot + WAL is orders of
+//! magnitude faster than retraining the placement models — and only
+//! trains from scratch when no snapshot exists. Prints
+//! `recovered ...` or `fresh store ...` before the listening line so
+//! harnesses can tell which path booted.
 
+use e2nvm_persist::{FlushPolicy, PersistenceConfig};
 use e2nvm_server::{demo, CacheConfig, Server, ServerConfig, ThreadedServer};
 use e2nvm_telemetry::TelemetryRegistry;
 
@@ -30,6 +42,24 @@ fn parse_or<T: std::str::FromStr>(v: Option<String>, default: T) -> T {
     v.and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
+/// `every` | `batch:N` | `os` (see `FlushPolicy` docs for the
+/// durability each buys; process kill loses nothing under any of
+/// them).
+fn parse_flush_policy(v: Option<String>) -> FlushPolicy {
+    match v.as_deref() {
+        Some("every") => FlushPolicy::EveryAppend,
+        Some("os") => FlushPolicy::OsOnly,
+        Some(s) => match s.strip_prefix("batch:").and_then(|n| n.parse().ok()) {
+            Some(n) => FlushPolicy::EveryN(n),
+            None => {
+                eprintln!("unknown --flush-policy {s:?}; using the default");
+                FlushPolicy::default()
+            }
+        },
+        None => FlushPolicy::default(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let addr = arg_after(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
@@ -41,11 +71,59 @@ fn main() {
     let threaded = args.iter().any(|a| a == "--threaded");
     let cache = args.iter().any(|a| a == "--cache");
     let cache_mb: usize = parse_or(arg_after(&args, "--cache-mb"), 64);
+    let data_dir = arg_after(&args, "--data-dir");
+    let flush_policy = parse_flush_policy(arg_after(&args, "--flush-policy"));
+    let snapshot_every: u64 = parse_or(arg_after(&args, "--snapshot-every"), 0);
 
-    eprintln!("training {shards} shard models over {segments} × {seg_bytes} B segments...");
-    let mut store = demo::demo_store(shards, segments, seg_bytes, 0xE2);
     let registry = TelemetryRegistry::new();
+    let pcfg = data_dir.map(|dir| {
+        PersistenceConfig::builder()
+            .data_dir(dir)
+            .flush_policy(flush_policy)
+            .snapshot_every_ops(snapshot_every)
+            .build()
+            .expect("valid persistence config")
+    });
+
+    // Recover from the data directory when it holds a snapshot;
+    // otherwise train a fresh demo store (and, with persistence on,
+    // seed the directory so the next boot recovers).
+    let e2cfg = demo::demo_config(seg_bytes, 0xE2);
+    let recovered = pcfg.as_ref().and_then(|p| {
+        e2nvm_kvstore::ShardedE2KvStore::recover(p, &e2cfg, Some(&registry))
+            .expect("recover from data dir")
+    });
+    let mut store = match recovered {
+        Some((store, report)) => {
+            eprintln!(
+                "recovered {} keys across {} shards in {} ms \
+                 ({} WAL ops replayed, {} torn bytes truncated)",
+                report.keys,
+                report.shards,
+                report.duration_ms,
+                report.replayed_ops,
+                report.truncated_bytes,
+            );
+            store
+        }
+        None => {
+            eprintln!(
+                "fresh store: training {shards} shard models over \
+                 {segments} × {seg_bytes} B segments..."
+            );
+            let store = demo::demo_store(shards, segments, seg_bytes, 0xE2);
+            match &pcfg {
+                Some(p) => store
+                    .with_persistence(p.clone(), Some(&registry))
+                    .expect("enable persistence"),
+                None => store,
+            }
+        }
+    };
     store.attach_telemetry(&registry);
+    // A clone shares the shards (and the persistence state), so the
+    // drain-time snapshot below survives handing `store` to the server.
+    let drain_handle = store.clone();
 
     let mut builder = ServerConfig::builder()
         .addr(addr)
@@ -71,5 +149,12 @@ fn main() {
     .expect("bind");
     println!("listening on {}", handle.local_addr());
     let served = handle.join();
+    if pcfg.is_some() {
+        // Drain-time snapshot: the next boot replays zero WAL records.
+        match drain_handle.snapshot_now() {
+            Ok(bytes) => eprintln!("final snapshot: {bytes} bytes"),
+            Err(e) => eprintln!("final snapshot failed: {e}"),
+        }
+    }
     println!("clean shutdown after {served} connections");
 }

@@ -230,6 +230,16 @@ impl Client {
         }
     }
 
+    /// Force the server's durable state to disk (snapshot + WAL
+    /// fsync); returns the snapshot bytes written, 0 when the server
+    /// runs without persistence.
+    pub fn flush(&mut self) -> std::io::Result<u64> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed(bytes) => Ok(bytes),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> std::io::Result<()> {
         match self.call(&Request::Ping)? {

@@ -35,15 +35,7 @@ pub fn demo_store(
         .num_segments(total_segments)
         .build()
         .expect("valid device config");
-    let cfg = E2Config::builder()
-        .fast(seg_bytes, 2)
-        .pretrain_epochs(4)
-        .joint_epochs(1)
-        .retrain_min_free(0)
-        .padding_type(PaddingType::Zero)
-        .seed(seed)
-        .build()
-        .expect("valid engine config");
+    let cfg = demo_config(seg_bytes, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let controllers: Vec<MemoryController> = partition_controllers(&dev_cfg, shards)
         .expect("partition")
@@ -60,6 +52,24 @@ pub fn demo_store(
         })
         .collect();
     ShardedE2KvStore::new(ShardedEngine::train(controllers, &cfg).expect("train shards"))
+}
+
+/// The engine configuration [`demo_store`] trains with, exposed so a
+/// restarting server can hand the *same* configuration to
+/// [`ShardedE2KvStore::recover`] — recovery rebuilds engines from
+/// snapshotted weights instead of retraining, but the structural
+/// fields (layer sizes, clusters, padding) must match the ones the
+/// snapshot was taken under.
+pub fn demo_config(seg_bytes: usize, seed: u64) -> E2Config {
+    E2Config::builder()
+        .fast(seg_bytes, 2)
+        .pretrain_epochs(4)
+        .joint_epochs(1)
+        .retrain_min_free(0)
+        .padding_type(PaddingType::Zero)
+        .seed(seed)
+        .build()
+        .expect("valid engine config")
 }
 
 #[cfg(test)]

@@ -162,6 +162,7 @@ impl ExecCtx {
         outbuf: &mut Vec<u8>,
     ) -> BatchOutcome {
         let mut outcome = BatchOutcome::default();
+        let outbuf_start = outbuf.len();
         let mut pending_puts: Vec<(u64, Vec<u8>)> = Vec::new();
         for item in items {
             match item {
@@ -232,6 +233,24 @@ impl ExecCtx {
             }
         }
         self.flush_puts(&mut pending_puts, outbuf);
+        // Group-commit barrier: hand the batch's WAL records to the
+        // kernel *before* the caller flushes the batch's responses to
+        // the socket. That ordering — not per-mutation syscalls — is
+        // what makes every acked write survive a process kill, and it
+        // is why the batch is the WAL's write(2) granularity.
+        if let Err(e) = self.store.kv().commit() {
+            // Applied in memory but not durably logged: acking would
+            // break the no-acked-loss contract. Drop the batch's
+            // responses, answer with one typed error, and close — the
+            // client treats the dead connection as unacknowledged.
+            outbuf.truncate(outbuf_start);
+            let resp = store_error_frame(&e);
+            if let Response::Error { status, .. } = &resp {
+                self.telemetry.count_error(*status);
+            }
+            encode_response(&resp, None, outbuf);
+            outcome.close = true;
+        }
         outcome
     }
 
@@ -330,6 +349,14 @@ impl ExecCtx {
                 }
             }
             Request::Stats => Response::Stats(self.stats_json()),
+            // FLUSH dispatches through the NvmKvStore trait: the
+            // persistence-backed store snapshots + fsyncs, stores
+            // without persistence answer `Flushed(0)` (documented
+            // no-op in `traits.rs`).
+            Request::Flush => match self.store.kv().flush() {
+                Ok(bytes) => Response::Flushed(bytes),
+                Err(e) => store_error_frame(&e),
+            },
             Request::Metrics => Response::Metrics(match &self.registry {
                 Some(reg) => reg.render_prometheus(),
                 None => "# no telemetry registry attached\n".to_string(),

@@ -58,6 +58,10 @@ pub enum Opcode {
     Stats = 0x05,
     /// Telemetry exposition (Prometheus text response).
     Metrics = 0x06,
+    /// Force durable state to disk: snapshot + WAL fsync. Empty body;
+    /// the OK response carries the snapshot bytes written as a `u64`
+    /// (0 when the server runs without persistence).
+    Flush = 0x07,
     /// Ask the server to shut down gracefully. Empty body.
     Shutdown = 0x7F,
 }
@@ -73,6 +77,7 @@ impl Opcode {
             0x04 => Opcode::Scan,
             0x05 => Opcode::Stats,
             0x06 => Opcode::Metrics,
+            0x07 => Opcode::Flush,
             0x7F => Opcode::Shutdown,
             _ => return None,
         })
@@ -88,12 +93,13 @@ impl Opcode {
             Opcode::Scan => "scan",
             Opcode::Stats => "stats",
             Opcode::Metrics => "metrics",
+            Opcode::Flush => "flush",
             Opcode::Shutdown => "shutdown",
         }
     }
 
     /// Every defined opcode, in wire order.
-    pub const ALL: [Opcode; 8] = [
+    pub const ALL: [Opcode; 9] = [
         Opcode::Ping,
         Opcode::Get,
         Opcode::Put,
@@ -101,6 +107,7 @@ impl Opcode {
         Opcode::Scan,
         Opcode::Stats,
         Opcode::Metrics,
+        Opcode::Flush,
         Opcode::Shutdown,
     ];
 }
@@ -221,6 +228,8 @@ pub enum Request {
     Stats,
     /// Telemetry exposition.
     Metrics,
+    /// Snapshot + WAL fsync on demand.
+    Flush,
     /// Graceful server shutdown.
     Shutdown,
 }
@@ -236,6 +245,7 @@ impl Request {
             Request::Scan { .. } => Opcode::Scan,
             Request::Stats => Opcode::Stats,
             Request::Metrics => Opcode::Metrics,
+            Request::Flush => Opcode::Flush,
             Request::Shutdown => Opcode::Shutdown,
         }
     }
@@ -274,6 +284,12 @@ pub enum Response {
     Metrics(
         /// Prometheus text exposition format.
         String,
+    ),
+    /// OK for FLUSH: snapshot bytes written to disk (0 when the
+    /// server runs without persistence).
+    Flushed(
+        /// Snapshot bytes written by the flush.
+        u64,
     ),
     /// OK for SHUTDOWN: the server acknowledged and is draining.
     ShutdownAck,
@@ -407,7 +423,7 @@ fn put_header(out: &mut Vec<u8>, body_len: usize, code: u8, aux: u8) {
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     let op = req.opcode() as u8;
     match req {
-        Request::Ping | Request::Stats | Request::Metrics | Request::Shutdown => {
+        Request::Ping | Request::Stats | Request::Metrics | Request::Flush | Request::Shutdown => {
             put_header(out, 0, op, 0);
         }
         Request::Get { key } | Request::Delete { key } => {
@@ -460,6 +476,10 @@ pub fn encode_response(resp: &Response, echo: Option<Opcode>, out: &mut Vec<u8>)
             put_header(out, text.len(), Status::Ok as u8, aux);
             out.extend_from_slice(text.as_bytes());
         }
+        Response::Flushed(bytes) => {
+            put_header(out, 8, Status::Ok as u8, aux);
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
         Response::Error {
             status,
             retired,
@@ -504,7 +524,7 @@ pub fn parse_request(frame: &RawFrame<'_>) -> Result<Request, FrameError> {
     let op = Opcode::from_u8(frame.code).ok_or(FrameError::UnknownOpcode(frame.code))?;
     let body = frame.body;
     match op {
-        Opcode::Ping | Opcode::Stats | Opcode::Metrics | Opcode::Shutdown => {
+        Opcode::Ping | Opcode::Stats | Opcode::Metrics | Opcode::Flush | Opcode::Shutdown => {
             if !body.is_empty() {
                 return Err(FrameError::BadBody("expected empty body"));
             }
@@ -512,6 +532,7 @@ pub fn parse_request(frame: &RawFrame<'_>) -> Result<Request, FrameError> {
                 Opcode::Ping => Request::Ping,
                 Opcode::Stats => Request::Stats,
                 Opcode::Metrics => Request::Metrics,
+                Opcode::Flush => Request::Flush,
                 _ => Request::Shutdown,
             })
         }
@@ -589,6 +610,14 @@ pub fn parse_response(frame: &RawFrame<'_>) -> Result<Response, FrameError> {
                         return Err(FrameError::BadBody("SCAN body has trailing bytes"));
                     }
                     Ok(Response::Entries(entries))
+                }
+                Opcode::Flush => {
+                    if body.len() != 8 {
+                        return Err(FrameError::BadBody(
+                            "FLUSH response must be exactly 8 bytes",
+                        ));
+                    }
+                    Ok(Response::Flushed(take_u64(body, 0).unwrap()))
                 }
                 Opcode::Stats | Opcode::Metrics => {
                     let text = std::str::from_utf8(body)
@@ -736,6 +765,7 @@ mod tests {
         });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Flush);
         roundtrip_request(Request::Shutdown);
     }
 
@@ -757,6 +787,8 @@ mod tests {
                 Response::Stats("{\"writes\":3}".into()),
                 Some(Opcode::Stats),
             ),
+            (Response::Flushed(0), Some(Opcode::Flush)),
+            (Response::Flushed(4096), Some(Opcode::Flush)),
             (
                 Response::Metrics("# HELP x\n".into()),
                 Some(Opcode::Metrics),

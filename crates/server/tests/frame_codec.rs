@@ -23,6 +23,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         }),
         Just(Request::Stats),
         Just(Request::Metrics),
+        Just(Request::Flush),
         Just(Request::Shutdown),
     ]
 }
@@ -65,6 +66,7 @@ fn arb_response() -> impl Strategy<Value = (Response, Option<Opcode>)> {
             .prop_map(|e| (Response::Entries(e), Some(Opcode::Scan))),
         arb_text().prop_map(|s| (Response::Stats(s), Some(Opcode::Stats))),
         arb_text().prop_map(|s| (Response::Metrics(s), Some(Opcode::Metrics))),
+        any::<u64>().prop_map(|b| (Response::Flushed(b), Some(Opcode::Flush))),
         Just((Response::ShutdownAck, Some(Opcode::Shutdown))),
         (arb_error_status(), any::<u64>(), arb_text()).prop_map(|(status, retired, message)| {
             (

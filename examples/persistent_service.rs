@@ -7,8 +7,8 @@
 //! cargo run --release --example persistent_service
 //! ```
 
-use e2nvm::core::{E2Config, E2Engine, E2Model, SharedEngine};
-use e2nvm::sim::{snapshot, DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm::core::{E2Config, E2Engine, SharedEngine};
+use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
 use e2nvm::workloads::DatasetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,13 +75,12 @@ fn main() {
     );
 
     // ---------- shutdown: persist model + device image ----------
+    // The `e2nvm::persist` facade replaces the deprecated per-crate
+    // helpers (`E2Model::save`, `sim::snapshot::save`).
     shared.with_engine(|engine| {
-        engine
-            .model()
-            .expect("trained")
-            .save(&model_path)
+        e2nvm::persist::save_model(engine.model().expect("trained"), &model_path)
             .expect("save model");
-        snapshot::save(engine.controller().device(), &image_path).expect("save image");
+        e2nvm::persist::save_device(engine.controller().device(), &image_path).expect("save image");
     });
     let model_bytes = std::fs::metadata(&model_path).expect("meta").len();
     let image_bytes = std::fs::metadata(&image_path).expect("meta").len();
@@ -90,10 +89,10 @@ fn main() {
 
     // ---------- second boot: resume without retraining ----------
     println!("\nboot #2: loading device image + model (no retraining)...");
-    let device = snapshot::load(&image_path).expect("load image");
+    let device = e2nvm::persist::load_device(&image_path).expect("load image");
     let controller = MemoryController::without_wear_leveling(device);
     let mut engine = E2Engine::new(controller, cfg).expect("engine");
-    let model = E2Model::load(&model_path).expect("load model");
+    let model = e2nvm::persist::load_model(&model_path).expect("load model");
     engine.install_model_now(model);
     println!(
         "  resumed: k = {}, {} free segments classified",

@@ -11,6 +11,9 @@
 //!   Hamming-Tree, PNW.
 //! * [`core`] — the paper's contribution: the E2-NVM placement engine.
 //! * [`kvstore`] — the persistent KV store and NVM index structures.
+//! * [`persist`] — crash-consistent persistence: per-shard write-ahead
+//!   logs, atomic full-system snapshots, and the unified save/load
+//!   facade behind `PersistenceConfig` (DESIGN.md §14).
 //! * [`workloads`] — YCSB and synthetic dataset generators.
 //! * [`telemetry`] — lock-free metrics registry + event journal
 //!   (compiled away without the `telemetry` feature).
@@ -51,6 +54,7 @@ pub use e2nvm_baselines as baselines;
 pub use e2nvm_core as core;
 pub use e2nvm_kvstore as kvstore;
 pub use e2nvm_ml as ml;
+pub use e2nvm_persist as persist;
 pub use e2nvm_server as server;
 pub use e2nvm_sim as sim;
 pub use e2nvm_telemetry as telemetry;
@@ -68,6 +72,7 @@ pub mod prelude {
         CacheConfig, CacheConfigBuilder, CacheStats, CachedKvStore, E2KvStore, HotCache,
         NvmKvStore, ShardedE2KvStore, StoreError,
     };
+    pub use e2nvm_persist::{FlushPolicy, PersistenceConfig, PersistenceConfigBuilder};
     pub use e2nvm_server::{Client, Server, ServerConfig, ServerConfigBuilder, ServerHandle};
     pub use e2nvm_sim::{
         DeviceConfig, DeviceStats, FaultConfig, MemoryController, NvmDevice, SegmentId,
