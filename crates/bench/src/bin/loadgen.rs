@@ -28,6 +28,15 @@
 //! boot and WAL-on vs WAL-off PUT throughput, and records everything
 //! in `results/recovery.md`.
 //!
+//! With `--cluster` it runs the two failover experiments instead:
+//! boot three *separate* `e2nvm-server` processes, route over them
+//! with `e2nvm-cluster` (R=2 replication), then (1) SIGKILL one
+//! server mid-burst and (2) wear one server's simulated device out
+//! (`--fault-endurance`) until the health prober drains it — in both
+//! cases verifying that every acked write reads back and printing the
+//! CI-checkable `(lost 0)` lines. Before/after routing tables and
+//! wear counters land in `results/cluster_failover.md`.
+//!
 //! Run: `cargo run -p e2nvm-bench --release --bin e2nvm-loadgen`
 //! (add `--quick` for a CI-sized burst that writes the `_quick`
 //! variant of the results file).
@@ -37,12 +46,14 @@
 //! `--seg-bytes`, `--workloads A,B,C`, `--addr`, `--cache`,
 //! `--cache-mb N` (default 64), `--threaded` (serve with the
 //! thread-per-connection baseline), `--workers N` (reactor pool size,
-//! 0 = auto), `--compare-servers`, `--quick`.
+//! 0 = auto), `--compare-servers`, `--cluster`, `--quick`.
 //!
 //! After the run the binary prints `server error frames: N` (summed
 //! across wire statuses from the final METRICS frame) so CI can assert
 //! a clean run end to end.
 
+use e2nvm_cluster::{ClusterClient, ClusterConfig, NodeState};
+use e2nvm_kvstore::NvmKvStore as _;
 use e2nvm_server::frame::{encode_request, Request, Status};
 use e2nvm_server::{
     demo::demo_store, CacheConfig, Client, Server, ServerConfig, ServerHandle, ThreadedServer,
@@ -51,7 +62,7 @@ use e2nvm_telemetry::TelemetryRegistry;
 use e2nvm_workloads::ycsb::{Operation, Ycsb};
 use std::io::Write as _;
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[derive(Clone)]
 struct Args {
@@ -71,6 +82,7 @@ struct Args {
     workers: usize,
     compare: bool,
     recovery: bool,
+    cluster: bool,
     quick: bool,
 }
 
@@ -92,6 +104,7 @@ fn parse_args() -> Args {
         workers: 0,
         compare: false,
         recovery: false,
+        cluster: false,
         quick: false,
     };
     let mut ops_set = false;
@@ -139,6 +152,7 @@ fn parse_args() -> Args {
             "--workers" => args.workers = value("--workers").parse().unwrap(),
             "--compare-servers" => args.compare = true,
             "--recovery" => args.recovery = true,
+            "--cluster" => args.cluster = true,
             "--quick" => args.quick = true,
             other => panic!("unknown flag {other:?}"),
         }
@@ -146,13 +160,21 @@ fn parse_args() -> Args {
     if !ops_set {
         // The compare grid multiplies engines x connection counts, so
         // its per-connection default is smaller to keep total wall
-        // clock comparable to a plain run. The recovery experiment's
-        // ops are a *total* burst size, not per connection.
+        // clock comparable to a plain run. The recovery and cluster
+        // experiments' ops are a *total* burst size, not per
+        // connection (cluster puts are synchronous R-way fan-outs, so
+        // their burst is smaller than the single-server one).
         args.ops = if args.recovery {
             if args.quick {
                 800
             } else {
                 12_000
+            }
+        } else if args.cluster {
+            if args.quick {
+                600
+            } else {
+                6_000
             }
         } else if args.quick {
             150
@@ -758,7 +780,6 @@ struct SpawnedServer {
 /// train-from-scratch time on an empty directory and the
 /// snapshot+WAL-replay time on a populated one.
 fn spawn_server(args: &Args, data_dir: &std::path::Path) -> SpawnedServer {
-    use std::io::BufRead as _;
     let mut cmd = std::process::Command::new(server_exe());
     cmd.arg("--addr")
         .arg("127.0.0.1:0")
@@ -774,8 +795,42 @@ fn spawn_server(args: &Args, data_dir: &std::path::Path) -> SpawnedServer {
         // (and therefore the replay a restart pays) to ~1/6 of the
         // burst — the production knob this experiment exists to size.
         .arg("--snapshot-every")
-        .arg(((args.ops / 6).max(1)).to_string())
-        .stdout(std::process::Stdio::piped())
+        .arg(((args.ops / 6).max(1)).to_string());
+    spawn_banner(cmd)
+}
+
+/// Spawn a memory-only cluster node with explicit store geometry and,
+/// for the wear-out experiment, the simulator's fault injector
+/// (`--fault-endurance`/`--fault-seed`).
+fn spawn_cluster_node(
+    shards: usize,
+    segments: usize,
+    seg_bytes: usize,
+    fault: Option<(u64, u64)>,
+) -> SpawnedServer {
+    let mut cmd = std::process::Command::new(server_exe());
+    cmd.arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--shards")
+        .arg(shards.to_string())
+        .arg("--segments")
+        .arg(segments.to_string())
+        .arg("--seg-bytes")
+        .arg(seg_bytes.to_string());
+    if let Some((endurance_bits, seed)) = fault {
+        cmd.arg("--fault-endurance")
+            .arg(endurance_bits.to_string())
+            .arg("--fault-seed")
+            .arg(seed.to_string());
+    }
+    spawn_banner(cmd)
+}
+
+/// Launch a prepared server command and block until its
+/// `listening on ADDR` banner, timing spawn-to-banner as the boot.
+fn spawn_banner(mut cmd: std::process::Command) -> SpawnedServer {
+    use std::io::BufRead as _;
+    cmd.stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::inherit());
     let t0 = Instant::now();
     let mut child = cmd.spawn().expect("spawn e2nvm-server");
@@ -1098,8 +1153,310 @@ fn run_recovery(args: &Args) {
     assert_eq!(lost, 0, "recovery lost {lost} acked writes");
 }
 
+/// The `--cluster` experiments: three out-of-process servers behind
+/// an `e2nvm-cluster` router, R=2 replication. Experiment 1 SIGKILLs
+/// a node mid-burst; experiment 2 wears a node's simulated device out
+/// until the health prober drains it. Both verify every acked write
+/// reads back (the CI-checkable `(lost 0)` lines) and snapshot the
+/// routing table before and after the event; everything lands in
+/// `results/cluster_failover.md`.
+fn run_cluster(args: &Args) {
+    const REPLICATION: usize = 2;
+    let value_len = args.seg_bytes * 3 / 4;
+    let keyspace = (args.segments / 4) as u64;
+
+    // ------ Experiment 1: SIGKILL a node mid-burst ------
+    eprintln!("== cluster experiment 1: SIGKILL a node mid-burst ==");
+    let mut servers: Vec<SpawnedServer> = (0..3)
+        .map(|_| spawn_cluster_node(args.shards, args.segments, args.seg_bytes, None))
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.addr.to_string()).collect();
+    let cfg = ClusterConfig::builder()
+        .addrs(addrs.iter().cloned())
+        .replication(REPLICATION)
+        .probe_interval(Duration::from_millis(100))
+        .build()
+        .expect("cluster config");
+    let mut cluster = ClusterClient::connect(cfg);
+
+    let mut shadow: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+    let kill_at = (args.ops / 2).max(1);
+    let victim = 1usize;
+    let mut kill_before = String::new();
+    for i in 0..args.ops {
+        if i == kill_at {
+            // Give the prober one pass so the "before" table carries
+            // live key/wear counts, then hard-kill the victim with
+            // the burst still running.
+            std::thread::sleep(Duration::from_millis(250));
+            kill_before = cluster.routing_table();
+            servers[victim].child.kill().expect("SIGKILL cluster node");
+            servers[victim].child.wait().expect("reap killed node");
+            eprintln!(
+                "SIGKILLed node {victim} ({}) after {i} acked puts",
+                addrs[victim]
+            );
+        }
+        let key = i as u64 % keyspace;
+        let value = burst_value(i, value_len);
+        // Full-set acks: a put returns Ok only when every replica
+        // acknowledged. A single node kill must never fail a write —
+        // the router re-walks the ring onto the survivors.
+        cluster
+            .put(key, &value)
+            .expect("replicated put survives a single node kill");
+        shadow.insert(key, value);
+    }
+    let mut lost = 0usize;
+    for (key, value) in &shadow {
+        if cluster.get(*key).expect("verify get").as_deref() != Some(value.as_slice()) {
+            eprintln!("LOST acked key {key}");
+            lost += 1;
+        }
+    }
+    assert_eq!(
+        cluster.view().state(victim),
+        NodeState::Down,
+        "router never marked the killed node down"
+    );
+    let kill_after = cluster.routing_table();
+    let kill_stats = cluster.cluster_stats().snapshot();
+    println!(
+        "acked writes recovered: {}/{} (lost {lost})",
+        shadow.len() - lost,
+        shadow.len()
+    );
+    cluster.shutdown_all();
+    drop(cluster);
+    for (i, mut s) in servers.into_iter().enumerate() {
+        if i != victim {
+            s.child.wait().expect("cluster node exits");
+        }
+    }
+
+    // ------ Experiment 2: wear a node out, drain before it dies ------
+    eprintln!("== cluster experiment 2: wear-driven drain ==");
+    // Node 0 runs on a simulated device with a tiny endurance budget;
+    // nodes 1 and 2 are effectively immortal. Geometry is fixed
+    // (independent of --segments) so the wear-fraction math —
+    // retired/total crossing the 2% drain threshold — is reproducible
+    // regardless of CLI sizing.
+    let wear_victim = 0usize;
+    let servers: Vec<SpawnedServer> = (0..3usize)
+        .map(|i| {
+            if i == wear_victim {
+                spawn_cluster_node(2, 128, 64, Some((6_000, 0xFA57)))
+            } else {
+                spawn_cluster_node(2, 256, 64, None)
+            }
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.addr.to_string()).collect();
+    let cfg = ClusterConfig::builder()
+        .addrs(addrs.iter().cloned())
+        .replication(REPLICATION)
+        .probe_interval(Duration::from_millis(100))
+        .wear_drain_threshold(0.02)
+        .build()
+        .expect("cluster config");
+    let mut shadow2: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+
+    // Seed under-replicated keys: a router that believes both peers
+    // are down writes through node 0 alone (the ring walk yields the
+    // one reachable node, and full-set acks degrade to that set).
+    // These are exactly the keys the drain exists for — they survive
+    // node 0's death only if the drain re-homes them to the replicas.
+    let mut degraded = ClusterClient::connect(
+        ClusterConfig::builder()
+            .addrs(addrs.iter().cloned())
+            .replication(REPLICATION)
+            .probing(false)
+            .build()
+            .expect("degraded router config"),
+    );
+    degraded.view().mark_down(1);
+    degraded.view().mark_down(2);
+    for key in 200..216u64 {
+        let value = format!("only-on-node0-{key}").into_bytes();
+        degraded
+            .put(key, &value)
+            .expect("degraded-topology put to the lone reachable node");
+        shadow2.insert(key, value);
+    }
+    drop(degraded);
+
+    let mut cluster = ClusterClient::connect(cfg);
+    std::thread::sleep(Duration::from_millis(250));
+    let wear_before = cluster.routing_table();
+
+    // Dense overwrites burn node 0's endurance; keep writing until
+    // the prober flips it to draining (or give up and fail).
+    let mut drained_round = None;
+    'wear: for round in 0..600u64 {
+        for i in 0..8u64 {
+            let key = (round * 8 + i) % 64;
+            let value: Vec<u8> = (0..48)
+                .map(|j| ((key ^ round).wrapping_mul(0x9E37) as u8).wrapping_add(j))
+                .collect();
+            cluster.put(key, &value).expect("replicated put under wear");
+            shadow2.insert(key, value);
+        }
+        if cluster.view().state(wear_victim) == NodeState::Draining {
+            drained_round = Some(round);
+            break 'wear;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let drained_round = drained_round.expect(
+        "the prober never flipped the wearing node to draining — endurance budget too large?",
+    );
+    // The dying device's wear counters at the moment of the drain
+    // decision, straight from its HEALTH frame.
+    let wear_at_drain = Client::connect(&addrs[wear_victim])
+        .and_then(|mut c| c.health())
+        .expect("probe the worn node directly");
+    eprintln!(
+        "node {wear_victim} hit the drain threshold in round {drained_round}: \
+         {}/{} segments retired",
+        wear_at_drain.retired_segments, wear_at_drain.total_segments
+    );
+    let rehomed = cluster.run_pending_drains().expect("drain re-homes keys");
+    eprintln!("drain re-homed {rehomed} keys off node {wear_victim}");
+
+    // Post-drain: new writes route around the draining node, and the
+    // whole shadow — pre-drain and post-drain keys — must verify.
+    for key in 100..140u64 {
+        let value = format!("post-drain-{key}").into_bytes();
+        cluster.put(key, &value).expect("put post-drain");
+        shadow2.insert(key, value);
+    }
+    let mut lost2 = 0usize;
+    for (key, value) in &shadow2 {
+        if cluster.get(*key).expect("verify get").as_deref() != Some(value.as_slice()) {
+            eprintln!("LOST acked key {key} across the wear drain");
+            lost2 += 1;
+        }
+    }
+    let wear_after = cluster.routing_table();
+    let wear_stats = cluster.cluster_stats().snapshot();
+    println!(
+        "acked writes recovered after wear drain: {}/{} (lost {lost2})",
+        shadow2.len() - lost2,
+        shadow2.len()
+    );
+    cluster.shutdown_all();
+    drop(cluster);
+    for mut s in servers {
+        s.child.wait().expect("cluster node exits");
+    }
+
+    // The report.
+    let mut md = String::from("# Cluster failover: kill-a-server and wear-out-a-server\n\n");
+    md.push_str(&format!(
+        "`e2nvm-loadgen --cluster` boots three out-of-process `e2nvm-server`s and routes \
+         over them with `e2nvm-cluster` (consistent-hash ring, R={REPLICATION} \
+         replication, health probes every 100 ms). A write counts as acked only when \
+         every node in its replica set acknowledged it, so the acceptance bar is \
+         absolute: after either failure, **every** acked write must read back through \
+         the survivors.\n\n"
+    ));
+    md.push_str(
+        "Methodology: puts are synchronous R-way fan-outs through one router; values \
+         are deterministic functions of the op index, so the verifier knows exactly \
+         what every acked key must hold. Routing tables snapshot the router's live \
+         view — `state` is what the router routes by; `keys` and `retired/total` come \
+         from each server's HEALTH frame, so a just-killed node shows its last \
+         successful probe.\n\n",
+    );
+
+    md.push_str("## Experiment 1 — SIGKILL a node mid-burst\n\n");
+    md.push_str(&format!(
+        "{} acked puts over a {keyspace}-key keyspace ({value_len}-byte values); node \
+         {victim} is SIGKILLed after {kill_at} puts with the burst still running. The \
+         router sees the dead socket, marks the node down, re-walks the ring, and \
+         retries — no put fails, and every key stays replicated among the \
+         survivors.\n\nRouting before the kill:\n\n",
+        args.ops
+    ));
+    md.push_str(&kill_before);
+    md.push_str("\nRouting after the kill and verification:\n\n");
+    md.push_str(&kill_after);
+    md.push_str(&format!(
+        "\n| metric | value |\n|---|---:|\n\
+         | puts acked | {} ({} distinct keys) |\n\
+         | acked writes recovered | {}/{} (lost {lost}) |\n\
+         | nodes marked down | {} |\n\
+         | replica write failovers | {} |\n\n",
+        args.ops,
+        shadow.len(),
+        shadow.len() - lost,
+        shadow.len(),
+        kill_stats.nodes_marked_down,
+        kill_stats.replica_write_failures,
+    ));
+
+    md.push_str("## Experiment 2 — wear-driven drain before device death\n\n");
+    md.push_str(&format!(
+        "Node {wear_victim} runs on a simulated device with a deterministic ~6000-bit \
+         endurance budget (128 x 64 B segments); its peers are effectively immortal. \
+         Before the wear burst, 16 deliberately under-replicated keys are written \
+         through a degraded-topology router that could only reach node {wear_victim} — \
+         the keys whose survival genuinely depends on the dying device. Dense \
+         overwrites then retire its segments until the health prober sees the wear \
+         fraction cross the 2% drain threshold and flips the node to `draining`: writes \
+         stop routing to it immediately, reads continue, and the drain pass re-homes \
+         exactly those dependent keys to the replicas (fully-replicated keys are \
+         skipped — a healthy copy is always at least as new) — all *before* the device \
+         fails.\n\nRouting before the drain:\n\n"
+    ));
+    md.push_str(&wear_before);
+    md.push_str("\nRouting after the drain and verification:\n\n");
+    md.push_str(&wear_after);
+    md.push_str(&format!(
+        "\n| metric | value |\n|---|---:|\n\
+         | rounds until the drain triggered | {drained_round} |\n\
+         | worn node at drain time | {}/{} segments retired |\n\
+         | under-replicated keys seeded | 16 |\n\
+         | keys re-homed by the drain | {rehomed} |\n\
+         | read repairs | {} |\n\
+         | acked writes recovered | {}/{} (lost {lost2}) |\n\n",
+        wear_at_drain.retired_segments,
+        wear_at_drain.total_segments,
+        wear_stats.read_repairs,
+        shadow2.len() - lost2,
+        shadow2.len(),
+    ));
+    md.push_str(
+        "Both experiments hold the same invariant the single-server recovery \
+         experiment holds for crashes: an acked write is never lost. Here the \
+         mechanism is replication and routing rather than a WAL — the kill case \
+         proves reactive failover (promotion on transport failure), the wear case \
+         proves *proactive* failover (the paper's endurance failure mode, caught by \
+         telemetry and drained before the device dies).\n",
+    );
+    let path = if args.quick {
+        "results/cluster_failover_quick.md"
+    } else {
+        "results/cluster_failover.md"
+    };
+    write_report(path, &md);
+
+    assert_eq!(lost, 0, "kill experiment lost {lost} acked writes");
+    assert_eq!(lost2, 0, "wear experiment lost {lost2} acked writes");
+}
+
 fn main() {
     let args = parse_args();
+
+    if args.cluster {
+        assert!(
+            args.addr.is_none() && !args.cache && !args.compare && !args.threaded && !args.recovery,
+            "--cluster boots its own servers; drop \
+             --addr/--cache/--compare-servers/--threaded/--recovery"
+        );
+        run_cluster(&args);
+        return;
+    }
 
     if args.recovery {
         assert!(

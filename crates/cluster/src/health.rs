@@ -1,0 +1,259 @@
+//! Shared node-health state and the wear prober.
+//!
+//! Every routing decision consults a [`ClusterView`]: one
+//! [`NodeState`] plus the last wear summary per server, behind a
+//! mutex shared by the router and the background [`HealthProber`].
+//! The prober polls each server's HEALTH frame (a fixed 32-byte
+//! binary probe, cheap enough for sub-second intervals) and applies
+//! two transitions:
+//!
+//! * `Healthy → Draining` when the server's wear fraction
+//!   (`retired_segments / total_segments`) crosses the configured
+//!   threshold. A draining server stops receiving writes immediately
+//!   (the router excludes it from write replica sets) but keeps
+//!   serving reads while its keys are re-homed — wear is an early
+//!   warning, acted on *before* the device dies.
+//! * `any → Down` when the probe cannot connect or the connection
+//!   fails mid-probe. A down server is excluded from reads and
+//!   writes; the ring walk promotes the next node on the circle.
+//!
+//! The router also marks nodes `Down` synchronously when an operation
+//! hits a transport error, so failover does not wait for the next
+//! probe tick.
+
+use e2nvm_kvstore::WearSummary;
+use e2nvm_server::Client;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Routing-relevant state of one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Serving reads and writes.
+    Healthy,
+    /// Wear crossed the drain threshold: no new writes, still serving
+    /// reads while the router re-homes its keys.
+    Draining,
+    /// Unreachable: excluded from reads and writes.
+    Down,
+}
+
+impl NodeState {
+    /// Render for routing tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeState::Healthy => "healthy",
+            NodeState::Draining => "draining",
+            NodeState::Down => "down",
+        }
+    }
+}
+
+/// One server's entry in the [`ClusterView`].
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    /// Current routing state.
+    pub state: NodeState,
+    /// Last wear summary a probe (or the router) recorded; default
+    /// (all zeros) until the first successful probe.
+    pub wear: WearSummary,
+    /// Set when the node entered `Draining` and its keys have not
+    /// been re-homed yet; cleared by the router's drain pass.
+    pub drain_pending: bool,
+}
+
+/// Shared, mutex-guarded health state for every node — cheap to
+/// clone, all clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    inner: Arc<Mutex<Vec<NodeHealth>>>,
+}
+
+impl ClusterView {
+    /// A view over `nodes` servers, all initially [`NodeState::Healthy`].
+    pub fn new(nodes: usize) -> Self {
+        let entries = (0..nodes)
+            .map(|_| NodeHealth {
+                state: NodeState::Healthy,
+                wear: WearSummary::default(),
+                drain_pending: false,
+            })
+            .collect();
+        ClusterView {
+            inner: Arc::new(Mutex::new(entries)),
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when the view tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Current state of node `i`.
+    pub fn state(&self, i: usize) -> NodeState {
+        self.inner.lock()[i].state
+    }
+
+    /// Snapshot of every node's health (states + wear), for routing
+    /// tables and reports.
+    pub fn snapshot(&self) -> Vec<NodeHealth> {
+        self.inner.lock().clone()
+    }
+
+    /// Mark node `i` down (transport failure observed). Idempotent.
+    pub fn mark_down(&self, i: usize) {
+        self.inner.lock()[i].state = NodeState::Down;
+    }
+
+    /// Record a successful probe of node `i`: store the wear summary
+    /// and, when the wear fraction crosses `drain_threshold` on a
+    /// healthy node, flip it to [`NodeState::Draining`] with a drain
+    /// pending. Returns the state after the update.
+    pub fn record_probe(&self, i: usize, wear: WearSummary, drain_threshold: f64) -> NodeState {
+        let mut nodes = self.inner.lock();
+        let node = &mut nodes[i];
+        node.wear = wear;
+        if node.state == NodeState::Healthy && wear.wear_fraction() >= drain_threshold {
+            node.state = NodeState::Draining;
+            node.drain_pending = true;
+        }
+        node.state
+    }
+
+    /// Nodes whose drain is pending (entered `Draining`, keys not yet
+    /// re-homed). The router claims them with
+    /// [`ClusterView::claim_drain`].
+    pub fn drains_pending(&self) -> Vec<usize> {
+        self.inner
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.drain_pending)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Atomically claim node `i`'s pending drain; returns false when
+    /// another router already claimed it (or none was pending).
+    pub fn claim_drain(&self, i: usize) -> bool {
+        let mut nodes = self.inner.lock();
+        std::mem::take(&mut nodes[i].drain_pending)
+    }
+}
+
+/// Background thread polling every server's HEALTH frame and updating
+/// a [`ClusterView`]. Stops (and joins) on drop.
+#[derive(Debug)]
+pub struct HealthProber {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HealthProber {
+    /// Start probing `addrs` every `interval`, recording into `view`
+    /// with the given wear `drain_threshold`. Connections are opened
+    /// lazily and re-opened after failures, so a server that comes
+    /// back mid-run is probed again (its state, however, only
+    /// recovers from `Down` by operator action — flapping nodes must
+    /// not silently rejoin with stale data).
+    pub fn start(
+        addrs: Vec<String>,
+        view: ClusterView,
+        interval: Duration,
+        drain_threshold: f64,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("e2nvm-health-prober".into())
+            .spawn(move || {
+                let mut conns: Vec<Option<Client>> = addrs.iter().map(|_| None).collect();
+                while !stop_flag.load(Ordering::Relaxed) {
+                    for (i, addr) in addrs.iter().enumerate() {
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if view.state(i) == NodeState::Down {
+                            continue;
+                        }
+                        if conns[i].is_none() {
+                            conns[i] = Client::connect(addr).ok();
+                        }
+                        let probed = conns[i].as_mut().and_then(|c| c.health().ok());
+                        match probed {
+                            Some(wear) => {
+                                view.record_probe(i, wear, drain_threshold);
+                            }
+                            None => {
+                                // Connect or probe failed: drop the
+                                // connection and mark the node down.
+                                conns[i] = None;
+                                view.mark_down(i);
+                            }
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn health prober thread");
+        HealthProber {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for HealthProber {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_past_threshold_flips_to_draining_once() {
+        let view = ClusterView::new(2);
+        let wear = WearSummary {
+            keys: 10,
+            free_segments: 90,
+            retired_segments: 10,
+            total_segments: 100,
+        };
+        assert_eq!(view.record_probe(0, wear, 0.05), NodeState::Draining);
+        assert_eq!(view.drains_pending(), vec![0]);
+        assert!(view.claim_drain(0));
+        assert!(!view.claim_drain(0), "drain claims are one-shot");
+        // Further probes past threshold do not re-arm the drain.
+        assert_eq!(view.record_probe(0, wear, 0.05), NodeState::Draining);
+        assert!(view.drains_pending().is_empty());
+        assert_eq!(view.state(1), NodeState::Healthy);
+    }
+
+    #[test]
+    fn below_threshold_stays_healthy_and_down_is_sticky() {
+        let view = ClusterView::new(1);
+        let wear = WearSummary {
+            keys: 1,
+            free_segments: 99,
+            retired_segments: 1,
+            total_segments: 100,
+        };
+        assert_eq!(view.record_probe(0, wear, 0.05), NodeState::Healthy);
+        view.mark_down(0);
+        // A later "successful" probe does not resurrect a down node.
+        assert_eq!(view.record_probe(0, wear, 0.05), NodeState::Down);
+    }
+}

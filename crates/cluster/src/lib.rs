@@ -1,0 +1,52 @@
+//! # e2nvm-cluster — N servers, one keyspace
+//!
+//! A client-side cluster layer over `e2nvm-server`: a deterministic
+//! consistent-hash [`HashRing`] routes every key to an R-way replica
+//! set, a [`ClusterClient`] fans writes out and falls reads back with
+//! per-key read repair, and a background [`HealthProber`] polls each
+//! server's HEALTH frame so a device that is *wearing out* — rising
+//! `retired_segments`, the paper's endurance failure mode — is
+//! drained to its replicas **before** it dies, not after.
+//!
+//! Servers stay entirely cluster-unaware: the wire protocol is
+//! unchanged, nodes never talk to each other, and any single-node
+//! client keeps working against any one server (see PROTOCOL.md,
+//! "routing invisibility"). All coordination is derivable: every
+//! router computes the same ring from the same ordered address list.
+//!
+//! [`ClusterClient`] implements [`e2nvm_kvstore::NvmKvStore`], so a
+//! cluster drops in anywhere a single store does — including the
+//! Figure-12-style harnesses — and speaks the same typed
+//! [`e2nvm_kvstore::StoreError`] language (`Unroutable`,
+//! `ReplicationFailed`, `Remote`).
+//!
+//! ```no_run
+//! use e2nvm_cluster::{ClusterClient, ClusterConfig};
+//! use e2nvm_kvstore::NvmKvStore;
+//!
+//! let cfg = ClusterConfig::builder()
+//!     .addrs(["127.0.0.1:4242", "127.0.0.1:4243", "127.0.0.1:4244"])
+//!     .replication(2)
+//!     .wear_drain_threshold(0.05)
+//!     .build()
+//!     .unwrap();
+//! let mut cluster = ClusterClient::connect(cfg);
+//! cluster.put(7, b"replicated").unwrap();
+//! assert_eq!(cluster.get(7).unwrap().as_deref(), Some(&b"replicated"[..]));
+//! ```
+//!
+//! Operational guidance (thresholds, probe cadence, recovery
+//! procedures) lives in OPERATIONS.md; the architecture discussion in
+//! DESIGN.md §15.
+
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod replicator;
+pub mod ring;
+pub mod router;
+
+pub use health::{ClusterView, HealthProber, NodeHealth, NodeState};
+pub use replicator::{ClusterStats, ClusterStatsSnapshot};
+pub use ring::HashRing;
+pub use router::{ClusterClient, ClusterConfig, ClusterConfigBuilder};

@@ -1,0 +1,237 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! The router hashes every key onto a 64-bit circle; each server owns
+//! the arcs that end at its virtual-node points. Virtual nodes (many
+//! ring points per server) smooth the arc lengths so load spreads
+//! within a few percent of uniform, and a key's *replica set* is the
+//! first `r` **distinct** servers met walking clockwise from the key's
+//! hash — so when a server leaves the ring (killed, or drained for
+//! wear), each of its arcs falls to the next server on the circle and
+//! only `1/n` of the keyspace moves.
+//!
+//! The ring is pure data: it never talks to the network and knows
+//! nothing about node health. The router composes it with the
+//! [`crate::health::ClusterView`] by passing a liveness predicate to
+//! [`HashRing::replicas_where`].
+
+/// Multiplier used by the SplitMix64 finalizer.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: the same cheap, high-quality 64-bit mix the
+/// simulator's fault model uses — deterministic across runs by design.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring mapping 64-bit keys to node indices.
+///
+/// Construction is deterministic in `(nodes, vnodes)`: every router
+/// and every experiment re-derives the identical ring, so routing
+/// decisions need no coordination service.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, node)` pairs sorted by point; the node owns the arc
+    /// ending at its point.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Build a ring for `nodes` servers with `vnodes` virtual nodes
+    /// each.
+    ///
+    /// # Panics
+    /// Panics when `nodes` or `vnodes` is zero — an empty ring cannot
+    /// route anything and is always a configuration bug.
+    pub fn new(nodes: usize, vnodes: usize) -> Self {
+        assert!(nodes > 0, "a ring needs at least one node");
+        assert!(vnodes > 0, "a ring needs at least one vnode per node");
+        let mut points = Vec::with_capacity(nodes * vnodes);
+        for node in 0..nodes {
+            for v in 0..vnodes {
+                // Decorrelate the (node, vnode) pair into one seed.
+                let seed = (node as u64).wrapping_mul(GOLDEN) ^ (v as u64);
+                points.push((splitmix64(seed), node));
+            }
+        }
+        points.sort_unstable();
+        // Hash collisions across distinct nodes are astronomically
+        // unlikely but would make ownership order-dependent; dedup by
+        // point keeps the ring a function.
+        points.dedup_by_key(|(p, _)| *p);
+        HashRing {
+            points,
+            nodes,
+            vnodes,
+        }
+    }
+
+    /// Number of servers on the ring.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Virtual nodes per server.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Where `key` lands on the circle.
+    fn point_of(key: u64) -> u64 {
+        splitmix64(key)
+    }
+
+    /// Index into `points` of the first ring point at or after `key`'s
+    /// hash (wrapping).
+    fn start_index(&self, key: u64) -> usize {
+        let p = Self::point_of(key);
+        match self.points.binary_search_by(|(pt, _)| pt.cmp(&p)) {
+            Ok(i) => i,
+            Err(i) => i % self.points.len(),
+        }
+    }
+
+    /// The key's primary: the first node met walking clockwise.
+    pub fn primary(&self, key: u64) -> usize {
+        self.points[self.start_index(key)].1
+    }
+
+    /// The first `r` **distinct** nodes met walking clockwise from
+    /// `key` — the key's replica set, in preference order. `r` is
+    /// clamped to the node count.
+    pub fn replicas(&self, key: u64, r: usize) -> Vec<usize> {
+        self.replicas_where(key, r, |_| true)
+    }
+
+    /// Like [`HashRing::replicas`], but only nodes satisfying `live`
+    /// count — the walk *extends past* excluded nodes, so when a
+    /// replica is down or draining the next node on the circle is
+    /// promoted into the set. This is the whole failover mechanism:
+    /// no rebalancing step, just a longer walk.
+    pub fn replicas_where(
+        &self,
+        key: u64,
+        r: usize,
+        mut live: impl FnMut(usize) -> bool,
+    ) -> Vec<usize> {
+        let want = r.min(self.nodes).max(1);
+        let start = self.start_index(key);
+        let mut out = Vec::with_capacity(want);
+        let mut seen = vec![false; self.nodes];
+        for off in 0..self.points.len() {
+            let (_, node) = self.points[(start + off) % self.points.len()];
+            if seen[node] {
+                continue;
+            }
+            seen[node] = true;
+            if live(node) {
+                out.push(node);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of the hash circle each node owns as *primary* —
+    /// the expected share of the keyspace it serves first. Sums to
+    /// 1.0; with enough vnodes every entry is close to `1/nodes`.
+    pub fn ownership(&self) -> Vec<f64> {
+        let mut arcs = vec![0u128; self.nodes];
+        for i in 0..self.points.len() {
+            let (p, node) = self.points[i];
+            let prev = if i == 0 {
+                // The arc wrapping past 0 belongs to the first point.
+                self.points[self.points.len() - 1].0
+            } else {
+                self.points[i - 1].0
+            };
+            arcs[node] += u128::from(p.wrapping_sub(prev));
+        }
+        let total: u128 = arcs.iter().sum();
+        arcs.iter().map(|&a| a as f64 / total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic() {
+        let a = HashRing::new(5, 64);
+        let b = HashRing::new(5, 64);
+        for key in 0..1000u64 {
+            assert_eq!(a.replicas(key, 3), b.replicas(key, 3));
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_ordered_by_walk() {
+        let ring = HashRing::new(4, 64);
+        for key in 0..1000u64 {
+            let set = ring.replicas(key, 3);
+            assert_eq!(set.len(), 3);
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate node in replica set");
+            assert_eq!(set[0], ring.primary(key));
+        }
+    }
+
+    #[test]
+    fn replica_count_clamps_to_node_count() {
+        let ring = HashRing::new(2, 16);
+        assert_eq!(ring.replicas(7, 5).len(), 2);
+    }
+
+    #[test]
+    fn excluding_a_node_promotes_the_next_on_the_circle() {
+        let ring = HashRing::new(4, 64);
+        for key in 0..500u64 {
+            let full = ring.replicas(key, 2);
+            let dead = full[0];
+            let after = ring.replicas_where(key, 2, |n| n != dead);
+            assert_eq!(after.len(), 2);
+            assert!(!after.contains(&dead));
+            // The survivor keeps its slot; only the dead node's slot
+            // is re-homed.
+            assert!(after.contains(&full[1]));
+        }
+    }
+
+    #[test]
+    fn ownership_is_balanced_within_tolerance() {
+        let ring = HashRing::new(5, 128);
+        let shares = ring.ownership();
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for (node, share) in shares.iter().enumerate() {
+            assert!(
+                (0.1..0.3).contains(share),
+                "node {node} owns {share:.3} of the ring — vnodes not smoothing"
+            );
+        }
+    }
+
+    #[test]
+    fn keyspace_distributes_across_all_nodes() {
+        let ring = HashRing::new(3, 64);
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            counts[ring.primary(key)] += 1;
+        }
+        for (node, count) in counts.iter().enumerate() {
+            assert!(
+                (500..1800).contains(count),
+                "node {node} is primary for {count}/3000 keys"
+            );
+        }
+    }
+}

@@ -206,6 +206,12 @@ impl SharedEngine {
         self.inner.engine.lock().retired_count()
     }
 
+    /// Total segments this engine's controller manages (free + in use +
+    /// retired) — the stable denominator for wear fractions.
+    pub fn num_segments(&self) -> usize {
+        self.inner.engine.lock().controller().num_segments()
+    }
+
     /// Snapshot of the device statistics.
     pub fn device_stats(&self) -> DeviceStats {
         self.inner.engine.lock().device_stats().clone()

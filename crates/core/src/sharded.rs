@@ -243,6 +243,12 @@ impl ShardedEngine {
         self.shards.iter().map(SharedEngine::retired_count).sum()
     }
 
+    /// Total segments across all shards (free + in use + retired) —
+    /// the stable denominator for wear fractions.
+    pub fn num_segments(&self) -> usize {
+        self.shards.iter().map(SharedEngine::num_segments).sum()
+    }
+
     /// Device statistics aggregated over all shards.
     pub fn device_stats(&self) -> DeviceStats {
         let mut total = DeviceStats::default();

@@ -318,6 +318,47 @@ fn attach_syncer(wal: Wal, shard: usize, syncer: &Option<WalSyncer>) -> Wal {
     }
 }
 
+/// A point-in-time summary of a store's segment wear, cheap enough to
+/// poll every few hundred milliseconds: live keys plus the three pool
+/// counters whose trajectory is the endurance story (free shrinking,
+/// retired growing, total constant).
+///
+/// This is the body of the wire protocol's HEALTH frame and the signal
+/// the cluster layer's wear-driven failover acts on — a server whose
+/// [`wear_fraction`](WearSummary::wear_fraction) crosses the drain
+/// threshold gets its traffic routed to replicas *before* the pool
+/// depletes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WearSummary {
+    /// Live keys in the store.
+    pub keys: u64,
+    /// Free segments still available for placement.
+    pub free_segments: u64,
+    /// Segments permanently retired by wear-out.
+    pub retired_segments: u64,
+    /// Total segments the store manages (free + in use + retired);
+    /// constant over a store's lifetime.
+    pub total_segments: u64,
+}
+
+impl WearSummary {
+    /// Fraction of the store's segments permanently retired by
+    /// wear-out, in `[0, 1]`. `0.0` for an empty geometry.
+    pub fn wear_fraction(&self) -> f64 {
+        if self.total_segments == 0 {
+            0.0
+        } else {
+            self.retired_segments as f64 / self.total_segments as f64
+        }
+    }
+
+    /// Whether the placement pool has run dry — the next write that
+    /// needs a fresh segment will fail with `Degraded`/`PoolDepleted`.
+    pub fn is_depleted(&self) -> bool {
+        self.free_segments == 0
+    }
+}
+
 /// What [`ShardedE2KvStore::recover`] rebuilt, for operator logs and
 /// the recovery benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -592,6 +633,18 @@ impl ShardedE2KvStore {
     /// (degraded mode).
     pub fn retired_count(&self) -> usize {
         self.engine.retired_count()
+    }
+
+    /// Point-in-time wear summary across all shards — what the wire
+    /// protocol's HEALTH frame carries and what the cluster layer's
+    /// health prober acts on.
+    pub fn wear_summary(&self) -> WearSummary {
+        WearSummary {
+            keys: self.engine.len() as u64,
+            free_segments: self.engine.free_count() as u64,
+            retired_segments: self.engine.retired_count() as u64,
+            total_segments: self.engine.num_segments() as u64,
+        }
     }
 
     /// Number of keys stored across all shards.

@@ -11,6 +11,8 @@
 //!    [`E2NodeStore`] (copy-on-write placement through E2-NVM) so "bare
 //!    vs plugged into E2-NVM" is a one-line switch.
 
+#![warn(missing_docs)]
+
 pub mod btree;
 pub mod cache;
 pub mod e2store;
@@ -25,7 +27,7 @@ pub mod wisckey;
 
 pub use btree::BPlusTree;
 pub use cache::{CacheConfig, CacheConfigBuilder, CacheStats, CachedKvStore, HotCache};
-pub use e2store::{E2KvStore, RecoveryReport, ShardedE2KvStore};
+pub use e2store::{E2KvStore, RecoveryReport, ShardedE2KvStore, WearSummary};
 pub use fptree::FpTree;
 pub use novelsm::NoveLsm;
 pub use path_hashing::PathHashing;

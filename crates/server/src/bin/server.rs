@@ -6,7 +6,8 @@
 //!     [--seg-bytes 64] [--max-conns 1024] [--workers 0] \
 //!     [--threaded] [--cache] [--cache-mb 64] \
 //!     [--data-dir PATH] [--flush-policy every|batch:N|os] \
-//!     [--snapshot-every OPS]
+//!     [--snapshot-every OPS] \
+//!     [--fault-endurance BITS] [--fault-seed SEED]
 //! ```
 //!
 //! Prints the bound address on the first line (`listening on ADDR`),
@@ -17,6 +18,14 @@
 //! `--workers N` sizes the reactor's worker pool (0 = auto);
 //! `--threaded` serves with the thread-per-connection baseline engine
 //! instead of the epoll reactor.
+//!
+//! `--fault-endurance BITS` attaches the simulator's deterministic
+//! fault model with a Weibull(3.0, BITS) per-segment endurance budget
+//! (counted in cumulative programmed bits), so segments genuinely
+//! retire under sustained writes — the knob the cluster's wear-out
+//! failover experiment turns. `--fault-seed` (default `0xE2`) seeds
+//! the endurance draws. Without `--fault-endurance` the device is
+//! fault-free, exactly as before.
 //!
 //! `--data-dir PATH` enables crash-consistent persistence: mutations
 //! are logged to per-shard WALs under `PATH/wal/` and snapshots land
@@ -74,6 +83,9 @@ fn main() {
     let data_dir = arg_after(&args, "--data-dir");
     let flush_policy = parse_flush_policy(arg_after(&args, "--flush-policy"));
     let snapshot_every: u64 = parse_or(arg_after(&args, "--snapshot-every"), 0);
+    let fault_endurance: Option<u64> =
+        arg_after(&args, "--fault-endurance").and_then(|s| s.parse().ok());
+    let fault_seed: u64 = parse_or(arg_after(&args, "--fault-seed"), 0xE2);
 
     let registry = TelemetryRegistry::new();
     let pcfg = data_dir.map(|dir| {
@@ -111,7 +123,18 @@ fn main() {
                 "fresh store: training {shards} shard models over \
                  {segments} × {seg_bytes} B segments..."
             );
-            let store = demo::demo_store(shards, segments, seg_bytes, 0xE2);
+            let fault = fault_endurance.map(|endurance_bits| e2nvm_sim::FaultConfig {
+                seed: fault_seed,
+                endurance_bits,
+                ..e2nvm_sim::FaultConfig::default()
+            });
+            if let Some(f) = &fault {
+                eprintln!(
+                    "fault injection on: endurance ~Weibull({}, {} bits), seed {:#x}",
+                    f.endurance_shape, f.endurance_bits, f.seed
+                );
+            }
+            let store = demo::demo_store_with_fault(shards, segments, seg_bytes, 0xE2, fault);
             match &pcfg {
                 Some(p) => store
                     .with_persistence(p.clone(), Some(&registry))

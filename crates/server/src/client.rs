@@ -222,6 +222,18 @@ impl Client {
         }
     }
 
+    /// The server's wear summary: live keys plus free / retired /
+    /// total segment counts, as one fixed 32-byte binary frame. This
+    /// is the probe the cluster health monitor polls — cheap enough to
+    /// call every few hundred milliseconds, unlike parsing
+    /// [`metrics`](Self::metrics) text.
+    pub fn health(&mut self) -> std::io::Result<e2nvm_kvstore::WearSummary> {
+        match self.call(&Request::Health)? {
+            Response::Health(wear) => Ok(wear),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// The server's telemetry exposition (Prometheus text).
     pub fn metrics(&mut self) -> std::io::Result<String> {
         match self.call(&Request::Metrics)? {

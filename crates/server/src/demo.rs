@@ -8,7 +8,7 @@
 
 use e2nvm_core::{E2Config, PaddingType, ShardedEngine};
 use e2nvm_kvstore::ShardedE2KvStore;
-use e2nvm_sim::{partition_controllers, DeviceConfig, MemoryController, SegmentId};
+use e2nvm_sim::{partition_controllers, DeviceConfig, FaultConfig, MemoryController, SegmentId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,11 +30,27 @@ pub fn demo_store(
     seg_bytes: usize,
     seed: u64,
 ) -> ShardedE2KvStore {
-    let dev_cfg = DeviceConfig::builder()
+    demo_store_with_fault(shards, total_segments, seg_bytes, seed, None)
+}
+
+/// [`demo_store`] over a device with optional fault injection (finite
+/// per-segment endurance). This is what the wear-out experiments run:
+/// a server whose segments genuinely retire, so the cluster's health
+/// prober has real `retired_segments` growth to react to.
+pub fn demo_store_with_fault(
+    shards: usize,
+    total_segments: usize,
+    seg_bytes: usize,
+    seed: u64,
+    fault: Option<FaultConfig>,
+) -> ShardedE2KvStore {
+    let mut builder = DeviceConfig::builder()
         .segment_bytes(seg_bytes)
-        .num_segments(total_segments)
-        .build()
-        .expect("valid device config");
+        .num_segments(total_segments);
+    if let Some(fault) = fault {
+        builder = builder.fault(fault);
+    }
+    let dev_cfg = builder.build().expect("valid device config");
     let cfg = demo_config(seg_bytes, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let controllers: Vec<MemoryController> = partition_controllers(&dev_cfg, shards)

@@ -71,6 +71,15 @@ impl Front {
             Front::Cached(cached) => cached.stats(),
         }
     }
+
+    /// Fixed-size wear summary for the HEALTH frame (inherent on the
+    /// concrete store; DRAM cache state is irrelevant to device wear).
+    fn wear_summary(&self) -> e2nvm_kvstore::WearSummary {
+        match self {
+            Front::Plain(store) => store.wear_summary(),
+            Front::Cached(cached) => cached.inner().wear_summary(),
+        }
+    }
 }
 
 /// One unit of ordered per-connection work: a parsed request, or a
@@ -357,10 +366,20 @@ impl ExecCtx {
                 Ok(bytes) => Response::Flushed(bytes),
                 Err(e) => store_error_frame(&e),
             },
-            Request::Metrics => Response::Metrics(match &self.registry {
-                Some(reg) => reg.render_prometheus(),
-                None => "# no telemetry registry attached\n".to_string(),
-            }),
+            Request::Health => {
+                let wear = self.store.wear_summary();
+                self.telemetry.record_wear(&wear);
+                Response::Health(wear)
+            }
+            Request::Metrics => {
+                // Refresh the wear gauges so a text scrape carries the
+                // same numbers a binary HEALTH probe would.
+                self.telemetry.record_wear(&self.store.wear_summary());
+                Response::Metrics(match &self.registry {
+                    Some(reg) => reg.render_prometheus(),
+                    None => "# no telemetry registry attached\n".to_string(),
+                })
+            }
             Request::Shutdown => Response::ShutdownAck,
         }
     }

@@ -23,6 +23,7 @@
 //! body shape), after which framing is still intact and the connection
 //! survives. See [`FrameError::is_fatal`].
 
+use e2nvm_kvstore::WearSummary;
 use std::fmt;
 
 /// Protocol magic byte, fixed forever (frames from anything that is
@@ -62,6 +63,12 @@ pub enum Opcode {
     /// the OK response carries the snapshot bytes written as a `u64`
     /// (0 when the server runs without persistence).
     Flush = 0x07,
+    /// Wear/health summary. Empty body; the OK response carries a
+    /// fixed 32-byte body (`keys`, `free_segments`, `retired_segments`,
+    /// `total_segments`, all `u64` LE) — cheap enough for a cluster
+    /// health prober to poll every few hundred milliseconds, unlike
+    /// the METRICS text exposition.
+    Health = 0x08,
     /// Ask the server to shut down gracefully. Empty body.
     Shutdown = 0x7F,
 }
@@ -78,6 +85,7 @@ impl Opcode {
             0x05 => Opcode::Stats,
             0x06 => Opcode::Metrics,
             0x07 => Opcode::Flush,
+            0x08 => Opcode::Health,
             0x7F => Opcode::Shutdown,
             _ => return None,
         })
@@ -94,12 +102,13 @@ impl Opcode {
             Opcode::Stats => "stats",
             Opcode::Metrics => "metrics",
             Opcode::Flush => "flush",
+            Opcode::Health => "health",
             Opcode::Shutdown => "shutdown",
         }
     }
 
     /// Every defined opcode, in wire order.
-    pub const ALL: [Opcode; 9] = [
+    pub const ALL: [Opcode; 10] = [
         Opcode::Ping,
         Opcode::Get,
         Opcode::Put,
@@ -108,6 +117,7 @@ impl Opcode {
         Opcode::Stats,
         Opcode::Metrics,
         Opcode::Flush,
+        Opcode::Health,
         Opcode::Shutdown,
     ];
 }
@@ -230,6 +240,8 @@ pub enum Request {
     Metrics,
     /// Snapshot + WAL fsync on demand.
     Flush,
+    /// Wear/health summary probe.
+    Health,
     /// Graceful server shutdown.
     Shutdown,
 }
@@ -246,6 +258,7 @@ impl Request {
             Request::Stats => Opcode::Stats,
             Request::Metrics => Opcode::Metrics,
             Request::Flush => Opcode::Flush,
+            Request::Health => Opcode::Health,
             Request::Shutdown => Opcode::Shutdown,
         }
     }
@@ -290,6 +303,11 @@ pub enum Response {
     Flushed(
         /// Snapshot bytes written by the flush.
         u64,
+    ),
+    /// OK for HEALTH: the store's wear summary.
+    Health(
+        /// Live keys plus free/retired/total segment counters.
+        WearSummary,
     ),
     /// OK for SHUTDOWN: the server acknowledged and is draining.
     ShutdownAck,
@@ -423,7 +441,12 @@ fn put_header(out: &mut Vec<u8>, body_len: usize, code: u8, aux: u8) {
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     let op = req.opcode() as u8;
     match req {
-        Request::Ping | Request::Stats | Request::Metrics | Request::Flush | Request::Shutdown => {
+        Request::Ping
+        | Request::Stats
+        | Request::Metrics
+        | Request::Flush
+        | Request::Health
+        | Request::Shutdown => {
             put_header(out, 0, op, 0);
         }
         Request::Get { key } | Request::Delete { key } => {
@@ -480,6 +503,13 @@ pub fn encode_response(resp: &Response, echo: Option<Opcode>, out: &mut Vec<u8>)
             put_header(out, 8, Status::Ok as u8, aux);
             out.extend_from_slice(&bytes.to_le_bytes());
         }
+        Response::Health(wear) => {
+            put_header(out, 32, Status::Ok as u8, aux);
+            out.extend_from_slice(&wear.keys.to_le_bytes());
+            out.extend_from_slice(&wear.free_segments.to_le_bytes());
+            out.extend_from_slice(&wear.retired_segments.to_le_bytes());
+            out.extend_from_slice(&wear.total_segments.to_le_bytes());
+        }
         Response::Error {
             status,
             retired,
@@ -524,7 +554,12 @@ pub fn parse_request(frame: &RawFrame<'_>) -> Result<Request, FrameError> {
     let op = Opcode::from_u8(frame.code).ok_or(FrameError::UnknownOpcode(frame.code))?;
     let body = frame.body;
     match op {
-        Opcode::Ping | Opcode::Stats | Opcode::Metrics | Opcode::Flush | Opcode::Shutdown => {
+        Opcode::Ping
+        | Opcode::Stats
+        | Opcode::Metrics
+        | Opcode::Flush
+        | Opcode::Health
+        | Opcode::Shutdown => {
             if !body.is_empty() {
                 return Err(FrameError::BadBody("expected empty body"));
             }
@@ -533,6 +568,7 @@ pub fn parse_request(frame: &RawFrame<'_>) -> Result<Request, FrameError> {
                 Opcode::Stats => Request::Stats,
                 Opcode::Metrics => Request::Metrics,
                 Opcode::Flush => Request::Flush,
+                Opcode::Health => Request::Health,
                 _ => Request::Shutdown,
             })
         }
@@ -618,6 +654,19 @@ pub fn parse_response(frame: &RawFrame<'_>) -> Result<Response, FrameError> {
                         ));
                     }
                     Ok(Response::Flushed(take_u64(body, 0).unwrap()))
+                }
+                Opcode::Health => {
+                    if body.len() != 32 {
+                        return Err(FrameError::BadBody(
+                            "HEALTH response must be exactly 32 bytes",
+                        ));
+                    }
+                    Ok(Response::Health(WearSummary {
+                        keys: take_u64(body, 0).unwrap(),
+                        free_segments: take_u64(body, 8).unwrap(),
+                        retired_segments: take_u64(body, 16).unwrap(),
+                        total_segments: take_u64(body, 24).unwrap(),
+                    }))
                 }
                 Opcode::Stats | Opcode::Metrics => {
                     let text = std::str::from_utf8(body)
@@ -766,6 +815,7 @@ mod tests {
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Metrics);
         roundtrip_request(Request::Flush);
+        roundtrip_request(Request::Health);
         roundtrip_request(Request::Shutdown);
     }
 
@@ -789,6 +839,15 @@ mod tests {
             ),
             (Response::Flushed(0), Some(Opcode::Flush)),
             (Response::Flushed(4096), Some(Opcode::Flush)),
+            (
+                Response::Health(WearSummary {
+                    keys: 512,
+                    free_segments: 40,
+                    retired_segments: 7,
+                    total_segments: 2048,
+                }),
+                Some(Opcode::Health),
+            ),
             (
                 Response::Metrics("# HELP x\n".into()),
                 Some(Opcode::Metrics),

@@ -72,6 +72,16 @@ pub struct ServerTelemetry {
     /// Reactor only: nanoseconds workers spent executing batches.
     /// Utilization = rate(worker_busy_ns) / (workers × 1e9).
     pub(crate) worker_busy_ns: Counter,
+    /// Wear summary: free segments across the fronted store's shards,
+    /// refreshed whenever a HEALTH or METRICS frame is served.
+    pub(crate) wear_free_segments: Gauge,
+    /// Wear summary: segments permanently retired by wear-out,
+    /// refreshed whenever a HEALTH or METRICS frame is served.
+    pub(crate) wear_retired_segments: Gauge,
+    /// Wear summary: total segments (constant denominator for the wear
+    /// fraction), refreshed whenever a HEALTH or METRICS frame is
+    /// served.
+    pub(crate) wear_total_segments: Gauge,
 }
 
 /// Bucket bounds for items-per-worker-batch: powers of two up to the
@@ -113,6 +123,9 @@ impl ServerTelemetry {
             dispatch_batch_items: Histogram::disconnected(&BATCH_ITEM_BOUNDS),
             worker_batches: Counter::disconnected(),
             worker_busy_ns: Counter::disconnected(),
+            wear_free_segments: Gauge::disconnected(),
+            wear_retired_segments: Gauge::disconnected(),
+            wear_total_segments: Gauge::disconnected(),
         }
     }
 
@@ -189,6 +202,18 @@ impl ServerTelemetry {
                 "e2nvm_server_worker_busy_ns_total",
                 "Nanoseconds workers spent executing batches (utilization numerator)",
             ),
+            wear_free_segments: registry.gauge(
+                "e2nvm_server_wear_free_segments",
+                "Free segments across the fronted store (refreshed on HEALTH/METRICS)",
+            ),
+            wear_retired_segments: registry.gauge(
+                "e2nvm_server_wear_retired_segments",
+                "Segments permanently retired by wear-out (refreshed on HEALTH/METRICS)",
+            ),
+            wear_total_segments: registry.gauge(
+                "e2nvm_server_wear_total_segments",
+                "Total segments managed by the fronted store (refreshed on HEALTH/METRICS)",
+            ),
         }
     }
 
@@ -200,6 +225,16 @@ impl ServerTelemetry {
         if let Some(i) = Opcode::ALL.iter().position(|&o| o == op) {
             self.frames[i].inc();
         }
+    }
+
+    /// Refresh the wear gauges from a store summary (called when a
+    /// HEALTH or METRICS frame is served, so scrapes see fresh values
+    /// without a per-mutation gauge write on the hot path).
+    #[inline]
+    pub(crate) fn record_wear(&self, wear: &e2nvm_kvstore::WearSummary) {
+        self.wear_free_segments.set(wear.free_segments as i64);
+        self.wear_retired_segments.set(wear.retired_segments as i64);
+        self.wear_total_segments.set(wear.total_segments as i64);
     }
 
     /// Count one error frame carrying `status`.
