@@ -1,11 +1,27 @@
-//! Network load generator for `e2nvm-server`: drives YCSB A/B/C over
-//! loopback with configurable connections × pipeline depth and records
-//! the sustained throughput in `results/net_throughput.md`.
+//! Network load generator for `e2nvm-server`: drives the full YCSB
+//! core matrix A–F over loopback with configurable connections ×
+//! pipeline depth and records sustained throughput plus per-workload
+//! device energy in `results/net_throughput.md`.
+//!
+//! The six mixes exercise every wire path: A/B/C are the GET/PUT
+//! mixes, D inserts new keys under the latest distribution (with a
+//! capacity-aware admission budget so a finite simulated device never
+//! answers a full-store error mid-measurement), E drives short ranges
+//! through the streaming SCAN_STREAM opcode (chunked multi-frame
+//! responses), and F issues read-modify-writes as a pipelined GET→PUT
+//! pair per key — both frames in one batch, in order, so the write
+//! always follows its read on the same connection. The plain run
+//! drives the whole matrix twice — `coalesce_puts` off, then on — and
+//! reports the bit-flip delta the PUT-run coalescing buys per
+//! workload.
 //!
 //! By default it boots its own 4-shard server on an ephemeral loopback
 //! port (the in-process [`e2nvm_server::Server`], so one binary is a
 //! complete experiment); pass `--addr HOST:PORT` to aim it at an
-//! already-running `e2nvm-server` instead.
+//! already-running `e2nvm-server` instead. Self-hosted servers set a
+//! deliberately small 1 KiB scan-chunk bound so workload E's short
+//! ranges genuinely exercise multi-chunk streams (the CI-checkable
+//! `multi-chunk scan responses: N` line comes from server telemetry).
 //!
 //! With `--cache` the generator runs the whole suite twice — once
 //! against a plain server, once against one fronted by the DRAM
@@ -43,10 +59,12 @@
 //!
 //! Flags: `--connections N` (default 4), `--pipeline D` (default 16),
 //! `--ops N` per connection per workload, `--shards`, `--segments`,
-//! `--seg-bytes`, `--workloads A,B,C`, `--addr`, `--cache`,
-//! `--cache-mb N` (default 64), `--threaded` (serve with the
-//! thread-per-connection baseline), `--workers N` (reactor pool size,
-//! 0 = auto), `--compare-servers`, `--cluster`, `--quick`.
+//! `--seg-bytes`, `--workloads A,B,C,D,E,F` (the plain default; the
+//! `--cache` and `--compare-servers` experiments default to their
+//! established A,B,C scope), `--addr`, `--cache`, `--cache-mb N`
+//! (default 64), `--threaded` (serve with the thread-per-connection
+//! baseline), `--workers N` (reactor pool size, 0 = auto),
+//! `--compare-servers`, `--cluster`, `--quick`.
 //!
 //! After the run the binary prints `server error frames: N` (summed
 //! across wire statuses from the final METRICS frame) so CI can assert
@@ -60,6 +78,7 @@ use e2nvm_server::{
 };
 use e2nvm_telemetry::TelemetryRegistry;
 use e2nvm_workloads::ycsb::{Operation, Ycsb};
+use e2nvm_workloads::zipf::scramble;
 use std::io::Write as _;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -76,6 +95,7 @@ struct Args {
     segments: usize,
     seg_bytes: usize,
     workloads: Vec<char>,
+    workloads_set: bool,
     cache: bool,
     cache_mb: usize,
     threaded: bool,
@@ -97,7 +117,8 @@ fn parse_args() -> Args {
         shards: 4,
         segments: 0,
         seg_bytes: 64,
-        workloads: vec!['A', 'B', 'C'],
+        workloads: vec!['A', 'B', 'C', 'D', 'E', 'F'],
+        workloads_set: false,
         cache: false,
         cache_mb: 64,
         threaded: false,
@@ -139,12 +160,13 @@ fn parse_args() -> Args {
                     .map(|w| {
                         let c = w.trim().to_ascii_uppercase();
                         assert!(
-                            matches!(c.as_str(), "A" | "B" | "C"),
-                            "supported workloads: A, B, C (got {w:?})"
+                            matches!(c.as_str(), "A" | "B" | "C" | "D" | "E" | "F"),
+                            "supported workloads: A, B, C, D, E, F (got {w:?})"
                         );
                         c.chars().next().unwrap()
                     })
                     .collect();
+                args.workloads_set = true;
             }
             "--cache" => args.cache = true,
             "--cache-mb" => args.cache_mb = value("--cache-mb").parse().unwrap(),
@@ -187,6 +209,13 @@ fn parse_args() -> Args {
     if !segments_set {
         args.segments = if args.quick { 256 } else { 2048 };
     }
+    if !args.workloads_set && (args.cache || args.compare) {
+        // The cache and engine-comparison experiments keep their
+        // established A/B/C scope (their reports are GET/PUT-shaped
+        // comparisons); the plain run covers the full matrix. An
+        // explicit --workloads overrides either default.
+        args.workloads = vec!['A', 'B', 'C'];
+    }
     assert!(args.connections > 0, "--connections must be > 0");
     assert!(args.pipeline > 0, "--pipeline must be > 0");
     assert!(args.cache_mb > 0, "--cache-mb must be > 0");
@@ -197,14 +226,23 @@ fn make_workload(name: char, records: u64, value_len: usize, seed: u64) -> Ycsb 
     match name {
         'A' => Ycsb::a(records, value_len, seed),
         'B' => Ycsb::b(records, value_len, seed),
+        'D' => Ycsb::d(records, value_len, seed),
+        'E' => Ycsb::e(records, value_len, seed),
+        'F' => Ycsb::f(records, value_len, seed),
         _ => Ycsb::c(records, value_len, seed),
     }
 }
 
+#[derive(Default)]
 struct ConnResult {
     ops: u64,
     reads: u64,
     writes: u64,
+    scans: u64,
+    rmws: u64,
+    /// Workload-D/E inserts degraded to updates of an
+    /// already-admitted insert key once the capacity budget ran out.
+    degraded_inserts: u64,
     errors: u64,
 }
 
@@ -215,7 +253,10 @@ struct ConnResult {
 /// clock starts is the standard loadgen discipline: the timed region
 /// then measures the server, not the Zipfian sampler or the codec.
 struct ConnPlan {
-    /// `(encoded request frames, responses owed)` per batch.
+    /// `(encoded request frames, terminal responses owed)` per batch.
+    /// An RMW op owes two responses (its GET and its PUT); a streamed
+    /// SCAN owes one *terminal* response however many chunk frames it
+    /// spans — the drain counts with [`Client::recv_responses`].
     batches: Vec<(Vec<u8>, usize)>,
     result: ConnResult,
 }
@@ -227,41 +268,90 @@ fn plan_connection(
     seed: u64,
     ops: usize,
     pipeline: usize,
+    insert_budget: usize,
 ) -> ConnPlan {
     let mut gen = make_workload(workload, records, value_len, seed);
-    let mut result = ConnResult {
-        ops: 0,
-        reads: 0,
-        writes: 0,
-        errors: 0,
-    };
+    let mut result = ConnResult::default();
+    // Capacity-aware insert admission (workloads D and E): the
+    // simulated device is finite, so each connection may issue at most
+    // `insert_budget` genuinely-new keys. Past the budget an insert
+    // degrades to an update of a previously-admitted insert key —
+    // write ratio and latest-skew are preserved, and the store never
+    // answers a full-device error mid-measurement. (Connections share
+    // the generator's insert key sequence, so distinct new keys across
+    // the whole fleet are bounded by one budget, not the sum.)
+    let mut admitted: Vec<u64> = Vec::new();
+    let mut budget = insert_budget;
+    let mut degrade_cursor = 0usize;
     let mut batches: Vec<(Vec<u8>, usize)> = Vec::with_capacity(ops.div_ceil(pipeline));
     let mut remaining = ops;
     while remaining > 0 {
         let depth = pipeline.min(remaining);
         let mut encoded = Vec::with_capacity(depth * 64);
+        let mut owed = 0usize;
         for _ in 0..depth {
-            let req = match gen.next_op() {
-                Operation::Read(key) => Request::Get { key },
-                Operation::Update(key, value)
-                | Operation::Insert(key, value)
-                | Operation::ReadModifyWrite(key, value) => Request::Put { key, value },
-                Operation::Scan(key, len) => Request::Scan {
-                    lo: key,
-                    hi: key,
-                    limit: len as u32,
-                },
-            };
             result.ops += 1;
-            match req {
-                Request::Get { .. } => result.reads += 1,
-                Request::Put { .. } => result.writes += 1,
-                _ => {}
+            match gen.next_op() {
+                Operation::Read(key) => {
+                    result.reads += 1;
+                    owed += 1;
+                    encode_request(&Request::Get { key }, &mut encoded);
+                }
+                Operation::Update(key, value) => {
+                    result.writes += 1;
+                    owed += 1;
+                    encode_request(&Request::Put { key, value }, &mut encoded);
+                }
+                Operation::Insert(key, value) => {
+                    let key = if budget > 0 {
+                        budget -= 1;
+                        admitted.push(key);
+                        key
+                    } else {
+                        result.degraded_inserts += 1;
+                        degrade_cursor += 1;
+                        match admitted.get(degrade_cursor % admitted.len().max(1)) {
+                            Some(&k) => k,
+                            // Zero budget from the start: update the
+                            // newest load-phase key instead.
+                            None => scramble(records.saturating_sub(1)),
+                        }
+                    };
+                    result.writes += 1;
+                    owed += 1;
+                    encode_request(&Request::Put { key, value }, &mut encoded);
+                }
+                Operation::Scan(key, len) => {
+                    result.scans += 1;
+                    owed += 1;
+                    // Short range through the streaming opcode: lo is
+                    // the sampled key, the limit (not hi) bounds the
+                    // range length, exactly YCSB-E's contract.
+                    encode_request(
+                        &Request::ScanStream {
+                            lo: key,
+                            hi: u64::MAX,
+                            limit: len as u32,
+                        },
+                        &mut encoded,
+                    );
+                }
+                Operation::ReadModifyWrite(key, value) => {
+                    // One op, two frames, one batch: the PUT rides the
+                    // same pipelined batch as its GET and the server
+                    // executes a connection's frames in order, so the
+                    // write never reorders ahead of its read.
+                    result.rmws += 1;
+                    result.reads += 1;
+                    result.writes += 1;
+                    owed += 2;
+                    encode_request(&Request::Get { key }, &mut encoded);
+                    encode_request(&Request::Put { key, value }, &mut encoded);
+                }
             }
-            encode_request(&req, &mut encoded);
         }
         remaining -= depth;
-        batches.push((encoded, depth));
+        batches.push((encoded, owed));
     }
     ConnPlan { batches, result }
 }
@@ -271,8 +361,17 @@ struct WorkloadResult {
     ops: u64,
     reads: u64,
     writes: u64,
+    scans: u64,
+    rmws: u64,
+    degraded_inserts: u64,
     errors: u64,
     elapsed_s: f64,
+    /// Device-counter deltas over this workload's run, from STATS
+    /// frames snapshotted between workloads: bit flips actually
+    /// programmed into the simulated NVM and the device energy they
+    /// (plus the line reads/writes) cost.
+    bits_flipped: u64,
+    energy_pj: f64,
     /// Cache hit/miss deltas over this workload's run, when the server
     /// exposes the `e2nvm_cache_*` series (cache on + telemetry built).
     cache_hits: Option<u64>,
@@ -284,12 +383,30 @@ impl WorkloadResult {
         self.ops as f64 / self.elapsed_s
     }
 
+    fn bits_per_op(&self) -> f64 {
+        self.bits_flipped as f64 / self.ops.max(1) as f64
+    }
+
+    fn pj_per_op(&self) -> f64 {
+        self.energy_pj / self.ops.max(1) as f64
+    }
+
     fn hit_rate(&self) -> Option<f64> {
         match (self.cache_hits, self.cache_misses) {
             (Some(h), Some(m)) if h + m > 0 => Some(h as f64 / (h + m) as f64),
             _ => None,
         }
     }
+}
+
+/// One numeric field out of the STATS frame's flat JSON document
+/// (schema in PROTOCOL.md §4), or `None` when absent.
+fn stats_field(stats: &str, name: &str) -> Option<f64> {
+    let pat = format!("\"{name}\":");
+    let at = stats.find(&pat)? + pat.len();
+    let rest = &stats[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 /// One unlabeled sample value from a Prometheus exposition, or `None`
@@ -339,6 +456,36 @@ fn print_error_frames(metrics: &str) {
     }
 }
 
+/// [`print_error_frames`] summed over several suites' final METRICS
+/// expositions (the plain run drives two).
+fn print_summed_error_frames(all_metrics: &[&str]) {
+    let sums: Vec<u64> = all_metrics
+        .iter()
+        .filter_map(|m| metric_sum(m, "e2nvm_server_error_frames_total"))
+        .collect();
+    if sums.is_empty() {
+        println!("server error frames: unavailable (build with --features telemetry)");
+    } else {
+        println!("server error frames: {}", sums.iter().sum::<u64>());
+    }
+}
+
+/// Print the CI-checkable multi-chunk streaming-SCAN count: how many
+/// SCAN_STREAM responses spanned more than one chunk frame, straight
+/// from the server's telemetry. Non-zero proves workload E exercised
+/// the chunked path, not just single-frame streams.
+fn print_multi_chunk_scans(all_metrics: &[&str]) {
+    let sums: Vec<u64> = all_metrics
+        .iter()
+        .filter_map(|m| metric_value(m, "e2nvm_server_scan_stream_multi_chunk_total"))
+        .collect();
+    if sums.is_empty() {
+        println!("multi-chunk scan responses: unavailable (build with --features telemetry)");
+    } else {
+        println!("multi-chunk scan responses: {}", sums.iter().sum::<u64>());
+    }
+}
+
 /// Everything one full suite run produced: per-workload throughput,
 /// the final STATS document, and the final METRICS exposition.
 struct SuiteOutcome {
@@ -347,11 +494,20 @@ struct SuiteOutcome {
     metrics: String,
 }
 
+/// Target payload per streamed SCAN chunk on the loadgen's
+/// self-hosted servers: deliberately small so workload E's short
+/// ranges (≤ 100 records) genuinely span multiple chunk frames —
+/// the streaming path under test, not just its degenerate
+/// one-chunk case.
+const LOADGEN_SCAN_CHUNK: usize = 1024;
+
 /// Boot a server (unless `--addr` points at one), load every record,
 /// then drive each requested workload with `connections` pipelined
-/// connections. `cache_cfg` shapes the server-side read-through cache;
-/// `None` serves every GET from the store.
-fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
+/// connections. `cache_cfg` shapes the server-side read-through cache
+/// (`None` serves every GET from the store); `coalesce` turns on the
+/// server's PUT-run coalescing, the knob whose bit-flip saving the
+/// plain report measures.
+fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>, coalesce: bool) -> SuiteOutcome {
     let records = (args.segments / 4) as u64;
     let value_len = args.seg_bytes * 3 / 4;
 
@@ -380,7 +536,9 @@ fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
             // and a BUSY reject mid-run would poison the measurement.
             let mut config = ServerConfig::builder()
                 .max_connections(args.connections + 16)
-                .workers(args.workers);
+                .workers(args.workers)
+                .coalesce_puts(coalesce)
+                .scan_chunk_bytes(LOADGEN_SCAN_CHUNK);
             if let Some(cache) = cache_cfg.clone() {
                 config = config.cache(cache);
             }
@@ -444,7 +602,20 @@ fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
             metric_value(&metrics, "e2nvm_cache_misses_total"),
         )
     };
+    let device_snapshot = |loader: &mut Client| {
+        let stats = loader.stats().expect("STATS frame");
+        (
+            stats_field(&stats, "bits_flipped").unwrap_or(0.0) as u64,
+            stats_field(&stats, "energy_pj").unwrap_or(0.0),
+        )
+    };
+    // The load phase doubled occupancy headroom exists for: records
+    // fill 1/4 of the device, so admitting another `records` distinct
+    // insert keys tops out at 1/2 — the placement pipeline keeps ample
+    // free segments and D/E never hit a full-store error.
+    let insert_budget = records as usize;
     let (mut prev_hits, mut prev_misses) = snapshot(&mut loader);
+    let (mut prev_bits, mut prev_pj) = device_snapshot(&mut loader);
     for &workload in &args.workloads {
         // Traces are generated before the clock starts, so the timed
         // region measures the server, not the Zipfian sampler.
@@ -457,6 +628,7 @@ fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
                     0x10AD + c as u64,
                     args.ops,
                     args.pipeline,
+                    insert_budget,
                 )
             })
             .collect();
@@ -481,10 +653,13 @@ fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
                     // Typed error frames (e.g. DEGRADED under a worn
                     // pool) are counted, not fatal — the run keeps
                     // going. The zero-copy consumer keeps the
-                    // measurement off the client allocator.
+                    // measurement off the client allocator. Draining
+                    // counts *terminal* responses, so a streamed SCAN
+                    // settles one owed slot however many chunk frames
+                    // it spans.
                     let errors = &mut plan.result.errors;
                     client
-                        .recv_frames(owed, |raw| {
+                        .recv_responses(owed, |raw| {
                             if raw.code != Status::Ok as u8 && raw.code != Status::NotFound as u8 {
                                 *errors += 1;
                             }
@@ -499,8 +674,13 @@ fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
             ops: 0,
             reads: 0,
             writes: 0,
+            scans: 0,
+            rmws: 0,
+            degraded_inserts: 0,
             errors: 0,
             elapsed_s,
+            bits_flipped: 0,
+            energy_pj: 0.0,
             cache_hits: None,
             cache_misses: None,
         };
@@ -508,6 +688,9 @@ fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
             total.ops += plan.result.ops;
             total.reads += plan.result.reads;
             total.writes += plan.result.writes;
+            total.scans += plan.result.scans;
+            total.rmws += plan.result.rmws;
+            total.degraded_inserts += plan.result.degraded_inserts;
             total.errors += plan.result.errors;
         }
         drop(clients);
@@ -515,15 +698,28 @@ fn run_suite(args: &Args, cache_cfg: Option<CacheConfig>) -> SuiteOutcome {
         total.cache_hits = hits.zip(prev_hits).map(|(now, prev)| now - prev);
         total.cache_misses = misses.zip(prev_misses).map(|(now, prev)| now - prev);
         (prev_hits, prev_misses) = (hits, misses);
+        let (bits, pj) = device_snapshot(&mut loader);
+        total.bits_flipped = bits.saturating_sub(prev_bits);
+        total.energy_pj = pj - prev_pj;
+        (prev_bits, prev_pj) = (bits, pj);
         eprintln!(
-            "YCSB-{}: {} ops in {:.2}s = {:.0} ops/s ({} reads, {} writes, {} errors{})",
+            "YCSB-{}: {} ops in {:.2}s = {:.0} ops/s \
+             ({} reads, {} writes, {} scans, {} rmws, {} errors, \
+             {:.1} bit flips/op{}{})",
             total.name,
             total.ops,
             total.elapsed_s,
             total.ops_per_s(),
             total.reads,
             total.writes,
+            total.scans,
+            total.rmws,
             total.errors,
+            total.bits_per_op(),
+            match total.degraded_inserts {
+                0 => String::new(),
+                n => format!(", {n} inserts degraded to updates"),
+            },
             match total.hit_rate() {
                 Some(rate) => format!(", {:.1}% cache hits", rate * 100.0),
                 None => String::new(),
@@ -562,9 +758,12 @@ const METHODOLOGY: &str = "Methodology: operation traces are pre-generated and p
 
 fn mix_label(name: char) -> &'static str {
     match name {
-        'A' => "50R/50U",
-        'B' => "95R/5U",
-        _ => "100R",
+        'A' => "50R/50U zipf",
+        'B' => "95R/5U zipf",
+        'D' => "95R/5I latest",
+        'E' => "95S/5I zipf",
+        'F' => "50R/50RMW zipf",
+        _ => "100R zipf",
     }
 }
 
@@ -575,16 +774,26 @@ fn write_report(path: &str, md: &str) {
     eprintln!("wrote {path}");
 }
 
-/// The plain (no `--cache`) report: one throughput table, same file
-/// and shape as before the cache existed.
-fn report_plain(args: &Args, out: &SuiteOutcome) {
+/// The plain (no `--cache`) report: the full YCSB A–F matrix with
+/// per-workload device energy, from the twin suites the plain run
+/// drives (`coalesce_puts` off, then on).
+fn report_plain(args: &Args, baseline: &SuiteOutcome, coalesced: &SuiteOutcome) {
     let records = (args.segments / 4) as u64;
     let value_len = args.seg_bytes * 3 / 4;
-    let mut md = String::from("# Network serving: pipelined YCSB throughput over loopback\n\n");
+    let mut md = String::from(
+        "# Network serving: the YCSB A\u{2013}F matrix over loopback, with device energy\n\n",
+    );
     md.push_str(&format!(
         "`e2nvm-loadgen` against a {}-shard `e2nvm-server` ({} segments x {} B, {} records, \
          {}-byte values): {} client connections x pipeline depth {}, {} ops per connection per \
-         workload. Frames cross real loopback TCP sockets; the wire format is PROTOCOL.md.\n\n",
+         workload. Frames cross real loopback TCP sockets; the wire format is PROTOCOL.md. \
+         Workload D admits new-key inserts against a capacity budget (past it, inserts degrade \
+         to updates of already-admitted insert keys, so a finite simulated device never answers \
+         a full-store error mid-run); E drives 1\u{2013}100-record ranges through the streaming \
+         SCAN_STREAM opcode with a {} B chunk bound, so short scans genuinely span multiple \
+         frames; F issues each read-modify-write as a pipelined GET\u{2192}PUT pair in one \
+         batch. Bit flips and pJ per op are per-workload deltas of the server's STATS \
+         counters — device work, not wall-clock energy.\n\n",
         args.shards,
         args.segments,
         args.seg_bytes,
@@ -593,22 +802,83 @@ fn report_plain(args: &Args, out: &SuiteOutcome) {
         args.connections,
         args.pipeline,
         args.ops,
+        LOADGEN_SCAN_CHUNK,
     ));
     md.push_str(METHODOLOGY);
-    md.push_str("| workload | mix | ops | elapsed s | ops/s | error frames |\n");
-    md.push_str("|---------:|----:|----:|----------:|------:|-------------:|\n");
-    for r in &out.results {
+    md.push_str("## Throughput and device energy (coalesce_puts off)\n\n");
+    md.push_str(
+        "| workload | mix | ops | elapsed s | ops/s | bit flips/op | pJ/op | error frames |\n",
+    );
+    md.push_str(
+        "|---------:|----:|----:|----------:|------:|-------------:|------:|-------------:|\n",
+    );
+    for r in &baseline.results {
         md.push_str(&format!(
-            "| YCSB-{} | {} | {} | {:.2} | {:.0} | {} |\n",
+            "| YCSB-{} | {} | {} | {:.2} | {:.0} | {:.1} | {:.0} | {} |\n",
             r.name,
             mix_label(r.name),
             r.ops,
             r.elapsed_s,
             r.ops_per_s(),
+            r.bits_per_op(),
+            r.pj_per_op(),
             r.errors
         ));
     }
-    md.push_str(&format!("\nServer stats after the run: `{}`\n", out.stats));
+    md.push_str(
+        "\n## PUT-run coalescing: bit-flip and energy effect per workload\n\n\
+         The same matrix against a server with `coalesce_puts` on (consecutive pipelined \
+         PUTs are batched into one `put_many`, giving the placement pipeline whole runs \
+         to lay out). Write-heavy mixes are where the batch-aware placement can save \
+         device work; read-only C is the no-op control.\n\n",
+    );
+    md.push_str(
+        "| workload | mix | coalesced ops/s | bit flips/op off | bit flips/op on | \
+         flips saved | pJ/op off | pJ/op on |\n",
+    );
+    md.push_str(
+        "|---------:|----:|----------------:|-----------------:|----------------:|\
+         ------------:|----------:|---------:|\n",
+    );
+    for (b, c) in baseline.results.iter().zip(&coalesced.results) {
+        assert_eq!(b.name, c.name, "suites ran the same workloads in order");
+        let saved = if b.bits_per_op() > 0.0 {
+            format!(
+                "{:+.1}%",
+                (c.bits_per_op() - b.bits_per_op()) / b.bits_per_op() * 100.0
+            )
+        } else {
+            "n/a".to_string()
+        };
+        md.push_str(&format!(
+            "| YCSB-{} | {} | {:.0} | {:.1} | {:.1} | {} | {:.0} | {:.0} |\n",
+            b.name,
+            mix_label(b.name),
+            c.ops_per_s(),
+            b.bits_per_op(),
+            c.bits_per_op(),
+            saved,
+            b.pj_per_op(),
+            c.pj_per_op(),
+        ));
+    }
+    let degraded: u64 = baseline
+        .results
+        .iter()
+        .chain(&coalesced.results)
+        .map(|r| r.degraded_inserts)
+        .sum();
+    if degraded > 0 {
+        md.push_str(&format!(
+            "\n{degraded} inserts (across both suites) exceeded the capacity budget and were \
+             degraded to updates of already-admitted insert keys.\n"
+        ));
+    }
+    md.push_str(&format!(
+        "\nServer stats after the coalesce-off run: `{}`\n\nServer stats after the \
+         coalesce-on run: `{}`\n",
+        baseline.stats, coalesced.stats
+    ));
     let path = if args.quick {
         "results/net_throughput_quick.md"
     } else {
@@ -1503,10 +1773,10 @@ fn main() {
             }
             eprintln!("== threaded engine, {conns} connections ==");
             sub.threaded = true;
-            let threaded = run_suite(&sub, None);
+            let threaded = run_suite(&sub, None, false);
             eprintln!("== reactor engine, {conns} connections ==");
             sub.threaded = false;
-            let reactor = run_suite(&sub, None);
+            let reactor = run_suite(&sub, None, false);
             for out in [&threaded, &reactor] {
                 error_frames +=
                     metric_sum(&out.metrics, "e2nvm_server_error_frames_total").unwrap_or(0);
@@ -1526,11 +1796,20 @@ fn main() {
     }
 
     if !args.cache {
-        let out = run_suite(&args, None);
-        report_plain(&args, &out);
-        let total_ops: u64 = out.results.iter().map(|r| r.ops).sum();
+        // Twin suites: the same matrix with PUT-run coalescing off and
+        // on — the off suite is the headline table, the pair is the
+        // coalescing bit-flip measurement.
+        eprintln!("== suite 1/2: coalesce_puts off ==");
+        let baseline = run_suite(&args, None, false);
+        eprintln!("== suite 2/2: coalesce_puts on ==");
+        let coalesced = run_suite(&args, None, true);
+        report_plain(&args, &baseline, &coalesced);
+        let total_ops: u64 = (baseline.results.iter().chain(&coalesced.results))
+            .map(|r| r.ops)
+            .sum();
         println!("completed {total_ops} ops");
-        print_error_frames(&out.metrics);
+        print_summed_error_frames(&[&baseline.metrics, &coalesced.metrics]);
+        print_multi_chunk_scans(&[&baseline.metrics, &coalesced.metrics]);
         assert!(total_ops > 0, "load generator completed zero operations");
         return;
     }
@@ -1540,13 +1819,13 @@ fn main() {
         "--cache boots its own baseline and cached servers; drop --addr"
     );
     eprintln!("== baseline suite (no cache) ==");
-    let baseline = run_suite(&args, None);
+    let baseline = run_suite(&args, None, false);
     eprintln!("== cached suite ({} MiB) ==", args.cache_mb);
     let cache_cfg = CacheConfig::builder()
         .capacity_bytes(args.cache_mb << 20)
         .build()
         .expect("loadgen cache config");
-    let cached = run_suite(&args, Some(cache_cfg));
+    let cached = run_suite(&args, Some(cache_cfg), false);
 
     // Accounting cross-check, when the build exposes the cache series:
     // every run-phase GET was either a hit or a miss — the cache never

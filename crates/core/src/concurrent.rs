@@ -132,6 +132,11 @@ impl SharedEngine {
         self.inner.engine.lock().scan(lo..=hi)
     }
 
+    /// SCAN over an inclusive key range, stopping after `limit` entries.
+    pub fn scan_limit(&self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.inner.engine.lock().scan_limit(lo..=hi, limit)
+    }
+
     /// Advance the lazy-retraining state machine. Called automatically
     /// after mutations; callable explicitly from a maintenance loop.
     pub fn pump_retraining(&self) {

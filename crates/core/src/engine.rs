@@ -586,7 +586,24 @@ impl E2Engine {
 
     /// SCAN: all key/value pairs with keys in `range`, in key order.
     pub fn scan<R: RangeBounds<u64>>(&mut self, range: R) -> Result<Vec<(u64, Vec<u8>)>> {
-        let entries: Vec<(u64, Entry)> = self.index.range(range).map(|(&k, &e)| (k, e)).collect();
+        self.scan_limit(range, usize::MAX)
+    }
+
+    /// SCAN stopping after `limit` entries: the first `limit` key/value
+    /// pairs with keys in `range`, in key order. Walks the index only
+    /// as far as the limit, so a small page over a huge range costs
+    /// O(limit + log n) rather than O(range).
+    pub fn scan_limit<R: RangeBounds<u64>>(
+        &mut self,
+        range: R,
+        limit: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>> {
+        let entries: Vec<(u64, Entry)> = self
+            .index
+            .range(range)
+            .take(limit)
+            .map(|(&k, &e)| (k, e))
+            .collect();
         entries
             .into_iter()
             .map(|(k, e)| {

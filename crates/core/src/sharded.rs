@@ -203,6 +203,21 @@ impl ShardedEngine {
         Ok(out)
     }
 
+    /// SCAN stopping after `limit` entries in global key order. Keys
+    /// are hash-routed, so any shard may hold any of the `limit`
+    /// smallest matches: each shard contributes up to `limit` entries
+    /// (early-stopped inside its index walk), then the merged result is
+    /// truncated.
+    pub fn scan_limit(&self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.scan_limit(lo, hi, limit)?);
+        }
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out.truncate(limit);
+        Ok(out)
+    }
+
     /// Advance every shard's lazy-retraining state machine.
     pub fn pump_retraining(&self) {
         for shard in &self.shards {

@@ -254,6 +254,25 @@ impl NvmKvStore for E2KvStore {
             .collect()
     }
 
+    fn scan_limit(&mut self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.telemetry.scans.inc();
+        // Early-stopped index walk: a small page over a huge range
+        // costs O(limit + log n), which keeps the server's paged
+        // streaming SCAN from re-materializing the whole range per page.
+        let locs: Vec<(u64, Loc)> = self
+            .index
+            .range_limit(lo, hi, limit)
+            .into_iter()
+            .map(|(k, loc)| (k, *loc))
+            .collect();
+        locs.into_iter()
+            .map(|(k, loc)| {
+                let data = self.engine.controller_mut().read(loc.seg)?;
+                Ok((k, data[loc.off..loc.off + loc.len].to_vec()))
+            })
+            .collect()
+    }
+
     fn stats(&self) -> e2nvm_sim::DeviceStats {
         self.engine.device_stats().clone()
     }
@@ -798,6 +817,11 @@ impl NvmKvStore for ShardedE2KvStore {
     fn scan(&mut self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>> {
         self.telemetry.scans.inc();
         Ok(self.engine.scan(lo, hi)?)
+    }
+
+    fn scan_limit(&mut self, lo: u64, hi: u64, limit: usize) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.telemetry.scans.inc();
+        Ok(self.engine.scan_limit(lo, hi, limit)?)
     }
 
     fn stats(&self) -> e2nvm_sim::DeviceStats {

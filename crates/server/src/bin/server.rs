@@ -4,7 +4,7 @@
 //! cargo run --release -p e2nvm-server --bin e2nvm-server -- \
 //!     [--addr 127.0.0.1:4242] [--shards 4] [--segments 2048] \
 //!     [--seg-bytes 64] [--max-conns 1024] [--workers 0] \
-//!     [--threaded] [--cache] [--cache-mb 64] \
+//!     [--scan-chunk 65536] [--threaded] [--cache] [--cache-mb 64] \
 //!     [--data-dir PATH] [--flush-policy every|batch:N|os] \
 //!     [--snapshot-every OPS] \
 //!     [--fault-endurance BITS] [--fault-seed SEED]
@@ -17,7 +17,8 @@
 //!
 //! `--workers N` sizes the reactor's worker pool (0 = auto);
 //! `--threaded` serves with the thread-per-connection baseline engine
-//! instead of the epoll reactor.
+//! instead of the epoll reactor. `--scan-chunk BYTES` sets the target
+//! payload per streamed SCAN chunk frame (default 64 KiB).
 //!
 //! `--fault-endurance BITS` attaches the simulator's deterministic
 //! fault model with a Weibull(3.0, BITS) per-segment endurance budget
@@ -77,6 +78,7 @@ fn main() {
     let seg_bytes: usize = parse_or(arg_after(&args, "--seg-bytes"), 64);
     let max_conns: usize = parse_or(arg_after(&args, "--max-conns"), 1024);
     let workers: usize = parse_or(arg_after(&args, "--workers"), 0);
+    let scan_chunk: usize = parse_or(arg_after(&args, "--scan-chunk"), 64 * 1024);
     let threaded = args.iter().any(|a| a == "--threaded");
     let cache = args.iter().any(|a| a == "--cache");
     let cache_mb: usize = parse_or(arg_after(&args, "--cache-mb"), 64);
@@ -151,7 +153,8 @@ fn main() {
     let mut builder = ServerConfig::builder()
         .addr(addr)
         .max_connections(max_conns)
-        .workers(workers);
+        .workers(workers)
+        .scan_chunk_bytes(scan_chunk);
     if cache {
         eprintln!("fronting the store with a {cache_mb} MiB read-through cache");
         let cache_cfg = CacheConfig::builder()

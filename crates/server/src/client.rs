@@ -7,9 +7,10 @@
 //! the k-th request.
 
 use crate::frame::{
-    encode_request, parse_response, FrameDecoder, FrameError, RawFrame, Request, Response, Status,
-    DEFAULT_MAX_BODY,
+    encode_request, is_continuation, parse_response, FrameDecoder, FrameError, RawFrame, Request,
+    Response, Status, MAX_RESPONSE_BODY,
 };
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -30,7 +31,10 @@ impl Client {
         stream.set_nodelay(true)?;
         Ok(Self {
             stream,
-            decoder: FrameDecoder::new(DEFAULT_MAX_BODY),
+            // Responses get envelope slack over the request cap: a
+            // streamed scan chunk carrying one max-size value is a few
+            // bytes bigger than the largest PUT (see MAX_RESPONSE_BODY).
+            decoder: FrameDecoder::new(MAX_RESPONSE_BODY),
             wrbuf: Vec::with_capacity(4096),
             rdbuf: vec![0u8; 16 * 1024],
         })
@@ -142,6 +146,47 @@ impl Client {
         Ok(())
     }
 
+    /// Like [`Client::recv_frames`], but `n` counts completed
+    /// *requests* rather than frames: a SCAN_STREAM response's
+    /// non-terminal chunks invoke `f` without counting toward `n`
+    /// (only its final chunk — or the error frame that terminated the
+    /// stream — does). Use this to drain a pipeline that may contain
+    /// streaming scans, where the frame count isn't knowable up front.
+    pub fn recv_responses(
+        &mut self,
+        n: usize,
+        mut f: impl FnMut(&RawFrame<'_>),
+    ) -> std::io::Result<()> {
+        let mut completed = 0usize;
+        while completed < n {
+            match self.decoder.next_frame() {
+                Ok(Some(raw)) => {
+                    if !is_continuation(&raw) {
+                        completed += 1;
+                    }
+                    f(&raw);
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+            let got = self.stream.read(&mut self.rdbuf)?;
+            if got == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    format!(
+                        "server closed the connection with {} of {n} responses outstanding",
+                        n - completed,
+                    ),
+                ));
+            }
+            self.decoder.extend(&self.rdbuf[..got]);
+        }
+        Ok(())
+    }
+
     /// GET `key`; `Ok(None)` when absent.
     pub fn get(&mut self, key: u64) -> std::io::Result<Option<Vec<u8>>> {
         match self.call(&Request::Get { key })? {
@@ -206,12 +251,68 @@ impl Client {
         }
     }
 
-    /// SCAN `lo..=hi`, at most `limit` entries (0 = unlimited).
+    /// SCAN `lo..=hi`, at most `limit` entries (0 = unlimited), as one
+    /// response frame. A result too large for the frame cap is
+    /// answered with SCAN_TOO_LARGE (an error here); use
+    /// [`Client::scan_stream`] / [`Client::scan_all`] for ranges of
+    /// unbounded size.
     pub fn scan(&mut self, lo: u64, hi: u64, limit: u32) -> std::io::Result<Vec<(u64, Vec<u8>)>> {
         match self.call(&Request::Scan { lo, hi, limit })? {
             Response::Entries(entries) => Ok(entries),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Streaming SCAN `lo..=hi`, at most `limit` entries (0 =
+    /// unlimited): send one SCAN_STREAM request and iterate the
+    /// entries as chunk frames arrive, never holding more than one
+    /// chunk in memory. The iterator yields entries in key order; a
+    /// store error mid-stream (or a transport error) surfaces as an
+    /// `Err` item and ends the stream.
+    ///
+    /// Dropping the iterator early drains the remaining chunks off the
+    /// wire, so the connection stays usable for the next request.
+    pub fn scan_stream(&mut self, lo: u64, hi: u64, limit: u32) -> std::io::Result<ScanStream<'_>> {
+        self.send_batch(std::slice::from_ref(&Request::ScanStream { lo, hi, limit }))?;
+        Ok(ScanStream {
+            client: self,
+            buffered: VecDeque::new(),
+            done: false,
+        })
+    }
+
+    /// Streaming SCAN via callback: invoke `f(key, value)` for every
+    /// entry, in key order, as chunks arrive. Returns the entry count.
+    pub fn scan_stream_with(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        limit: u32,
+        mut f: impl FnMut(u64, Vec<u8>),
+    ) -> std::io::Result<usize> {
+        let mut count = 0usize;
+        let mut stream = self.scan_stream(lo, hi, limit)?;
+        for entry in &mut stream {
+            let (key, value) = entry?;
+            f(key, value);
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Streaming SCAN, collected: like [`Client::scan`] but served
+    /// over SCAN_STREAM, so the result may exceed the frame cap. The
+    /// collect-all convenience — peak memory is the full result, by
+    /// construction.
+    pub fn scan_all(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        limit: u32,
+    ) -> std::io::Result<Vec<(u64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.scan_stream_with(lo, hi, limit, |key, value| out.push((key, value)))?;
+        Ok(out)
     }
 
     /// The server's stats snapshot (JSON text).
@@ -266,6 +367,86 @@ impl Client {
         match self.call(&Request::Shutdown)? {
             Response::ShutdownAck => Ok(()),
             other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// A live streaming-scan response: an iterator over the entries of one
+/// SCAN_STREAM request, pulling chunk frames off the wire lazily.
+/// Created by [`Client::scan_stream`]; the client is mutably borrowed
+/// until the stream is finished or dropped (dropping early drains the
+/// rest of the stream so pipelining stays aligned).
+#[derive(Debug)]
+pub struct ScanStream<'a> {
+    client: &'a mut Client,
+    /// Entries from the last chunk not yet yielded.
+    buffered: VecDeque<(u64, Vec<u8>)>,
+    /// The terminal frame (final chunk or error) has been consumed.
+    done: bool,
+}
+
+impl ScanStream<'_> {
+    /// Pull one more chunk frame off the wire into `buffered`. Any
+    /// `Err` return — error frame, malformed frame, transport failure
+    /// — also marks the stream done (an error frame *is* the stream's
+    /// terminal frame; after a transport failure there is nothing left
+    /// to drain).
+    fn fetch_chunk(&mut self) -> std::io::Result<()> {
+        let mut parsed: Option<Result<Response, FrameError>> = None;
+        if let Err(e) = self
+            .client
+            .recv_frames(1, |raw| parsed = Some(parse_response(raw)))
+        {
+            self.done = true;
+            return Err(e);
+        }
+        match parsed.expect("recv_frames(1) invokes the callback once") {
+            Ok(Response::ScanChunk { more, entries }) => {
+                self.buffered.extend(entries);
+                if !more {
+                    self.done = true;
+                }
+                Ok(())
+            }
+            Ok(other) => {
+                self.done = true;
+                Err(unexpected(&other))
+            }
+            Err(e) => {
+                self.done = true;
+                Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string()))
+            }
+        }
+    }
+}
+
+impl Iterator for ScanStream<'_> {
+    type Item = std::io::Result<(u64, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(entry) = self.buffered.pop_front() {
+                return Some(Ok(entry));
+            }
+            if self.done {
+                return None;
+            }
+            if let Err(e) = self.fetch_chunk() {
+                return Some(Err(e));
+            }
+        }
+    }
+}
+
+impl Drop for ScanStream<'_> {
+    fn drop(&mut self) {
+        // Drain the stream's remaining frames so the next request's
+        // responses don't collide with leftover chunks. fetch_chunk
+        // marks `done` on every error path, so this terminates.
+        while !self.done {
+            if self.fetch_chunk().is_err() {
+                break;
+            }
         }
     }
 }

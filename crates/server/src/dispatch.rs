@@ -19,8 +19,8 @@
 //! worker.
 
 use crate::frame::{
-    encode_response, encode_value_frame, parse_request, FrameDecoder, FrameError, Opcode, Request,
-    Response, Status,
+    encode_response, encode_scan_chunk, encode_value_frame, parse_request, FrameDecoder,
+    FrameError, Opcode, Request, Response, Status,
 };
 use crate::telemetry::ServerTelemetry;
 use e2nvm_core::E2Error;
@@ -142,15 +142,38 @@ pub(crate) struct BatchOutcome {
     pub shutdown: bool,
 }
 
+/// Entries fetched from the store per paging step while producing a
+/// scan response. Bounds store-side materialisation per call: the
+/// server never asks the store for more than one page at a time, no
+/// matter how large the range (the stores' `scan_limit` overrides stop
+/// early at the page bound).
+const SCAN_PAGE: usize = 256;
+
+/// A hook the serving engine may hand [`ExecCtx::exec_batch_flushing`]
+/// to push `outbuf` to the socket (and clear it) between streamed scan
+/// chunks, bounding peak response memory. Only invoked at points where
+/// every byte in `outbuf` is ack-safe (a commit barrier ran after the
+/// last mutation it acknowledges). An `Err` means the connection is
+/// dead and the batch should stop.
+pub(crate) type FlushHook<'a> = &'a mut dyn FnMut(&mut Vec<u8>) -> std::io::Result<()>;
+
 /// Everything needed to execute requests against the store: a [`Front`]
 /// clone (shards shared), the registry for METRICS frames, the
-/// telemetry sink, and the coalescing knob. One per connection thread
-/// (threaded server) or one per worker (reactor).
+/// telemetry sink, and the coalescing/bounding knobs. One per
+/// connection thread (threaded server) or one per worker (reactor).
 pub(crate) struct ExecCtx {
     pub store: Front,
     pub registry: Option<TelemetryRegistry>,
     pub telemetry: ServerTelemetry,
     pub coalesce_puts: bool,
+    /// The server's `body_len` cap: a legacy single-frame SCAN whose
+    /// encoded body would exceed it is answered with
+    /// [`Status::ScanTooLarge`] instead of a frame the peer's decoder
+    /// would reject as fatal.
+    pub max_frame_body: usize,
+    /// Target payload bytes per SCAN_STREAM chunk. Entries are never
+    /// split, so a chunk holding one oversized entry may exceed this.
+    pub scan_chunk_bytes: usize,
 }
 
 impl ExecCtx {
@@ -170,8 +193,28 @@ impl ExecCtx {
         items: impl IntoIterator<Item = Work>,
         outbuf: &mut Vec<u8>,
     ) -> BatchOutcome {
+        self.exec_batch_flushing(items, outbuf, None)
+    }
+
+    /// [`ExecCtx::exec_batch`] with an optional mid-stream flush hook.
+    /// The threaded engine passes a hook that writes `outbuf` to the
+    /// socket and clears it between streamed scan chunks, so a scan of
+    /// any size is served in bounded memory; the reactor passes `None`
+    /// (its responses travel through completion buffers) and relies on
+    /// its write-backlog backpressure instead.
+    pub fn exec_batch_flushing(
+        &mut self,
+        items: impl IntoIterator<Item = Work>,
+        outbuf: &mut Vec<u8>,
+        mut flush: Option<FlushHook<'_>>,
+    ) -> BatchOutcome {
         let mut outcome = BatchOutcome::default();
         let outbuf_start = outbuf.len();
+        // Responses at or past this index acknowledge work not yet
+        // covered by a commit barrier; a failed commit drops exactly
+        // them. Streamed scans move it forward (they run their own
+        // barrier first, and the flush hook may then empty `outbuf`).
+        let mut barrier = outbuf_start;
         let mut pending_puts: Vec<(u64, Vec<u8>)> = Vec::new();
         for item in items {
             match item {
@@ -209,6 +252,35 @@ impl ExecCtx {
                             encode_response(&Response::ShutdownAck, Some(op), outbuf);
                             outcome.shutdown = true;
                             outcome.close = true;
+                        }
+                        Request::ScanStream { lo, hi, limit } => {
+                            // Commit barrier *before* streaming: it
+                            // makes every response already in `outbuf`
+                            // (including the coalesced PUT run flushed
+                            // just above) ack-safe, so the flush hook
+                            // may push bytes to the socket between
+                            // chunks without risking an acked-but-
+                            // uncommitted write escaping.
+                            if let Err(e) = self.store.kv().commit() {
+                                outbuf.truncate(barrier);
+                                let resp = store_error_frame(&e);
+                                if let Response::Error { status, .. } = &resp {
+                                    self.telemetry.count_error(*status);
+                                }
+                                encode_response(&resp, None, outbuf);
+                                outcome.close = true;
+                            } else if self
+                                .serve_scan_stream(lo, hi, limit, outbuf, &mut flush)
+                                .is_err()
+                            {
+                                // The socket died mid-stream; nothing
+                                // left to answer, just close.
+                                outcome.close = true;
+                            } else {
+                                // Everything emitted so far is either
+                                // committed or read-only.
+                                barrier = outbuf.len();
+                            }
                         }
                         req => {
                             let resp = self.handle(req);
@@ -249,10 +321,11 @@ impl ExecCtx {
         // is why the batch is the WAL's write(2) granularity.
         if let Err(e) = self.store.kv().commit() {
             // Applied in memory but not durably logged: acking would
-            // break the no-acked-loss contract. Drop the batch's
-            // responses, answer with one typed error, and close — the
-            // client treats the dead connection as unacknowledged.
-            outbuf.truncate(outbuf_start);
+            // break the no-acked-loss contract. Drop the responses not
+            // yet covered by a barrier, answer with one typed error,
+            // and close — the client treats the dead connection as
+            // unacknowledged.
+            outbuf.truncate(barrier);
             let resp = store_error_frame(&e);
             if let Response::Error { status, .. } = &resp {
                 self.telemetry.count_error(*status);
@@ -330,6 +403,147 @@ impl ExecCtx {
         }
     }
 
+    /// Produce the chunked response stream for one SCAN_STREAM
+    /// request, appending chunk frames to `outbuf` and invoking the
+    /// flush hook (when present) after every non-terminal chunk.
+    ///
+    /// The result is paged out of the store [`SCAN_PAGE`] entries at a
+    /// time and re-split at the configured chunk byte bound, so peak
+    /// memory is one page plus one chunk regardless of range size
+    /// (when the hook flushes; without a hook, `outbuf` accumulates
+    /// the chunks under the caller's backpressure). A store error
+    /// mid-stream terminates the stream with an error frame echoing
+    /// SCAN_STREAM — frame-level, the connection survives. An `Err`
+    /// return means the flush hook reported a dead socket.
+    fn serve_scan_stream(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        limit: u32,
+        outbuf: &mut Vec<u8>,
+        flush: &mut Option<FlushHook<'_>>,
+    ) -> std::io::Result<()> {
+        let mut remaining = if limit == 0 {
+            u64::MAX
+        } else {
+            u64::from(limit)
+        };
+        let mut cursor = lo;
+        let mut chunk: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        let mut chunks_emitted = 0u64;
+        while remaining > 0 && cursor <= hi {
+            let want = remaining.min(SCAN_PAGE as u64) as usize;
+            let page = match self.store.kv().scan_limit(cursor, hi, want) {
+                Ok(page) => page,
+                Err(e) => {
+                    // Mid-stream store error: terminal for the stream,
+                    // survivable for the connection. Entries already
+                    // emitted stand; the peer sees the typed error in
+                    // place of the final chunk.
+                    let resp = store_error_frame(&e);
+                    if let Response::Error { status, .. } = &resp {
+                        self.telemetry.count_error(*status);
+                    }
+                    encode_response(&resp, Some(Opcode::ScanStream), outbuf);
+                    return Ok(());
+                }
+            };
+            let got = page.len();
+            let last_key = page.last().map(|&(k, _)| k);
+            for (k, v) in page {
+                let entry_bytes = 12 + v.len();
+                if !chunk.is_empty() && chunk_bytes + entry_bytes > self.scan_chunk_bytes {
+                    // At least one more entry (this one) follows.
+                    encode_scan_chunk(true, &chunk, outbuf);
+                    chunks_emitted += 1;
+                    self.note_chunk(chunks_emitted);
+                    chunk.clear();
+                    chunk_bytes = 0;
+                    if let Some(f) = flush.as_mut() {
+                        f(outbuf)?;
+                    }
+                }
+                chunk_bytes += entry_bytes;
+                chunk.push((k, v));
+            }
+            remaining -= got as u64;
+            if got < want {
+                break;
+            }
+            match last_key {
+                Some(k) if k < hi => cursor = k + 1,
+                _ => break,
+            }
+        }
+        // Terminal chunk: whatever is left (possibly nothing — an
+        // empty range is one empty final chunk).
+        encode_scan_chunk(false, &chunk, outbuf);
+        chunks_emitted += 1;
+        self.note_chunk(chunks_emitted);
+        Ok(())
+    }
+
+    /// Telemetry for one emitted chunk: count it, and count the
+    /// response as multi-chunk when its second chunk goes out.
+    fn note_chunk(&self, emitted_for_response: u64) {
+        self.telemetry.scan_stream_chunks.inc();
+        if emitted_for_response == 2 {
+            self.telemetry.scan_stream_multi_chunk.inc();
+        }
+    }
+
+    /// Serve a legacy single-frame SCAN, paging the store like the
+    /// streaming path so an over-sized result is detected after at
+    /// most one frame's worth of entries plus one page — never by
+    /// materialising the whole range. A result whose encoded body
+    /// would exceed the frame cap answers [`Status::ScanTooLarge`]
+    /// (emitting the over-cap frame would poison the peer's decoder).
+    fn bounded_scan(&mut self, lo: u64, hi: u64, limit: u32) -> Response {
+        let mut remaining = if limit == 0 {
+            u64::MAX
+        } else {
+            u64::from(limit)
+        };
+        let mut cursor = lo;
+        let mut entries: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut body_bytes = 4usize;
+        while remaining > 0 && cursor <= hi {
+            let want = remaining.min(SCAN_PAGE as u64) as usize;
+            let page = match self.store.kv().scan_limit(cursor, hi, want) {
+                Ok(page) => page,
+                Err(e) => return store_error_frame(&e),
+            };
+            let got = page.len();
+            let last_key = page.last().map(|&(k, _)| k);
+            for (k, v) in page {
+                body_bytes += 12 + v.len();
+                if body_bytes > self.max_frame_body {
+                    return Response::Error {
+                        status: Status::ScanTooLarge,
+                        retired: 0,
+                        message: format!(
+                            "scan result exceeds the {}-byte frame cap after {} entries; \
+                             use SCAN_STREAM (opcode 0x09) for unbounded ranges",
+                            self.max_frame_body,
+                            entries.len(),
+                        ),
+                    };
+                }
+                entries.push((k, v));
+            }
+            remaining -= got as u64;
+            if got < want {
+                break;
+            }
+            match last_key {
+                Some(k) if k < hi => cursor = k + 1,
+                _ => break,
+            }
+        }
+        Response::Entries(entries)
+    }
+
     fn handle(&mut self, req: Request) -> Response {
         match req {
             Request::Ping => Response::Pong,
@@ -346,17 +560,11 @@ impl ExecCtx {
                 Ok(existed) => Response::Deleted(existed),
                 Err(e) => store_error_frame(&e),
             },
-            Request::Scan { lo, hi, limit } => {
-                let limit = if limit == 0 {
-                    usize::MAX
-                } else {
-                    limit as usize
-                };
-                match self.store.kv().scan_limit(lo, hi, limit) {
-                    Ok(entries) => Response::Entries(entries),
-                    Err(e) => store_error_frame(&e),
-                }
-            }
+            Request::Scan { lo, hi, limit } => self.bounded_scan(lo, hi, limit),
+            // Streamed in exec_batch (needs the output buffer); only a
+            // direct `handle` caller could reach this arm, and there
+            // is none.
+            Request::ScanStream { .. } => unreachable!("SCAN_STREAM is served by exec_batch"),
             Request::Stats => Response::Stats(self.stats_json()),
             // FLUSH dispatches through the NvmKvStore trait: the
             // persistence-backed store snapshots + fsyncs, stores

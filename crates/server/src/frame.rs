@@ -41,6 +41,15 @@ pub const HEADER_LEN: usize = 8;
 /// cap; frames above it are answered with [`Status::FrameTooLarge`].
 pub const DEFAULT_MAX_BODY: usize = 1 << 20;
 
+/// The `body_len` cap a *response* receiver should enforce. A
+/// SCAN_STREAM chunk always carries at least one entry, so a single
+/// stored value of the maximum PUT size (`DEFAULT_MAX_BODY - 8` value
+/// bytes) plus the chunk envelope (continuation byte, count, key,
+/// length) can exceed [`DEFAULT_MAX_BODY`] by a few bytes; this
+/// constant adds that envelope slack. Servers configured with a larger
+/// request cap need correspondingly larger client caps.
+pub const MAX_RESPONSE_BODY: usize = DEFAULT_MAX_BODY + 32;
+
 /// Request opcodes (byte 6 of a request frame).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -69,6 +78,13 @@ pub enum Opcode {
     /// health prober to poll every few hundred milliseconds, unlike
     /// the METRICS text exposition.
     Health = 0x08,
+    /// Streaming range scan. Same 20-byte body as [`Opcode::Scan`]
+    /// (`lo u64, hi u64, limit u32`, 0 = unlimited), but the server
+    /// answers with a *sequence* of chunk frames — each a bounded
+    /// slice of the result prefixed by a continuation byte — instead
+    /// of one response frame, so arbitrarily large ranges fit under
+    /// the frame cap with bounded peak memory on both sides.
+    ScanStream = 0x09,
     /// Ask the server to shut down gracefully. Empty body.
     Shutdown = 0x7F,
 }
@@ -86,6 +102,7 @@ impl Opcode {
             0x06 => Opcode::Metrics,
             0x07 => Opcode::Flush,
             0x08 => Opcode::Health,
+            0x09 => Opcode::ScanStream,
             0x7F => Opcode::Shutdown,
             _ => return None,
         })
@@ -103,12 +120,13 @@ impl Opcode {
             Opcode::Metrics => "metrics",
             Opcode::Flush => "flush",
             Opcode::Health => "health",
+            Opcode::ScanStream => "scan_stream",
             Opcode::Shutdown => "shutdown",
         }
     }
 
     /// Every defined opcode, in wire order.
-    pub const ALL: [Opcode; 10] = [
+    pub const ALL: [Opcode; 11] = [
         Opcode::Ping,
         Opcode::Get,
         Opcode::Put,
@@ -118,6 +136,7 @@ impl Opcode {
         Opcode::Metrics,
         Opcode::Flush,
         Opcode::Health,
+        Opcode::ScanStream,
         Opcode::Shutdown,
     ];
 }
@@ -147,6 +166,10 @@ pub enum Status {
     OutOfSpace = 0x04,
     /// Any other store/engine/device error; detail text in the body.
     StoreError = 0x05,
+    /// A legacy single-frame SCAN matched more bytes than fit under
+    /// the frame cap. The detail text points at SCAN_STREAM, which has
+    /// no such ceiling. Streaming scans never raise this.
+    ScanTooLarge = 0x06,
     /// The frame violated the protocol at the framing level (bad magic)
     /// or the body could not be parsed for its opcode.
     Malformed = 0x10,
@@ -174,6 +197,7 @@ impl Status {
             0x03 => Status::PoolDepleted,
             0x04 => Status::OutOfSpace,
             0x05 => Status::StoreError,
+            0x06 => Status::ScanTooLarge,
             0x10 => Status::Malformed,
             0x11 => Status::UnsupportedVersion,
             0x12 => Status::UnknownOpcode,
@@ -193,6 +217,7 @@ impl Status {
             Status::PoolDepleted => "pool_depleted",
             Status::OutOfSpace => "out_of_space",
             Status::StoreError => "store_error",
+            Status::ScanTooLarge => "scan_too_large",
             Status::Malformed => "malformed",
             Status::UnsupportedVersion => "unsupported_version",
             Status::UnknownOpcode => "unknown_opcode",
@@ -234,6 +259,16 @@ pub enum Request {
         /// Maximum entries returned; 0 means unlimited.
         limit: u32,
     },
+    /// Like [`Request::Scan`], but answered as a stream of bounded
+    /// chunk frames (see [`Response::ScanChunk`]).
+    ScanStream {
+        /// Inclusive lower key bound.
+        lo: u64,
+        /// Inclusive upper key bound.
+        hi: u64,
+        /// Maximum entries returned across all chunks; 0 = unlimited.
+        limit: u32,
+    },
     /// Store + device statistics snapshot.
     Stats,
     /// Telemetry exposition.
@@ -255,6 +290,7 @@ impl Request {
             Request::Put { .. } => Opcode::Put,
             Request::Delete { .. } => Opcode::Delete,
             Request::Scan { .. } => Opcode::Scan,
+            Request::ScanStream { .. } => Opcode::ScanStream,
             Request::Stats => Opcode::Stats,
             Request::Metrics => Opcode::Metrics,
             Request::Flush => Opcode::Flush,
@@ -288,6 +324,16 @@ pub enum Response {
         /// `(key, value)` pairs, ascending by key.
         Vec<(u64, Vec<u8>)>,
     ),
+    /// One OK chunk of a SCAN_STREAM response. A streaming scan is
+    /// answered with one or more of these, contiguous and in key
+    /// order; the stream ends at the first chunk with `more == false`
+    /// (or at an error frame echoing SCAN_STREAM, which is terminal).
+    ScanChunk {
+        /// True when at least one more chunk follows this one.
+        more: bool,
+        /// This chunk's `(key, value)` pairs, ascending by key.
+        entries: Vec<(u64, Vec<u8>)>,
+    },
     /// OK for STATS: a JSON document.
     Stats(
         /// JSON text (see `PROTOCOL.md` for the schema).
@@ -429,6 +475,18 @@ pub struct RawFrame<'a> {
     pub body: &'a [u8],
 }
 
+/// Whether a response frame is a **non-terminal** SCAN_STREAM chunk —
+/// i.e. more frames answering the *same* request follow. Everything
+/// else (final chunks, plain responses, error frames — including
+/// errors mid-stream) is terminal. This is the one-line test that
+/// lets a pipelined receiver count completed *requests* rather than
+/// frames, without parsing bodies.
+pub fn is_continuation(frame: &RawFrame<'_>) -> bool {
+    frame.code == Status::Ok as u8
+        && frame.aux == Opcode::ScanStream as u8
+        && frame.body.first() == Some(&1)
+}
+
 fn put_header(out: &mut Vec<u8>, body_len: usize, code: u8, aux: u8) {
     out.extend_from_slice(&(body_len as u32).to_le_bytes());
     out.push(MAGIC);
@@ -458,7 +516,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             out.extend_from_slice(&key.to_le_bytes());
             out.extend_from_slice(value);
         }
-        Request::Scan { lo, hi, limit } => {
+        Request::Scan { lo, hi, limit } | Request::ScanStream { lo, hi, limit } => {
             put_header(out, 20, op, 0);
             out.extend_from_slice(&lo.to_le_bytes());
             out.extend_from_slice(&hi.to_le_bytes());
@@ -495,6 +553,17 @@ pub fn encode_response(resp: &Response, echo: Option<Opcode>, out: &mut Vec<u8>)
                 out.extend_from_slice(v);
             }
         }
+        Response::ScanChunk { more, entries } => {
+            let body_len = 5 + entries.iter().map(|(_, v)| 12 + v.len()).sum::<usize>();
+            put_header(out, body_len, Status::Ok as u8, aux);
+            out.push(u8::from(*more));
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (k, v) in entries {
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+        }
         Response::Stats(text) | Response::Metrics(text) => {
             put_header(out, text.len(), Status::Ok as u8, aux);
             out.extend_from_slice(text.as_bytes());
@@ -519,6 +588,22 @@ pub fn encode_response(resp: &Response, echo: Option<Opcode>, out: &mut Vec<u8>)
             out.extend_from_slice(&retired.to_le_bytes());
             out.extend_from_slice(message.as_bytes());
         }
+    }
+}
+
+/// Encode one SCAN_STREAM chunk frame — byte-identical to
+/// `encode_response(&Response::ScanChunk { .. }, Some(Opcode::ScanStream), out)`
+/// without moving the entries into a `Response`. The server's chunk
+/// producer encodes each page straight from its scratch buffer.
+pub fn encode_scan_chunk(more: bool, entries: &[(u64, Vec<u8>)], out: &mut Vec<u8>) {
+    let body_len = 5 + entries.iter().map(|(_, v)| 12 + v.len()).sum::<usize>();
+    put_header(out, body_len, Status::Ok as u8, Opcode::ScanStream as u8);
+    out.push(u8::from(more));
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (k, v) in entries {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(v);
     }
 }
 
@@ -592,17 +677,45 @@ pub fn parse_request(frame: &RawFrame<'_>) -> Result<Request, FrameError> {
                 value: body[8..].to_vec(),
             })
         }
-        Opcode::Scan => {
+        Opcode::Scan | Opcode::ScanStream => {
             if body.len() != 20 {
                 return Err(FrameError::BadBody("SCAN body must be exactly 20 bytes"));
             }
-            Ok(Request::Scan {
-                lo: take_u64(body, 0).unwrap(),
-                hi: take_u64(body, 8).unwrap(),
-                limit: take_u32(body, 16).unwrap(),
+            let (lo, hi, limit) = (
+                take_u64(body, 0).unwrap(),
+                take_u64(body, 8).unwrap(),
+                take_u32(body, 16).unwrap(),
+            );
+            Ok(if op == Opcode::Scan {
+                Request::Scan { lo, hi, limit }
+            } else {
+                Request::ScanStream { lo, hi, limit }
             })
         }
     }
+}
+
+/// Parse the `count u32` + `count × (key u64, len u32, value)` entry
+/// list shared by SCAN and SCAN_STREAM OK bodies, starting at `at`.
+/// Rejects trailing bytes: the list must consume the body exactly.
+fn parse_entry_list(body: &[u8], at: usize) -> Result<Vec<(u64, Vec<u8>)>, FrameError> {
+    let count = take_u32(body, at).ok_or(FrameError::BadBody("SCAN count truncated"))? as usize;
+    let mut entries = Vec::with_capacity(count.min(1024));
+    let mut at = at + 4;
+    for _ in 0..count {
+        let key = take_u64(body, at).ok_or(FrameError::BadBody("SCAN key truncated"))?;
+        let len = take_u32(body, at + 8)
+            .ok_or(FrameError::BadBody("SCAN value length truncated"))? as usize;
+        let value = body
+            .get(at + 12..at + 12 + len)
+            .ok_or(FrameError::BadBody("SCAN value truncated"))?;
+        entries.push((key, value.to_vec()));
+        at += 12 + len;
+    }
+    if at != body.len() {
+        return Err(FrameError::BadBody("SCAN body has trailing bytes"));
+    }
+    Ok(entries)
 }
 
 /// Parse a raw frame as a response. The echoed opcode in `aux`
@@ -625,27 +738,21 @@ pub fn parse_response(frame: &RawFrame<'_>) -> Result<Response, FrameError> {
                     _ => Err(FrameError::BadBody("DELETE response must be one 0/1 byte")),
                 },
                 Opcode::Scan => {
-                    let count = take_u32(body, 0)
-                        .ok_or(FrameError::BadBody("SCAN count truncated"))?
-                        as usize;
-                    let mut entries = Vec::with_capacity(count.min(1024));
-                    let mut at = 4usize;
-                    for _ in 0..count {
-                        let key =
-                            take_u64(body, at).ok_or(FrameError::BadBody("SCAN key truncated"))?;
-                        let len = take_u32(body, at + 8)
-                            .ok_or(FrameError::BadBody("SCAN value length truncated"))?
-                            as usize;
-                        let value = body
-                            .get(at + 12..at + 12 + len)
-                            .ok_or(FrameError::BadBody("SCAN value truncated"))?;
-                        entries.push((key, value.to_vec()));
-                        at += 12 + len;
-                    }
-                    if at != body.len() {
-                        return Err(FrameError::BadBody("SCAN body has trailing bytes"));
-                    }
+                    let entries = parse_entry_list(body, 0)?;
                     Ok(Response::Entries(entries))
+                }
+                Opcode::ScanStream => {
+                    let more = match body.first() {
+                        Some(0) => false,
+                        Some(1) => true,
+                        _ => {
+                            return Err(FrameError::BadBody(
+                                "SCAN_STREAM continuation byte must be 0 or 1",
+                            ))
+                        }
+                    };
+                    let entries = parse_entry_list(body, 1)?;
+                    Ok(Response::ScanChunk { more, entries })
                 }
                 Opcode::Flush => {
                     if body.len() != 8 {
@@ -812,6 +919,11 @@ mod tests {
             hi: 9,
             limit: 100,
         });
+        roundtrip_request(Request::ScanStream {
+            lo: 0,
+            hi: u64::MAX,
+            limit: 0,
+        });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Metrics);
         roundtrip_request(Request::Flush);
@@ -833,6 +945,20 @@ mod tests {
                 Some(Opcode::Scan),
             ),
             (Response::Entries(Vec::new()), Some(Opcode::Scan)),
+            (
+                Response::ScanChunk {
+                    more: true,
+                    entries: vec![(1, vec![0xAA; 4]), (2, Vec::new())],
+                },
+                Some(Opcode::ScanStream),
+            ),
+            (
+                Response::ScanChunk {
+                    more: false,
+                    entries: Vec::new(),
+                },
+                Some(Opcode::ScanStream),
+            ),
             (
                 Response::Stats("{\"writes\":3}".into()),
                 Some(Opcode::Stats),
@@ -958,6 +1084,7 @@ mod tests {
             (Opcode::Get, 4usize),
             (Opcode::Delete, 9),
             (Opcode::Scan, 19),
+            (Opcode::ScanStream, 19),
             (Opcode::Put, 3),
             (Opcode::Ping, 1),
         ] {
@@ -974,6 +1101,59 @@ mod tests {
     }
 
     #[test]
+    fn continuation_classification() {
+        // Only an OK frame echoing SCAN_STREAM with leading byte 1 is
+        // non-terminal; a final chunk, a plain SCAN response, and an
+        // error frame echoing SCAN_STREAM are all terminal.
+        let chunk = |more: bool| {
+            let mut bytes = Vec::new();
+            encode_response(
+                &Response::ScanChunk {
+                    more,
+                    entries: vec![(7, vec![1, 2])],
+                },
+                Some(Opcode::ScanStream),
+                &mut bytes,
+            );
+            bytes
+        };
+        let decode_one = |bytes: &[u8]| {
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_BODY);
+            dec.extend(bytes);
+            let frame = dec.next_frame().unwrap().unwrap();
+            (frame.code, frame.aux, frame.body.to_vec())
+        };
+        let (code, aux, body) = decode_one(&chunk(true));
+        assert!(is_continuation(&RawFrame {
+            code,
+            aux,
+            body: &body
+        }));
+        let (code, aux, body) = decode_one(&chunk(false));
+        assert!(!is_continuation(&RawFrame {
+            code,
+            aux,
+            body: &body
+        }));
+        let mut err = Vec::new();
+        encode_response(
+            &Response::Error {
+                status: Status::ScanTooLarge,
+                retired: 0,
+                message: "mid-stream".into(),
+            },
+            Some(Opcode::ScanStream),
+            &mut err,
+        );
+        let (code, aux, body) = decode_one(&err);
+        assert!(!is_continuation(&RawFrame {
+            code,
+            aux,
+            body: &body
+        }));
+    }
+
+    #[test]
     fn opcode_and_status_bytes_roundtrip() {
         for op in Opcode::ALL {
             assert_eq!(Opcode::from_u8(op as u8), Some(op));
@@ -985,6 +1165,7 @@ mod tests {
             Status::PoolDepleted,
             Status::OutOfSpace,
             Status::StoreError,
+            Status::ScanTooLarge,
             Status::Malformed,
             Status::UnsupportedVersion,
             Status::UnknownOpcode,

@@ -52,7 +52,7 @@ pub mod threaded;
 #[cfg(target_os = "linux")]
 mod worker;
 
-pub use client::Client;
+pub use client::{Client, ScanStream};
 pub use frame::{FrameDecoder, FrameError, Opcode, Request, Response, Status};
 pub use server::{Server, ServerConfig, ServerConfigBuilder, ServerHandle};
 pub use telemetry::ServerTelemetry;

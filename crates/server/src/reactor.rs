@@ -94,6 +94,8 @@ pub(crate) fn spawn(
         registry: parts.registry.clone(),
         telemetry: parts.telemetry.clone(),
         coalesce_puts: parts.config.coalesce_puts,
+        max_frame_body: parts.config.max_frame_body,
+        scan_chunk_bytes: parts.config.scan_chunk_bytes,
     })?;
     // The reactor thread's own execution context, for batches it runs
     // inline at low fan-in (see `INLINE_ACTIVE_MAX`).
@@ -102,6 +104,8 @@ pub(crate) fn spawn(
         registry: parts.registry.clone(),
         telemetry: parts.telemetry.clone(),
         coalesce_puts: parts.config.coalesce_puts,
+        max_frame_body: parts.config.max_frame_body,
+        scan_chunk_bytes: parts.config.scan_chunk_bytes,
     };
     let poller = Poller::new()?;
     std::thread::Builder::new()

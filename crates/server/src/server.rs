@@ -79,6 +79,12 @@ pub struct ServerConfig {
     /// into segments, and the default must stay bit-identical to the
     /// unbatched server.
     pub coalesce_puts: bool,
+    /// Target payload bytes per SCAN_STREAM chunk frame (default
+    /// 64 KiB). Entries are never split across chunks, so a chunk
+    /// carrying one entry larger than this bound exceeds it by that
+    /// entry's size; otherwise chunks stay at or under the target.
+    /// Must be nonzero.
+    pub scan_chunk_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +98,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache: None,
             coalesce_puts: false,
+            scan_chunk_bytes: 64 * 1024,
         }
     }
 }
@@ -131,6 +138,11 @@ impl ServerConfig {
         if self.queue_depth == 0 {
             return Err(invalid(
                 "ServerConfig::queue_depth must be at least 1".into(),
+            ));
+        }
+        if self.scan_chunk_bytes == 0 {
+            return Err(invalid(
+                "ServerConfig::scan_chunk_bytes must be nonzero".into(),
             ));
         }
         if let Some(cache) = &self.cache {
@@ -231,9 +243,17 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Target payload bytes per streamed scan chunk (see
+    /// [`ServerConfig::scan_chunk_bytes`]).
+    pub fn scan_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.scan_chunk_bytes = bytes;
+        self
+    }
+
     /// Validate and return the config. Rejects a zero read timeout,
     /// a zero connection limit, a zero frame cap, a zero queue depth,
-    /// and any invalid cache shape with [`ErrorKind::InvalidInput`].
+    /// a zero scan chunk bound, and any invalid cache shape with
+    /// [`ErrorKind::InvalidInput`].
     pub fn build(self) -> std::io::Result<ServerConfig> {
         self.cfg.validate()?;
         Ok(self.cfg)
@@ -432,6 +452,15 @@ mod tests {
     #[test]
     fn zero_queue_depth_is_rejected() {
         let err = ServerConfig::builder().queue_depth(0).build().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn zero_scan_chunk_bound_is_rejected() {
+        let err = ServerConfig::builder()
+            .scan_chunk_bytes(0)
+            .build()
+            .unwrap_err();
         assert_eq!(err.kind(), ErrorKind::InvalidInput);
     }
 

@@ -82,6 +82,12 @@ pub struct ServerTelemetry {
     /// fraction), refreshed whenever a HEALTH or METRICS frame is
     /// served.
     pub(crate) wear_total_segments: Gauge,
+    /// SCAN_STREAM chunk frames emitted (every chunk, terminal or not).
+    pub(crate) scan_stream_chunks: Counter,
+    /// SCAN_STREAM responses that needed more than one chunk frame —
+    /// the proof a scan actually streamed instead of fitting in one
+    /// frame (CI asserts this goes nonzero under YCSB-E).
+    pub(crate) scan_stream_multi_chunk: Counter,
 }
 
 /// Bucket bounds for items-per-worker-batch: powers of two up to the
@@ -90,11 +96,12 @@ const BATCH_ITEM_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 
 /// The statuses an error-frame counter is kept for (everything that can
 /// appear on the wire as a non-OK, non-NOT_FOUND status).
-const STATUSES: [Status; 10] = [
+const STATUSES: [Status; 11] = [
     Status::Degraded,
     Status::PoolDepleted,
     Status::OutOfSpace,
     Status::StoreError,
+    Status::ScanTooLarge,
     Status::Malformed,
     Status::UnsupportedVersion,
     Status::UnknownOpcode,
@@ -126,6 +133,8 @@ impl ServerTelemetry {
             wear_free_segments: Gauge::disconnected(),
             wear_retired_segments: Gauge::disconnected(),
             wear_total_segments: Gauge::disconnected(),
+            scan_stream_chunks: Counter::disconnected(),
+            scan_stream_multi_chunk: Counter::disconnected(),
         }
     }
 
@@ -213,6 +222,14 @@ impl ServerTelemetry {
             wear_total_segments: registry.gauge(
                 "e2nvm_server_wear_total_segments",
                 "Total segments managed by the fronted store (refreshed on HEALTH/METRICS)",
+            ),
+            scan_stream_chunks: registry.counter(
+                "e2nvm_server_scan_stream_chunks_total",
+                "SCAN_STREAM chunk frames emitted (terminal chunks included)",
+            ),
+            scan_stream_multi_chunk: registry.counter(
+                "e2nvm_server_scan_stream_multi_chunk_total",
+                "SCAN_STREAM responses that spanned more than one chunk frame",
             ),
         }
     }

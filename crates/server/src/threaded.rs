@@ -126,6 +126,8 @@ fn accept_loop(listener: TcpListener, parts: ServeParts, shutdown: Arc<AtomicBoo
                         registry: registry.clone(),
                         telemetry: telemetry.clone(),
                         coalesce_puts: config.coalesce_puts,
+                        max_frame_body: config.max_frame_body,
+                        scan_chunk_bytes: config.scan_chunk_bytes,
                     },
                     shutdown: Arc::clone(&shutdown),
                     active: Arc::clone(&active),
@@ -224,7 +226,21 @@ impl ConnCtx {
             // in order, flush once.
             items.clear();
             let end = collect_work(&mut decoder, &mut items);
-            let outcome = self.exec.exec_batch(items.drain(..), &mut outbuf);
+            // The flush hook gives streamed scans bounded memory: each
+            // emitted chunk may push the buffer to the socket instead
+            // of accumulating an arbitrarily large response. Dispatch
+            // only invokes it at ack-safe points (after its own commit
+            // barrier), so the no-acked-loss contract holds.
+            let telemetry = self.exec.telemetry.clone();
+            let mut early_flush = |outbuf: &mut Vec<u8>| {
+                telemetry.bytes_written.add(outbuf.len() as u64);
+                stream.write_all(outbuf)?;
+                outbuf.clear();
+                Ok(())
+            };
+            let outcome =
+                self.exec
+                    .exec_batch_flushing(items.drain(..), &mut outbuf, Some(&mut early_flush));
             if outcome.shutdown {
                 self.shutdown.store(true, Ordering::SeqCst);
             }

@@ -4,8 +4,8 @@
 //! frames.
 
 use e2nvm_server::frame::{
-    encode_request, encode_response, parse_request, parse_response, FrameDecoder, Opcode, Request,
-    Response, Status, DEFAULT_MAX_BODY,
+    encode_request, encode_response, encode_scan_chunk, is_continuation, parse_request,
+    parse_response, FrameDecoder, Opcode, Request, Response, Status, DEFAULT_MAX_BODY,
 };
 use proptest::prelude::*;
 
@@ -21,6 +21,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
             hi,
             limit
         }),
+        (any::<u64>(), any::<u64>(), any::<u32>())
+            .prop_map(|(lo, hi, limit)| { Request::ScanStream { lo, hi, limit } }),
         Just(Request::Stats),
         Just(Request::Metrics),
         Just(Request::Flush),
@@ -34,6 +36,7 @@ fn arb_error_status() -> impl Strategy<Value = Status> {
         Just(Status::PoolDepleted),
         Just(Status::OutOfSpace),
         Just(Status::StoreError),
+        Just(Status::ScanTooLarge),
         Just(Status::Malformed),
         Just(Status::UnsupportedVersion),
         Just(Status::UnknownOpcode),
@@ -53,8 +56,11 @@ fn arb_text() -> impl Strategy<Value = String> {
 /// Responses paired with the echo opcode their encoding carries (OK
 /// bodies are interpreted through the echoed opcode, so the pair is
 /// what must round-trip).
+fn arb_entry() -> impl Strategy<Value = (u64, Vec<u8>)> {
+    (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+}
+
 fn arb_response() -> impl Strategy<Value = (Response, Option<Opcode>)> {
-    let entry = (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64));
     prop_oneof![
         Just((Response::Pong, Some(Opcode::Ping))),
         proptest::collection::vec(any::<u8>(), 0..256)
@@ -62,8 +68,16 @@ fn arb_response() -> impl Strategy<Value = (Response, Option<Opcode>)> {
         Just((Response::NotFound, Some(Opcode::Get))),
         Just((Response::Stored, Some(Opcode::Put))),
         any::<bool>().prop_map(|b| (Response::Deleted(b), Some(Opcode::Delete))),
-        proptest::collection::vec(entry, 0..8)
+        proptest::collection::vec(arb_entry(), 0..8)
             .prop_map(|e| (Response::Entries(e), Some(Opcode::Scan))),
+        (any::<bool>(), proptest::collection::vec(arb_entry(), 0..8)).prop_map(
+            |(more, entries)| {
+                (
+                    Response::ScanChunk { more, entries },
+                    Some(Opcode::ScanStream),
+                )
+            }
+        ),
         arb_text().prop_map(|s| (Response::Stats(s), Some(Opcode::Stats))),
         arb_text().prop_map(|s| (Response::Metrics(s), Some(Opcode::Metrics))),
         any::<u64>().prop_map(|b| (Response::Flushed(b), Some(Opcode::Flush))),
@@ -132,6 +146,72 @@ proptest! {
             }
         }
         prop_assert_eq!(decoded, reqs);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn chunked_scan_stream_reassembles(
+        entries in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..48),
+        chunk_bytes in 1usize..256,
+        chunk_seed in any::<u64>(),
+    ) {
+        // Produce the chunk frames exactly the way the server does:
+        // greedily pack entries until the next one would exceed the
+        // byte bound, emit a more=1 chunk, and finish with one more=0
+        // chunk holding the tail (possibly empty). Every placement of
+        // the chunk boundary — including one entry per chunk and
+        // everything in the terminal chunk — must reassemble to the
+        // original entry list through a split-read decoder.
+        let mut bytes = Vec::new();
+        let mut frames_expected = 0usize;
+        let mut chunk: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut used = 0usize;
+        for (k, v) in &entries {
+            let entry_bytes = 12 + v.len();
+            if !chunk.is_empty() && used + entry_bytes > chunk_bytes {
+                encode_scan_chunk(true, &chunk, &mut bytes);
+                frames_expected += 1;
+                chunk.clear();
+                used = 0;
+            }
+            used += entry_bytes;
+            chunk.push((*k, v.clone()));
+        }
+        encode_scan_chunk(false, &chunk, &mut bytes);
+        frames_expected += 1;
+
+        // Feed the stream through the decoder at LCG-derived split
+        // points and reassemble.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_BODY);
+        let mut reassembled: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut frames_seen = 0usize;
+        let mut done = false;
+        let mut state = chunk_seed | 1;
+        let mut at = 0usize;
+        while at < bytes.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let step = ((state >> 33) as usize % 17) + 1;
+            let end = (at + step).min(bytes.len());
+            dec.extend(&bytes[at..end]);
+            at = end;
+            while let Some(frame) = dec.next_frame().unwrap() {
+                prop_assert!(!done, "frames after the terminal chunk");
+                let terminal = !is_continuation(&frame);
+                match parse_response(&frame).unwrap() {
+                    Response::ScanChunk { more, entries } => {
+                        prop_assert_eq!(more, !terminal);
+                        reassembled.extend(entries);
+                    }
+                    other => prop_assert!(false, "expected ScanChunk, got {:?}", other),
+                }
+                frames_seen += 1;
+                done = terminal;
+            }
+        }
+        prop_assert!(done, "stream never terminated");
+        prop_assert_eq!(frames_seen, frames_expected);
+        prop_assert_eq!(reassembled, entries);
         prop_assert_eq!(dec.pending(), 0);
     }
 

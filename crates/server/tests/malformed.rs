@@ -174,6 +174,40 @@ fn malformed_streams_get_error_frames_and_no_panic() {
         assert_eq!(read_response(&mut s), Response::Pong);
     }
 
+    // 7. SCAN_STREAM with a truncated 19-byte body: frame-level
+    //    violation — error frame, connection keeps serving, and a
+    //    well-formed stream on the same connection still terminates.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&raw_frame(
+            19,
+            MAGIC,
+            VERSION,
+            Opcode::ScanStream as u8,
+            0,
+            &[0; 19],
+        ))
+        .unwrap();
+        match read_response(&mut s) {
+            Response::Error { status, .. } => assert_eq!(status, Status::Malformed),
+            other => panic!("expected MALFORMED error frame, got {other:?}"),
+        }
+        let mut scan = Vec::new();
+        encode_request(
+            &Request::ScanStream {
+                lo: 0,
+                hi: u64::MAX,
+                limit: 4,
+            },
+            &mut scan,
+        );
+        s.write_all(&scan).unwrap();
+        match read_response(&mut s) {
+            Response::ScanChunk { more, .. } => assert!(!more, "short stream is one final chunk"),
+            other => panic!("expected ScanChunk, got {other:?}"),
+        }
+    }
+
     // After all of the abuse above, a fresh client connection is served
     // normally: the process never panicked and the accept loop is alive.
     let mut client = Client::connect(addr).unwrap();
@@ -183,7 +217,50 @@ fn malformed_streams_get_error_frames_and_no_panic() {
     handle.shutdown();
     let served = handle.join();
     assert!(
-        served >= 7,
-        "expected >= 7 connections served, got {served}"
+        served >= 8,
+        "expected >= 8 connections served, got {served}"
+    );
+}
+
+/// A SCAN_STREAM chunk whose body stops mid-entry must parse as a
+/// typed BadBody error on the receiving side, never a panic or a
+/// silent short read — the client treats it as a poisoned stream.
+#[test]
+fn truncated_mid_chunk_is_rejected() {
+    use e2nvm_server::frame::{encode_scan_chunk, FrameError, RawFrame};
+
+    let entries = vec![(7u64, vec![0xAA; 24]), (9u64, vec![0xBB; 24])];
+    let mut bytes = Vec::new();
+    encode_scan_chunk(true, &entries, &mut bytes);
+    let body = &bytes[8..];
+    // Truncate at every point inside the body: through the
+    // continuation byte, the count, and both entries. The count claims
+    // more entries than the truncated body holds, so every cut must be
+    // a survivable BadBody (or a count/size mismatch at the exact
+    // entry boundary) — never Ok with fewer entries.
+    for cut in 0..body.len() {
+        let frame = RawFrame {
+            code: Status::Ok as u8,
+            aux: Opcode::ScanStream as u8,
+            body: &body[..cut],
+        };
+        match parse_response(&frame) {
+            Err(FrameError::BadBody(_)) => {}
+            Ok(resp) => panic!("cut at {cut}/{} parsed as {resp:?}", body.len()),
+            Err(other) => panic!("cut at {cut} gave unexpected error {other:?}"),
+        }
+    }
+    // The untruncated body still parses whole.
+    let frame = RawFrame {
+        code: Status::Ok as u8,
+        aux: Opcode::ScanStream as u8,
+        body,
+    };
+    assert_eq!(
+        parse_response(&frame).unwrap(),
+        Response::ScanChunk {
+            more: true,
+            entries
+        }
     );
 }
