@@ -9,15 +9,15 @@
 
 use crate::scheme::PlacementScheme;
 use e2nvm_sim::bitops::popcount;
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 use rand::rngs::StdRng;
 use std::collections::VecDeque;
 
 /// The DATACON placement scheme.
 #[derive(Debug, Clone)]
 pub struct Datacon {
-    zeros: VecDeque<SegmentId>,
-    ones: VecDeque<SegmentId>,
+    zeros: VecDeque<LogicalSegment>,
+    ones: VecDeque<LogicalSegment>,
     /// Flips spent re-resetting recycled segments (background wear).
     pub reset_flips: u64,
     /// When true, recycled segments are counted as reset to the polarity
@@ -61,7 +61,7 @@ impl PlacementScheme for Datacon {
         "DATACON"
     }
 
-    fn initialize(&mut self, free: &[(SegmentId, Vec<u8>)], _rng: &mut StdRng) {
+    fn initialize(&mut self, free: &[(LogicalSegment, Vec<u8>)], _rng: &mut StdRng) {
         self.zeros.clear();
         self.ones.clear();
         for (seg, content) in free {
@@ -82,7 +82,7 @@ impl PlacementScheme for Datacon {
         }
     }
 
-    fn choose(&mut self, data: &[u8]) -> Option<SegmentId> {
+    fn choose(&mut self, data: &[u8]) -> Option<LogicalSegment> {
         let want_ones = Self::classify(data);
         let (primary, fallback) = if want_ones {
             (&mut self.ones, &mut self.zeros)
@@ -92,7 +92,7 @@ impl PlacementScheme for Datacon {
         primary.pop_front().or_else(|| fallback.pop_front())
     }
 
-    fn recycle(&mut self, seg: SegmentId, content: &[u8]) {
+    fn recycle(&mut self, seg: LogicalSegment, content: &[u8]) {
         // Background reset to the cheaper polarity.
         let bits = (content.len() * 8) as u64;
         let ones = popcount(content);
@@ -119,8 +119,8 @@ mod tests {
     use super::*;
     use e2nvm_ml::rng::seeded;
 
-    fn seg(i: usize) -> SegmentId {
-        SegmentId(i)
+    fn seg(i: usize) -> LogicalSegment {
+        LogicalSegment(i)
     }
 
     #[test]

@@ -10,13 +10,13 @@
 
 use crate::scheme::PlacementScheme;
 use e2nvm_sim::bitops::hamming;
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 struct Node {
-    seg: SegmentId,
+    seg: LogicalSegment,
     content: Vec<u8>,
     /// True once the segment was taken; tombstones are skipped in
     /// search and purged on rebuild.
@@ -41,7 +41,7 @@ impl HammingTree {
     }
 
     /// Insert a free segment.
-    pub fn insert(&mut self, seg: SegmentId, content: Vec<u8>) {
+    pub fn insert(&mut self, seg: LogicalSegment, content: Vec<u8>) {
         let new_idx = self.nodes.len();
         let node = Node {
             seg,
@@ -76,7 +76,7 @@ impl HammingTree {
     }
 
     /// Exact nearest live node; marks it dead and returns it.
-    fn take_nearest(&mut self, query: &[u8]) -> Option<(SegmentId, u64)> {
+    fn take_nearest(&mut self, query: &[u8]) -> Option<(LogicalSegment, u64)> {
         let root = self.root?;
         if self.live == 0 {
             return None;
@@ -117,7 +117,7 @@ impl HammingTree {
 
     /// Rebuild the tree, dropping tombstones (amortized maintenance).
     pub fn rebuild(&mut self) {
-        let live: Vec<(SegmentId, Vec<u8>)> = self
+        let live: Vec<(LogicalSegment, Vec<u8>)> = self
             .nodes
             .iter()
             .filter(|n| !n.dead)
@@ -137,7 +137,7 @@ impl PlacementScheme for HammingTree {
         "Hamming-Tree"
     }
 
-    fn initialize(&mut self, free: &[(SegmentId, Vec<u8>)], _rng: &mut StdRng) {
+    fn initialize(&mut self, free: &[(LogicalSegment, Vec<u8>)], _rng: &mut StdRng) {
         self.nodes.clear();
         self.root = None;
         self.live = 0;
@@ -147,7 +147,7 @@ impl PlacementScheme for HammingTree {
         }
     }
 
-    fn choose(&mut self, data: &[u8]) -> Option<SegmentId> {
+    fn choose(&mut self, data: &[u8]) -> Option<LogicalSegment> {
         // Periodically purge tombstones to keep searches cheap.
         if self.nodes.len() > 64 && self.live * 4 < self.nodes.len() {
             self.rebuild();
@@ -155,7 +155,7 @@ impl PlacementScheme for HammingTree {
         self.take_nearest(data).map(|(seg, _)| seg)
     }
 
-    fn recycle(&mut self, seg: SegmentId, content: &[u8]) {
+    fn recycle(&mut self, seg: LogicalSegment, content: &[u8]) {
         self.insert(seg, content.to_vec());
     }
 
@@ -170,8 +170,8 @@ mod tests {
     use e2nvm_ml::rng::seeded;
     use rand::Rng;
 
-    fn seg(i: usize) -> SegmentId {
-        SegmentId(i)
+    fn seg(i: usize) -> LogicalSegment {
+        LogicalSegment(i)
     }
 
     #[test]
@@ -239,7 +239,7 @@ mod tests {
     fn placement_trait_workflow() {
         let mut rng = seeded(4);
         let mut tree = HammingTree::new();
-        let free: Vec<(SegmentId, Vec<u8>)> =
+        let free: Vec<(LogicalSegment, Vec<u8>)> =
             (0..10).map(|i| (seg(i), vec![i as u8 * 25; 8])).collect();
         tree.initialize(&free, &mut rng);
         assert_eq!(tree.free_count(), 10);

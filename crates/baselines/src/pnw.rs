@@ -11,7 +11,7 @@ use crate::scheme::PlacementScheme;
 use e2nvm_ml::data::bytes_to_features;
 use e2nvm_ml::data::segments_to_matrix;
 use e2nvm_ml::{KMeans, Matrix, Pca};
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 use rand::rngs::StdRng;
 use std::collections::VecDeque;
 
@@ -35,7 +35,7 @@ pub struct Pnw {
     kmeans_iters: usize,
     pca: Option<Pca>,
     model: Option<KMeans>,
-    pools: Vec<VecDeque<SegmentId>>,
+    pools: Vec<VecDeque<LogicalSegment>>,
     /// Wall-clock spent in the last `initialize` (model training).
     pub last_train: std::time::Duration,
 }
@@ -85,7 +85,7 @@ impl PlacementScheme for Pnw {
         }
     }
 
-    fn initialize(&mut self, free: &[(SegmentId, Vec<u8>)], rng: &mut StdRng) {
+    fn initialize(&mut self, free: &[(LogicalSegment, Vec<u8>)], rng: &mut StdRng) {
         let start = std::time::Instant::now();
         self.pools = (0..self.k).map(|_| VecDeque::new()).collect();
         if free.is_empty() {
@@ -112,7 +112,7 @@ impl PlacementScheme for Pnw {
         self.last_train = start.elapsed();
     }
 
-    fn choose(&mut self, data: &[u8]) -> Option<SegmentId> {
+    fn choose(&mut self, data: &[u8]) -> Option<LogicalSegment> {
         let model = self.model.as_ref()?;
         // One feature computation; nearest-first fallback when the
         // predicted pool is empty.
@@ -125,7 +125,7 @@ impl PlacementScheme for Pnw {
         None
     }
 
-    fn recycle(&mut self, seg: SegmentId, content: &[u8]) {
+    fn recycle(&mut self, seg: LogicalSegment, content: &[u8]) {
         let Some(cluster) = self.predict(content) else {
             // No model yet: park in pool 0.
             if let Some(pool) = self.pools.first_mut() {
@@ -170,12 +170,12 @@ mod tests {
     use e2nvm_ml::rng::seeded;
     use rand::Rng;
 
-    fn seg(i: usize) -> SegmentId {
-        SegmentId(i)
+    fn seg(i: usize) -> LogicalSegment {
+        LogicalSegment(i)
     }
 
     /// Two obvious content families: low bytes and high bytes.
-    fn two_family_pool(rng: &mut StdRng) -> Vec<(SegmentId, Vec<u8>)> {
+    fn two_family_pool(rng: &mut StdRng) -> Vec<(LogicalSegment, Vec<u8>)> {
         (0..40)
             .map(|i| {
                 let base: u8 = if i % 2 == 0 { 0x00 } else { 0xFF };

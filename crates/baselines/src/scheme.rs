@@ -10,7 +10,7 @@
 //!   bench crate). They see the pool of free segments and their
 //!   contents.
 
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 use rand::rngs::StdRng;
 
 /// Result of encoding one in-place write.
@@ -51,14 +51,14 @@ pub trait PlacementScheme {
 
     /// (Re)build internal state from the current free pool: each entry
     /// is a free segment id and its current content.
-    fn initialize(&mut self, free: &[(SegmentId, Vec<u8>)], rng: &mut StdRng);
+    fn initialize(&mut self, free: &[(LogicalSegment, Vec<u8>)], rng: &mut StdRng);
 
     /// Pick and *remove* a free segment for `data`. `None` when the pool
     /// is exhausted.
-    fn choose(&mut self, data: &[u8]) -> Option<SegmentId>;
+    fn choose(&mut self, data: &[u8]) -> Option<LogicalSegment>;
 
     /// Return a segment (with its current content) to the free pool.
-    fn recycle(&mut self, seg: SegmentId, content: &[u8]);
+    fn recycle(&mut self, seg: LogicalSegment, content: &[u8]);
 
     /// Free segments currently available.
     fn free_count(&self) -> usize;

@@ -9,7 +9,7 @@ use e2nvm_baselines::{
 };
 use e2nvm_ml::rng::seeded;
 use e2nvm_sim::bitops::hamming;
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -97,10 +97,10 @@ proptest! {
         queries in proptest::collection::vec(
             proptest::collection::vec(any::<u8>(), 8), 1..40),
     ) {
-        let free: Vec<(SegmentId, Vec<u8>)> = pool_contents
+        let free: Vec<(LogicalSegment, Vec<u8>)> = pool_contents
             .iter()
             .enumerate()
-            .map(|(i, c)| (SegmentId(i), c.clone()))
+            .map(|(i, c)| (LogicalSegment(i), c.clone()))
             .collect();
         let mut rng = seeded(99);
         let schemes: Vec<Box<dyn PlacementScheme>> = vec![
@@ -131,7 +131,7 @@ proptest! {
             // Recycle everything; pool must be whole again.
             let taken: Vec<usize> = handed_out.iter().copied().collect();
             for idx in &taken {
-                s.recycle(SegmentId(*idx), &pool_contents[*idx]);
+                s.recycle(LogicalSegment(*idx), &pool_contents[*idx]);
             }
             prop_assert_eq!(s.free_count(), free.len());
         }

@@ -2,7 +2,7 @@
 //! content difference (line skipping + DCW).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use e2nvm_sim::{DeviceConfig, NvmDevice, SegmentId};
+use e2nvm_sim::{DeviceConfig, NvmDevice, PhysicalSegment};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -28,12 +28,12 @@ fn bench_overwrite(c: &mut Criterion) {
             &diff_pct,
             |b, _| {
                 let mut dev = NvmDevice::new(cfg.clone());
-                dev.seed_segment(SegmentId(0), &old).unwrap();
+                dev.seed_segment(PhysicalSegment(0), &old).unwrap();
                 b.iter(|| {
                     // Restore then overwrite so every iteration measures
                     // the same transition.
-                    dev.seed_segment(SegmentId(0), &old).unwrap();
-                    black_box(dev.write(SegmentId(0), black_box(&new)).unwrap())
+                    dev.seed_segment(PhysicalSegment(0), &old).unwrap();
+                    black_box(dev.write(PhysicalSegment(0), black_box(&new)).unwrap())
                 });
             },
         );
@@ -49,9 +49,16 @@ fn bench_swap(c: &mut Criterion) {
         .unwrap();
     c.bench_function("device_swap_segments", |b| {
         let mut dev = NvmDevice::new(cfg.clone());
-        dev.seed_segment(SegmentId(0), &[0xAAu8; 256]).unwrap();
-        dev.seed_segment(SegmentId(1), &[0x55u8; 256]).unwrap();
-        b.iter(|| black_box(dev.swap_segments(SegmentId(0), SegmentId(1)).unwrap()));
+        dev.seed_segment(PhysicalSegment(0), &[0xAAu8; 256])
+            .unwrap();
+        dev.seed_segment(PhysicalSegment(1), &[0x55u8; 256])
+            .unwrap();
+        b.iter(|| {
+            black_box(
+                dev.swap_segments(PhysicalSegment(0), PhysicalSegment(1))
+                    .unwrap(),
+            )
+        });
     });
 }
 

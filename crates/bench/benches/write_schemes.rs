@@ -8,7 +8,7 @@ use e2nvm_baselines::{
     Pnw, PnwMode,
 };
 use e2nvm_ml::rng::seeded;
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 use e2nvm_workloads::DatasetKind;
 use std::hint::black_box;
 
@@ -36,10 +36,10 @@ fn bench_inplace(c: &mut Criterion) {
 fn bench_placement_choose(c: &mut Criterion) {
     let mut rng = seeded(2);
     let items = DatasetKind::MnistLike.generate_sized(128, 64, &mut rng);
-    let free: Vec<(SegmentId, Vec<u8>)> = items
+    let free: Vec<(LogicalSegment, Vec<u8>)> = items
         .iter()
         .enumerate()
-        .map(|(i, c)| (SegmentId(i), c.clone()))
+        .map(|(i, c)| (LogicalSegment(i), c.clone()))
         .collect();
     let queries = DatasetKind::MnistLike.generate_sized(64, 64, &mut rng);
 

@@ -22,7 +22,7 @@
 //! (add `--quick` for a CI-sized run).
 
 use e2nvm_core::{E2Config, PaddingType, ShardedEngine};
-use e2nvm_sim::{partition_controllers, DeviceConfig, MemoryController, SegmentId};
+use e2nvm_sim::{partition_controllers, DeviceConfig, LogicalSegment, MemoryController};
 use e2nvm_telemetry::TelemetryRegistry;
 use e2nvm_workloads::zipf::{scramble, Zipfian};
 use rand::rngs::StdRng;
@@ -77,7 +77,7 @@ fn build_engine(num_shards: usize, total_segments: usize, seg_bytes: usize) -> S
                 let content: Vec<u8> = (0..seg_bytes)
                     .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
                     .collect();
-                mc.seed(SegmentId(i), &content).unwrap();
+                mc.seed(LogicalSegment(i), &content).unwrap();
             }
             mc
         })

@@ -7,7 +7,7 @@ use crate::table::{fmt, Table};
 use crate::Scale;
 use e2nvm_core::{E2Config, E2Model, Padder, PaddingLocation, PaddingType};
 use e2nvm_sim::bitops::hamming;
-use e2nvm_sim::{DeviceConfig, NvmDevice, SegmentId, WearTracking};
+use e2nvm_sim::{DeviceConfig, NvmDevice, PhysicalSegment, WearTracking};
 use e2nvm_workloads::DatasetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,10 +109,10 @@ pub fn abl02(scale: Scale) -> Table {
             .expect("config");
         let mut dev = NvmDevice::new(cfg);
         for (i, c) in old.iter().enumerate() {
-            dev.seed_segment(SegmentId(i), c).expect("seed");
+            dev.seed_segment(PhysicalSegment(i), c).expect("seed");
         }
         for (i, v) in incoming.iter().enumerate() {
-            dev.write(SegmentId(i % 128), v).expect("write");
+            dev.write(PhysicalSegment(i % 128), v).expect("write");
         }
         let s = dev.stats();
         table.row(vec![
@@ -152,13 +152,13 @@ pub fn abl03(scale: Scale) -> Table {
         let mut dev = seeded_device(segment_bytes, num_segments, WearTracking::None, &old);
         // cluster -> free segment queue.
         let assignments = model.classify_segments(&old);
-        let mut pools: Vec<VecDeque<SegmentId>> = vec![VecDeque::new(); model.k()];
+        let mut pools: Vec<VecDeque<PhysicalSegment>> = vec![VecDeque::new(); model.k()];
         for (i, &c) in assignments.iter().enumerate() {
-            pools[c].push_back(SegmentId(i));
+            pools[c].push_back(PhysicalSegment(i));
         }
         let padder = Padder::new(PaddingLocation::End, PaddingType::Zero);
         let mut prng = StdRng::seed_from_u64(7);
-        let mut occupied: VecDeque<SegmentId> = VecDeque::new();
+        let mut occupied: VecDeque<PhysicalSegment> = VecDeque::new();
         let mut search_evals = 0u64;
         for item in &incoming {
             if occupied.len() >= num_segments / 2 {

@@ -4,7 +4,7 @@ use crate::systems::{seeded_device, stream, E2System, InPlaceSystem};
 use crate::table::{fmt, Table};
 use crate::Scale;
 use e2nvm_baselines::{Captopril, Dcw, FlipNWrite, MinShift};
-use e2nvm_sim::{DeviceConfig, NvmDevice, SegmentId, WearTracking};
+use e2nvm_sim::{DeviceConfig, NvmDevice, PhysicalSegment, WearTracking};
 use e2nvm_workloads::DatasetKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,7 +46,7 @@ pub fn fig01(scale: Scale) -> Table {
             .map(|_| (0..256).map(|_| rng.gen()).collect())
             .collect();
         for (i, data) in old.iter().enumerate() {
-            dev.seed_segment(SegmentId(i), data).expect("seed");
+            dev.seed_segment(PhysicalSegment(i), data).expect("seed");
         }
         // Overwrite with x%-different content: flip exactly x% of bits,
         // uniformly chosen.
@@ -61,7 +61,7 @@ pub fn fig01(scale: Scale) -> Table {
                 let bit = positions[f];
                 new[bit / 8] ^= 1 << (7 - bit % 8);
             }
-            dev.write(SegmentId(i), &new).expect("write");
+            dev.write(PhysicalSegment(i), &new).expect("write");
         }
         let stats = dev.stats();
         let avg_energy = stats.energy_pj / n_blocks as f64;

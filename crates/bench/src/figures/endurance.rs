@@ -8,7 +8,7 @@ use crate::systems::{E2System, InPlaceSystem, PlacementSystem, WriteSystem};
 use crate::table::{fmt, Table};
 use crate::Scale;
 use e2nvm_baselines::{Datacon, Dcw, FlipNWrite};
-use e2nvm_sim::{DeviceConfig, FaultConfig, NvmDevice, SegmentId, WearTracking};
+use e2nvm_sim::{DeviceConfig, FaultConfig, NvmDevice, PhysicalSegment, WearTracking};
 use e2nvm_workloads::DatasetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,11 +40,29 @@ fn writes_to_first_death(
 /// identically seeded fault-injecting device per system. E2-NVM's
 /// content-similar placement programs fewer bits per write, which the
 /// endurance model converts directly into a longer lifetime.
+///
+/// Two extra rows run DCW and E2-NVM behind Start-Gap rotation
+/// (`+start-gap`): placement decides *logical* targets while the
+/// controller rotates the logical→physical remap, so wear spreads
+/// across physical slots that placement alone would hammer. The
+/// retirement path stays armed throughout — a dying write quarantines
+/// the physical slot it actually hit, which is only expressible now
+/// that every wear-facing API is keyed on [`PhysicalSegment`].
+///
+/// The endurance budget is sized so the run spans several full gap
+/// rotations (a logical id revisits every physical slot only after
+/// ψ·N² writes). Below that horizon start-gap cannot level anything:
+/// E2's cluster-concentrated traffic stays pinned to a few physical
+/// slots and rotation is pure relocation overhead. Past it, the two
+/// mechanisms *compose* — rotation evens the per-slot write rate, so
+/// E2's fewer-programmed-bits advantage converts into lifetime at
+/// full strength, on top of what it gains alone.
 pub fn life01(scale: Scale) -> Table {
     let segment_bytes = 64;
     let num_segments = scale.pick(48, 96);
-    let endurance_bits = scale.pick(6_000u64, 20_000);
-    let cap = scale.pick(8_000usize, 60_000);
+    let psi: u64 = 16;
+    let endurance_bits = scale.pick(24_000u64, 60_000);
+    let cap = scale.pick(40_000usize, 200_000);
     let mut rng = StdRng::seed_from_u64(0x11FE_0001);
     let resident = DatasetKind::MnistLike.generate_sized(num_segments, segment_bytes, &mut rng);
     let incoming = DatasetKind::MnistLike.generate_sized(1024, segment_bytes, &mut rng);
@@ -67,7 +85,7 @@ pub fn life01(scale: Scale) -> Table {
             .expect("valid fault device config");
         let mut dev = NvmDevice::new(cfg);
         for (i, data) in resident.iter().enumerate() {
-            dev.seed_segment(SegmentId(i), data).expect("seed");
+            dev.seed_segment(PhysicalSegment(i), data).expect("seed");
         }
         dev
     };
@@ -107,6 +125,26 @@ pub fn life01(scale: Scale) -> Table {
         let (w, bits, censored) = writes_to_first_death(&mut sys, &incoming, cap);
         results.push((sys.name(), w, bits, censored));
     }
+    // Wear-leveling-on rows: same devices, same endurance draws, but
+    // the controller rotates logical→physical under Start-Gap(ψ).
+    {
+        let mut sys = InPlaceSystem::with_start_gap(Box::new(Dcw), make_device(), psi);
+        let name = format!("{}+start-gap", sys.name());
+        let (w, bits, censored) = writes_to_first_death(&mut sys, &incoming, cap);
+        results.push((name, w, bits, censored));
+    }
+    {
+        let mut sys = E2System::with_start_gap(
+            make_device(),
+            E2System::quick_config(segment_bytes, 4),
+            0.5,
+            psi,
+        )
+        .expect("e2 start-gap system");
+        let name = format!("{}+start-gap", sys.name());
+        let (w, bits, censored) = writes_to_first_death(&mut sys, &incoming, cap);
+        results.push((name, w, bits, censored));
+    }
 
     let dcw_life = results[0].1 as f64;
     for (name, writes, bits, censored) in &results {
@@ -125,7 +163,8 @@ pub fn life01(scale: Scale) -> Table {
     ));
     table.note(
         "fewer programmed bits per write -> proportionally later first death; \
-         placement policy is the only variable across rows",
+         placement policy (and, for +start-gap rows, controller rotation) is \
+         the only variable across rows",
     );
     table
 }
@@ -133,72 +172,109 @@ pub fn life01(scale: Scale) -> Table {
 /// Degraded-mode sweep: drive E2-NVM *past* the first death and track
 /// how capacity shrinks while serving continues — retired segments vs
 /// writes, until the pool is depleted (or the write budget runs out).
+///
+/// The sweep runs twice over identically seeded devices: once with a
+/// pass-through controller (`none`) and once under Start-Gap rotation
+/// (`start-gap`). The second run is the full stack the paper's
+/// degradation story needs: E2 placement chooses logical targets, the
+/// controller rotates the logical→physical remap, and each death
+/// retires the logical id from the placement pool *and* quarantines
+/// the physical slot the dying write actually hit — all three
+/// mechanisms composing over one address-translation layer.
 pub fn life02(scale: Scale) -> Table {
     let segment_bytes = 64;
     let num_segments = scale.pick(32, 64);
+    let psi: u64 = 16;
     let endurance_bits = scale.pick(4_000u64, 10_000);
     let budget = scale.pick(6_000usize, 50_000);
     let mut rng = StdRng::seed_from_u64(0x11FE_0002);
     let resident = DatasetKind::MnistLike.generate_sized(num_segments, segment_bytes, &mut rng);
     let incoming = DatasetKind::MnistLike.generate_sized(1024, segment_bytes, &mut rng);
 
-    let cfg = DeviceConfig::builder()
-        .segment_bytes(segment_bytes)
-        .num_segments(num_segments)
-        .wear_tracking(WearTracking::None)
-        .fault(FaultConfig {
-            seed: 0xE2_FA17,
-            endurance_bits,
-            endurance_shape: 3.0,
-            transient_rate: 0.0,
-        })
-        .build()
-        .expect("valid fault device config");
-    let mut dev = NvmDevice::new(cfg);
-    for (i, data) in resident.iter().enumerate() {
-        dev.seed_segment(SegmentId(i), data).expect("seed");
-    }
-    let mut sys =
-        E2System::new(dev, E2System::quick_config(segment_bytes, 4), 0.5).expect("e2 system");
+    let make_device = || {
+        let cfg = DeviceConfig::builder()
+            .segment_bytes(segment_bytes)
+            .num_segments(num_segments)
+            .wear_tracking(WearTracking::None)
+            .fault(FaultConfig {
+                seed: 0xE2_FA17,
+                endurance_bits,
+                endurance_shape: 3.0,
+                transient_rate: 0.0,
+            })
+            .build()
+            .expect("valid fault device config");
+        let mut dev = NvmDevice::new(cfg);
+        for (i, data) in resident.iter().enumerate() {
+            dev.seed_segment(PhysicalSegment(i), data).expect("seed");
+        }
+        dev
+    };
 
     let mut table = Table::new(
         "life02",
-        "E2-NVM graceful degradation: retired segments vs writes served",
-        &["writes", "retired_segments", "live_segments", "depleted"],
+        "E2-NVM graceful degradation: retired segments vs writes served, \
+         with and without start-gap wear leveling",
+        &[
+            "wear_leveling",
+            "writes",
+            "retired_segments",
+            "live_segments",
+            "depleted",
+        ],
     );
     let checkpoint = budget / 10;
-    let mut depleted_at = None;
-    for w in 0..budget {
-        let value = &incoming[w % incoming.len()];
-        if let Err(e) = sys.write(value) {
-            // Pool dry: every further placement fails the same way.
-            depleted_at = Some((w, e));
-            break;
+    let quick_cfg = || E2System::quick_config(segment_bytes, 4);
+    let systems: Vec<(&str, E2System)> = vec![
+        (
+            "none",
+            E2System::new(make_device(), quick_cfg(), 0.5).expect("e2 system"),
+        ),
+        (
+            "start-gap",
+            E2System::with_start_gap(make_device(), quick_cfg(), 0.5, psi)
+                .expect("e2 start-gap system"),
+        ),
+    ];
+    for (wl, mut sys) in systems {
+        // The logical pool the engine degrades through: one slot
+        // smaller than the device under start-gap (the reserved gap).
+        let pool = sys.engine_mut().controller().num_segments();
+        let mut depleted_at = None;
+        for w in 0..budget {
+            let value = &incoming[w % incoming.len()];
+            if let Err(e) = sys.write(value) {
+                // Pool dry: every further placement fails the same way.
+                depleted_at = Some((w, e));
+                break;
+            }
+            if (w + 1) % checkpoint == 0 {
+                let retired = sys.engine_mut().retired_count();
+                table.row(vec![
+                    wl.into(),
+                    (w + 1).to_string(),
+                    retired.to_string(),
+                    (pool - retired).to_string(),
+                    "no".into(),
+                ]);
+            }
         }
-        if (w + 1) % checkpoint == 0 {
+        if let Some((w, e)) = depleted_at {
             let retired = sys.engine_mut().retired_count();
             table.row(vec![
-                (w + 1).to_string(),
+                wl.into(),
+                w.to_string(),
                 retired.to_string(),
-                (num_segments - retired).to_string(),
-                "no".into(),
+                (pool - retired).to_string(),
+                "yes".into(),
             ]);
+            table.note(format!("{wl}: pool depleted after {w} writes: {e}"));
+        } else {
+            table.note(format!(
+                "{wl}: write budget {budget} exhausted before depletion ({} segments retired)",
+                sys.engine_mut().retired_count()
+            ));
         }
-    }
-    if let Some((w, e)) = depleted_at {
-        let retired = sys.engine_mut().retired_count();
-        table.row(vec![
-            w.to_string(),
-            retired.to_string(),
-            (num_segments - retired).to_string(),
-            "yes".into(),
-        ]);
-        table.note(format!("pool depleted after {w} writes: {e}"));
-    } else {
-        table.note(format!(
-            "write budget {budget} exhausted before depletion ({} segments retired)",
-            sys.engine_mut().retired_count()
-        ));
     }
     table.note("capacity shrinks monotonically; every served write stayed verifiable");
     table
@@ -215,7 +291,7 @@ mod tests {
     #[test]
     fn life01_e2_outlives_dcw() {
         let t = life01(quick());
-        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows.len(), 6);
         let life = |row: &[String]| row[1].parse::<usize>().unwrap();
         let dcw = life(&t.rows[0]);
         let e2 = life(&t.rows[3]);
@@ -223,26 +299,40 @@ mod tests {
         // The DCW baseline must actually die within the cap, or the
         // comparison is vacuous.
         assert_eq!(t.rows[0][5], "no", "DCW run was censored");
+        // Wear-leveling-on rows: same ψ, same devices, so the only
+        // variable is placement — E2 behind start-gap must sustain at
+        // least as many writes as DCW behind start-gap.
+        assert!(t.rows[4][0].contains("start-gap"));
+        assert!(t.rows[5][0].starts_with("E2-NVM"));
+        let dcw_sg = life(&t.rows[4]);
+        let e2_sg = life(&t.rows[5]);
+        assert!(
+            e2_sg >= dcw_sg,
+            "E2+start-gap must not die before DCW+start-gap: e2={e2_sg} dcw={dcw_sg}"
+        );
     }
 
     #[test]
     fn life02_degrades_monotonically() {
         let t = life02(quick());
         assert!(!t.rows.is_empty());
-        let retired: Vec<usize> = t
-            .rows
-            .iter()
-            .map(|r| r[1].parse::<usize>().unwrap())
-            .collect();
-        assert!(
-            retired.windows(2).all(|w| w[0] <= w[1]),
-            "retired count must be monotone: {retired:?}"
-        );
-        // Live + retired always equals the pool size.
-        for r in &t.rows {
-            let ret: usize = r[1].parse().unwrap();
-            let live: usize = r[2].parse().unwrap();
-            assert_eq!(ret + live, 32);
+        for wl in ["none", "start-gap"] {
+            let rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == wl).collect();
+            assert!(!rows.is_empty(), "no rows for wear_leveling={wl}");
+            let retired: Vec<usize> = rows.iter().map(|r| r[2].parse().unwrap()).collect();
+            assert!(
+                retired.windows(2).all(|w| w[0] <= w[1]),
+                "retired count must be monotone for {wl}: {retired:?}"
+            );
+            // Live + retired always equals the logical pool size: the
+            // full device without wear leveling, one less under
+            // start-gap (the controller's reserved gap slot).
+            let pool = if wl == "none" { 32 } else { 31 };
+            for r in &rows {
+                let ret: usize = r[2].parse().unwrap();
+                let live: usize = r[3].parse().unwrap();
+                assert_eq!(ret + live, pool, "pool size drifted for {wl}");
+            }
         }
     }
 }

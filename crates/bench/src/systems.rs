@@ -4,7 +4,10 @@
 
 use e2nvm_baselines::{InPlaceScheme, PlacementScheme};
 use e2nvm_core::{E2Config, E2Engine, E2Error, PaddingType};
-use e2nvm_sim::{DeviceConfig, DeviceStats, MemoryController, NvmDevice, SegmentId, WearTracking};
+use e2nvm_sim::{
+    DeviceConfig, DeviceStats, LogicalSegment, MemoryController, NvmDevice, PhysicalSegment,
+    WearTracking,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -53,7 +56,7 @@ pub fn seeded_device(
             let item = &contents[i % contents.len()];
             let mut data = item.clone();
             data.resize(segment_bytes, 0);
-            dev.seed_segment(SegmentId(i), &data).expect("seed");
+            dev.seed_segment(PhysicalSegment(i), &data).expect("seed");
         }
     }
     dev
@@ -100,6 +103,18 @@ impl InPlaceSystem {
             aux_flips: 0,
         }
     }
+
+    /// Same, behind Start-Gap rotation with period ψ. The controller
+    /// reserves one physical slot as the gap, so the system's logical
+    /// pool is one segment smaller than the device.
+    pub fn with_start_gap(scheme: Box<dyn InPlaceScheme>, device: NvmDevice, psi: u64) -> Self {
+        Self {
+            scheme,
+            controller: MemoryController::with_start_gap(device, psi),
+            next: 0,
+            aux_flips: 0,
+        }
+    }
 }
 
 impl WriteSystem for InPlaceSystem {
@@ -108,7 +123,7 @@ impl WriteSystem for InPlaceSystem {
     }
 
     fn write(&mut self, value: &[u8]) -> Result<(), String> {
-        let seg = SegmentId(self.next % self.controller.num_segments());
+        let seg = LogicalSegment(self.next % self.controller.num_segments());
         self.next += 1;
         let seg_bytes = self.controller.device().config().segment_bytes;
         let value = fit(value, seg_bytes);
@@ -147,7 +162,7 @@ impl WriteSystem for InPlaceSystem {
 pub struct PlacementSystem {
     scheme: Box<dyn PlacementScheme>,
     controller: MemoryController,
-    occupied: VecDeque<SegmentId>,
+    occupied: VecDeque<LogicalSegment>,
     max_occupied: usize,
     predict_ns: u128,
     predictions: u64,
@@ -181,9 +196,9 @@ impl PlacementSystem {
         seed: u64,
     ) -> PlacementSystemPartial {
         let controller = make(device);
-        let free: Vec<(SegmentId, Vec<u8>)> = (0..controller.num_segments())
+        let free: Vec<(LogicalSegment, Vec<u8>)> = (0..controller.num_segments())
             .map(|i| {
-                let seg = SegmentId(i);
+                let seg = LogicalSegment(i);
                 (seg, controller.peek(seg).expect("in range").to_vec())
             })
             .collect();
@@ -306,7 +321,7 @@ impl WriteSystem for PlacementSystem {
 /// E2-NVM behind the same streaming interface.
 pub struct E2System {
     engine: E2Engine,
-    occupied: VecDeque<SegmentId>,
+    occupied: VecDeque<LogicalSegment>,
     max_occupied: usize,
     train_time: Duration,
 }
@@ -328,6 +343,19 @@ impl E2System {
     ) -> Result<Self, E2Error> {
         let num_segments = device.num_segments();
         let controller = MemoryController::with_random_swap(device, psi, 0xE2);
+        Self::build(controller, num_segments, cfg, occupancy)
+    }
+
+    /// Start-Gap variant: the engine's logical pool is one segment
+    /// smaller than the device (the controller reserves the gap slot).
+    pub fn with_start_gap(
+        device: NvmDevice,
+        cfg: E2Config,
+        occupancy: f64,
+        psi: u64,
+    ) -> Result<Self, E2Error> {
+        let controller = MemoryController::with_start_gap(device, psi);
+        let num_segments = controller.num_segments();
         Self::build(controller, num_segments, cfg, occupancy)
     }
 

@@ -3,7 +3,7 @@
 //! Every routing decision consults a [`ClusterView`]: one
 //! [`NodeState`] plus the last wear summary per server, behind a
 //! mutex shared by the router and the background [`HealthProber`].
-//! The prober polls each server's HEALTH frame (a fixed 32-byte
+//! The prober polls each server's HEALTH frame (a fixed 40-byte
 //! binary probe, cheap enough for sub-second intervals) and applies
 //! two transitions:
 //!
@@ -230,6 +230,7 @@ mod tests {
             keys: 10,
             free_segments: 90,
             retired_segments: 10,
+            retired_physical: 10,
             total_segments: 100,
         };
         assert_eq!(view.record_probe(0, wear, 0.05), NodeState::Draining);
@@ -249,6 +250,7 @@ mod tests {
             keys: 1,
             free_segments: 99,
             retired_segments: 1,
+            retired_physical: 1,
             total_segments: 100,
         };
         assert_eq!(view.record_probe(0, wear, 0.05), NodeState::Healthy);

@@ -211,6 +211,12 @@ impl SharedEngine {
         self.inner.engine.lock().retired_count()
     }
 
+    /// Physical slots quarantined on the controller (equals
+    /// [`SharedEngine::retired_count`] under the identity mapping).
+    pub fn retired_physical_count(&self) -> usize {
+        self.inner.engine.lock().retired_physical_count()
+    }
+
     /// Total segments this engine's controller manages (free + in use +
     /// retired) — the stable denominator for wear fractions.
     pub fn num_segments(&self) -> usize {
@@ -252,7 +258,7 @@ mod tests {
     use super::*;
     use crate::config::E2Config;
     use crate::padding::PaddingType;
-    use e2nvm_sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+    use e2nvm_sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -271,7 +277,7 @@ mod tests {
             let content: Vec<u8> = (0..seg_bytes)
                 .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
                 .collect();
-            controller.seed(SegmentId(i), &content).unwrap();
+            controller.seed(LogicalSegment(i), &content).unwrap();
         }
         let cfg = E2Config::builder()
             .fast(seg_bytes, 2)

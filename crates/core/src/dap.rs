@@ -10,14 +10,14 @@
 //! handed out twice, and a minimum-threshold check drives the
 //! background-retraining trigger of §4.1.4.
 
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 use std::collections::VecDeque;
 
 /// Error type for pool misuse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DapError {
     /// The segment is already in the pool (double free).
-    AlreadyFree(SegmentId),
+    AlreadyFree(LogicalSegment),
     /// The cluster id is out of range.
     BadCluster {
         /// The offending cluster id.
@@ -27,7 +27,7 @@ pub enum DapError {
     },
     /// The segment has been permanently retired (worn out) and can
     /// never re-enter a free pool.
-    Retired(SegmentId),
+    Retired(LogicalSegment),
 }
 
 impl std::fmt::Display for DapError {
@@ -58,7 +58,7 @@ pub struct DynamicAddressPool {
     min_threshold: usize,
 }
 
-type VecVecDeque = Vec<VecDeque<SegmentId>>;
+type VecVecDeque = Vec<VecDeque<LogicalSegment>>;
 
 impl DynamicAddressPool {
     /// An empty pool with `k` clusters covering `num_segments` segment
@@ -90,7 +90,7 @@ impl DynamicAddressPool {
     }
 
     /// Park a free segment in `cluster`'s pool.
-    pub fn push(&mut self, cluster: usize, seg: SegmentId) -> Result<(), DapError> {
+    pub fn push(&mut self, cluster: usize, seg: LogicalSegment) -> Result<(), DapError> {
         if cluster >= self.pools.len() {
             return Err(DapError::BadCluster {
                 cluster,
@@ -110,12 +110,12 @@ impl DynamicAddressPool {
     }
 
     /// The first free address of `cluster` without removing it.
-    pub fn peek_head(&self, cluster: usize) -> Option<SegmentId> {
+    pub fn peek_head(&self, cluster: usize) -> Option<LogicalSegment> {
         self.pools.get(cluster)?.front().copied()
     }
 
     /// Take the first free address of `cluster`, if any.
-    pub fn pop(&mut self, cluster: usize) -> Option<SegmentId> {
+    pub fn pop(&mut self, cluster: usize) -> Option<LogicalSegment> {
         let seg = self.pools.get_mut(cluster)?.pop_front()?;
         self.membership[seg.index()] = None;
         Some(seg)
@@ -125,7 +125,7 @@ impl DynamicAddressPool {
     /// order (fallback when the predicted cluster is empty). Returns the
     /// segment together with the cluster that supplied it, so callers
     /// can tell a first-choice hit from a fallback.
-    pub fn pop_with_fallback(&mut self, order: &[usize]) -> Option<(SegmentId, usize)> {
+    pub fn pop_with_fallback(&mut self, order: &[usize]) -> Option<(LogicalSegment, usize)> {
         order.iter().find_map(|&c| self.pop(c).map(|seg| (seg, c)))
     }
 
@@ -141,7 +141,7 @@ impl DynamicAddressPool {
     /// it from its free pool if currently parked; after this, `push`
     /// rejects it and `rebuild` silently drops it. Returns `true` if
     /// the segment was newly retired.
-    pub fn retire(&mut self, seg: SegmentId) -> bool {
+    pub fn retire(&mut self, seg: LogicalSegment) -> bool {
         let Some(flag) = self.retired.get_mut(seg.index()) else {
             return false;
         };
@@ -156,7 +156,7 @@ impl DynamicAddressPool {
     }
 
     /// Whether `seg` has been permanently retired.
-    pub fn is_retired(&self, seg: SegmentId) -> bool {
+    pub fn is_retired(&self, seg: LogicalSegment) -> bool {
         self.retired.get(seg.index()).copied().unwrap_or(false)
     }
 
@@ -166,11 +166,11 @@ impl DynamicAddressPool {
     }
 
     /// All retired segments, ascending.
-    pub fn retired_segments(&self) -> Vec<SegmentId> {
+    pub fn retired_segments(&self) -> Vec<LogicalSegment> {
         self.retired
             .iter()
             .enumerate()
-            .filter_map(|(i, &r)| r.then_some(SegmentId(i)))
+            .filter_map(|(i, &r)| r.then_some(LogicalSegment(i)))
             .collect()
     }
 
@@ -178,7 +178,7 @@ impl DynamicAddressPool {
     /// assignment list (after retraining). Retirement is permanent:
     /// retired segments in `assignments` are dropped, so a retrain can
     /// classify every segment without resurrecting dead ones.
-    pub fn rebuild(&mut self, k: usize, assignments: &[(SegmentId, usize)]) {
+    pub fn rebuild(&mut self, k: usize, assignments: &[(LogicalSegment, usize)]) {
         assert!(k > 0, "rebuild: k must be >= 1");
         self.pools = (0..k).map(|_| VecDeque::new()).collect();
         self.membership.iter_mut().for_each(|m| *m = None);
@@ -198,7 +198,7 @@ impl DynamicAddressPool {
         let slots: usize = self
             .pools
             .iter()
-            .map(|p| p.capacity() * std::mem::size_of::<SegmentId>())
+            .map(|p| p.capacity() * std::mem::size_of::<LogicalSegment>())
             .sum();
         slots
             + self.membership.len() * std::mem::size_of::<Option<u32>>()
@@ -206,7 +206,7 @@ impl DynamicAddressPool {
     }
 
     /// Whether `seg` is currently free.
-    pub fn is_free(&self, seg: SegmentId) -> bool {
+    pub fn is_free(&self, seg: LogicalSegment) -> bool {
         self.membership
             .get(seg.index())
             .map(Option::is_some)
@@ -219,11 +219,11 @@ impl DynamicAddressPool {
     }
 
     /// All currently free segments (order unspecified).
-    pub fn free_segments(&self) -> Vec<SegmentId> {
+    pub fn free_segments(&self) -> Vec<LogicalSegment> {
         self.membership
             .iter()
             .enumerate()
-            .filter_map(|(i, m)| m.map(|_| SegmentId(i)))
+            .filter_map(|(i, m)| m.map(|_| LogicalSegment(i)))
             .collect()
     }
 }
@@ -232,8 +232,8 @@ impl DynamicAddressPool {
 mod tests {
     use super::*;
 
-    fn seg(i: usize) -> SegmentId {
-        SegmentId(i)
+    fn seg(i: usize) -> LogicalSegment {
+        LogicalSegment(i)
     }
 
     #[test]
@@ -360,7 +360,7 @@ mod tests {
         // Interleave pops and recycles.
         for round in 0..200 {
             if round % 3 == 0 && !held.is_empty() {
-                let s: SegmentId = held.pop().unwrap();
+                let s: LogicalSegment = held.pop().unwrap();
                 dap.push(round % 4, s).unwrap();
             } else if let Some((s, _)) = dap.pop_with_fallback(&[0, 1, 2, 3]) {
                 held.push(s);

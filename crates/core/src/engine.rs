@@ -17,7 +17,7 @@ use crate::incremental::IncrementalIndexer;
 use crate::model::E2Model;
 use crate::padding::Padder;
 use crate::telemetry::EngineTelemetry;
-use e2nvm_sim::{MemoryController, SegmentId, SimError, WriteReport};
+use e2nvm_sim::{LogicalSegment, MemoryController, SimError, WriteReport};
 use e2nvm_telemetry::{Event, TelemetryRegistry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,7 +30,7 @@ use std::time::Instant;
 /// batched small-value path), and how long it is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
-    seg: SegmentId,
+    seg: LogicalSegment,
     off: usize,
     len: usize,
 }
@@ -75,9 +75,9 @@ pub struct EngineState {
     /// Serialized model ([`E2Model::to_bytes`]).
     pub model: Vec<u8>,
     /// Permanently retired segments, ascending.
-    pub retired: Vec<SegmentId>,
+    pub retired: Vec<LogicalSegment>,
     /// Index entries as `(key, segment, byte offset, length)`.
-    pub entries: Vec<(u64, SegmentId, usize, usize)>,
+    pub entries: Vec<(u64, LogicalSegment, usize, usize)>,
 }
 
 /// The E2-NVM engine.
@@ -92,7 +92,7 @@ pub struct E2Engine {
     /// value (written by [`E2Engine::put_many`]). Segments absent from
     /// this map hold exactly one entry; a shared segment is recycled
     /// only once its count reaches zero.
-    live: HashMap<SegmentId, usize>,
+    live: HashMap<LogicalSegment, usize>,
     rng: StdRng,
     prediction: PredictionStats,
     incremental: Option<IncrementalIndexer>,
@@ -157,12 +157,12 @@ impl E2Engine {
     /// [`E2Engine::place_value`] by callers that keep their own index,
     /// e.g. the node stores in `e2nvm-kvstore`, so the key index alone
     /// cannot be trusted here).
-    fn free_snapshot(&self) -> Vec<(SegmentId, Vec<u8>)> {
-        let free: Vec<SegmentId> = if self.model.is_some() {
+    fn free_snapshot(&self) -> Vec<(LogicalSegment, Vec<u8>)> {
+        let free: Vec<LogicalSegment> = if self.model.is_some() {
             self.dap.free_segments()
         } else {
             (0..self.controller.num_segments())
-                .map(SegmentId)
+                .map(LogicalSegment)
                 .filter(|&seg| !self.dap.is_retired(seg))
                 .collect()
         };
@@ -229,7 +229,7 @@ impl E2Engine {
             )));
         }
         let indexer = IncrementalIndexer::new(total, initial);
-        let free: Vec<(SegmentId, Vec<u8>)> = indexer
+        let free: Vec<(LogicalSegment, Vec<u8>)> = indexer
             .initial_range()
             .map(|seg| {
                 let content = self.controller.peek(seg).expect("in range").to_vec();
@@ -294,10 +294,10 @@ impl E2Engine {
         self.install_model(model, &free);
     }
 
-    fn install_model(&mut self, model: E2Model, free: &[(SegmentId, Vec<u8>)]) {
+    fn install_model(&mut self, model: E2Model, free: &[(LogicalSegment, Vec<u8>)]) {
         let contents: Vec<Vec<u8>> = free.iter().map(|(_, c)| c.clone()).collect();
         let assignments = model.classify_segments(&contents);
-        let pairs: Vec<(SegmentId, usize)> =
+        let pairs: Vec<(LogicalSegment, usize)> =
             free.iter().map(|(seg, _)| *seg).zip(assignments).collect();
         self.dap.rebuild(model.k(), &pairs);
         // Refresh padding state from the snapshot.
@@ -332,7 +332,7 @@ impl E2Engine {
     /// Low-level placement: choose a free segment for `value`, write it,
     /// and return the segment and the device report. Does not touch the
     /// key index (the KV layer and the benchmarks both build on this).
-    pub fn place_value(&mut self, value: &[u8]) -> Result<(SegmentId, WriteReport)> {
+    pub fn place_value(&mut self, value: &[u8]) -> Result<(LogicalSegment, WriteReport)> {
         self.place_at(0, value)
     }
 
@@ -352,7 +352,11 @@ impl E2Engine {
     /// segments have been retired the error is
     /// [`E2Error::PoolDepleted`] rather than plain `OutOfSpace`, so
     /// callers can tell degraded mode from ordinary fill-up.
-    pub fn place_at(&mut self, offset: usize, value: &[u8]) -> Result<(SegmentId, WriteReport)> {
+    pub fn place_at(
+        &mut self,
+        offset: usize,
+        value: &[u8],
+    ) -> Result<(LogicalSegment, WriteReport)> {
         if offset + value.len() > self.cfg.segment_bytes {
             return Err(E2Error::ValueTooLarge {
                 len: offset + value.len(),
@@ -408,10 +412,19 @@ impl E2Engine {
     }
 
     /// Permanently quarantine `seg`: it leaves the address pool for
-    /// good and the retirement is journaled. Idempotent.
-    fn retire_segment(&mut self, seg: SegmentId) {
+    /// good, the *physical* slot the dying write actually hit is
+    /// quarantined on the controller (so later relocations route around
+    /// the dead medium), and the retirement is journaled with both
+    /// ids. Idempotent. Calling this from the failed write's error path
+    /// is sound because the remap only mutates after *successful*
+    /// writes — the failed write's translation is still live.
+    fn retire_segment(&mut self, seg: LogicalSegment) {
         if self.dap.retire(seg) {
-            self.telemetry.record_retirement(seg.index());
+            let phys = self
+                .controller
+                .retire(seg)
+                .expect("retired logical id must still translate");
+            self.telemetry.record_retirement(seg.index(), phys.index());
         }
     }
 
@@ -420,7 +433,7 @@ impl E2Engine {
     /// address. Integrators use this to decide between relocating a
     /// node image and updating it in place. Returns `None` when the
     /// pool is empty.
-    pub fn preview_placement(&mut self, value: &[u8]) -> Result<Option<(SegmentId, u64)>> {
+    pub fn preview_placement(&mut self, value: &[u8]) -> Result<Option<(LogicalSegment, u64)>> {
         if value.len() > self.cfg.segment_bytes {
             return Err(E2Error::ValueTooLarge {
                 len: value.len(),
@@ -442,7 +455,7 @@ impl E2Engine {
     /// Low-level recycle: classify the segment's current content and
     /// return it to the DAP. Recycling a retired segment is a no-op —
     /// dead addresses never re-enter circulation.
-    pub fn recycle_segment(&mut self, seg: SegmentId) -> Result<()> {
+    pub fn recycle_segment(&mut self, seg: LogicalSegment) -> Result<()> {
         if self.dap.is_retired(seg) {
             return Ok(());
         }
@@ -635,8 +648,17 @@ impl E2Engine {
     }
 
     /// The retired segments themselves, ascending.
-    pub fn retired_segments(&self) -> Vec<SegmentId> {
+    pub fn retired_segments(&self) -> Vec<LogicalSegment> {
         self.dap.retired_segments()
+    }
+
+    /// Physical slots quarantined on the controller — the address space
+    /// wear heatmaps and the HEALTH wire summary are keyed by. Under
+    /// the identity mapping this equals [`E2Engine::retired_count`];
+    /// under active wear leveling only the physical set names the dead
+    /// medium.
+    pub fn retired_physical_count(&self) -> usize {
+        self.controller.retired_physical_count()
     }
 
     /// Device statistics (flips, energy, latency).
@@ -734,7 +756,7 @@ impl E2Engine {
                 )));
             }
         }
-        let mut per_seg: HashMap<SegmentId, usize> = HashMap::new();
+        let mut per_seg: HashMap<LogicalSegment, usize> = HashMap::new();
         for &(key, seg, off, len) in &state.entries {
             if seg.index() >= num_segments {
                 return Err(E2Error::Config(format!(
@@ -764,6 +786,18 @@ impl E2Engine {
         for &seg in &state.retired {
             self.dap.retire(seg);
         }
+        // Mirror the quarantine onto the controller's physical flags
+        // when the mapping is the identity (legacy snapshots carry no
+        // controller section, and under identity logical == physical).
+        // A controller rebuilt from a persisted `ControllerState`
+        // already has authoritative flags and a possibly non-identity
+        // remap — retiring through the *current* translation would mark
+        // the wrong slot, so it is skipped.
+        if self.controller.remap().is_identity() {
+            for &seg in &state.retired {
+                let _ = self.controller.retire(seg);
+            }
+        }
         // Singly-occupied segments are represented by *absence* from the
         // live map (see the `live` field docs), so only packed segments
         // carry a count.
@@ -772,8 +806,8 @@ impl E2Engine {
             .filter(|&(_, &count)| count >= 2)
             .map(|(&seg, &count)| (seg, count))
             .collect();
-        let free: Vec<(SegmentId, Vec<u8>)> = (0..num_segments)
-            .map(SegmentId)
+        let free: Vec<(LogicalSegment, Vec<u8>)> = (0..num_segments)
+            .map(LogicalSegment)
             .filter(|seg| !self.dap.is_retired(*seg) && !per_seg.contains_key(seg))
             .map(|seg| {
                 let content = self.controller.peek(seg).expect("in range").to_vec();
@@ -828,7 +862,9 @@ mod tests {
             let content: Vec<u8> = (0..bytes)
                 .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
                 .collect();
-            e.controller_mut().seed(SegmentId(i), &content).unwrap();
+            e.controller_mut()
+                .seed(LogicalSegment(i), &content)
+                .unwrap();
         }
     }
 

@@ -82,7 +82,7 @@ mod tests {
         let e: E2Error = SimError::InvalidConfig("x".into()).into();
         assert!(matches!(e, E2Error::Sim(_)));
         assert!(e.to_string().contains("device error"));
-        let e: E2Error = DapError::AlreadyFree(e2nvm_sim::SegmentId(3)).into();
+        let e: E2Error = DapError::AlreadyFree(e2nvm_sim::LogicalSegment(3)).into();
         assert!(e.to_string().contains("address pool"));
         assert!(E2Error::OutOfSpace.to_string().contains("free segments"));
         assert!(E2Error::PoolDepleted { retired: 3 }

@@ -7,7 +7,7 @@
 //! [`IncrementalIndexer`] tracks which segments the engine has mapped
 //! and feeds unmapped ones in batches.
 
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 
 /// Tracks the frontier between mapped and not-yet-mapped segments.
 #[derive(Debug, Clone)]
@@ -45,17 +45,17 @@ impl IncrementalIndexer {
     }
 
     /// The initially-mapped id range.
-    pub fn initial_range(&self) -> impl Iterator<Item = SegmentId> {
-        (0..self.mapped).map(SegmentId)
+    pub fn initial_range(&self) -> impl Iterator<Item = LogicalSegment> {
+        (0..self.mapped).map(LogicalSegment)
     }
 
     /// Take up to `count` previously unmapped segment ids, advancing the
     /// frontier.
-    pub fn take_next(&mut self, count: usize) -> Vec<SegmentId> {
+    pub fn take_next(&mut self, count: usize) -> Vec<LogicalSegment> {
         let take = count.min(self.remaining());
         let start = self.mapped;
         self.mapped += take;
-        (start..start + take).map(SegmentId).collect()
+        (start..start + take).map(LogicalSegment).collect()
     }
 }
 
@@ -70,7 +70,10 @@ mod tests {
         assert_eq!(ix.remaining(), 6);
         assert_eq!(ix.initial_range().count(), 4);
         let batch = ix.take_next(3);
-        assert_eq!(batch, vec![SegmentId(4), SegmentId(5), SegmentId(6)]);
+        assert_eq!(
+            batch,
+            vec![LogicalSegment(4), LogicalSegment(5), LogicalSegment(6)]
+        );
         assert_eq!(ix.mapped(), 7);
         // Over-asking is clamped.
         let rest = ix.take_next(100);

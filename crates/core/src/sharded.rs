@@ -258,6 +258,15 @@ impl ShardedEngine {
         self.shards.iter().map(SharedEngine::retired_count).sum()
     }
 
+    /// Physical slots quarantined across all shard controllers — what
+    /// the HEALTH wire summary reports.
+    pub fn retired_physical_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(SharedEngine::retired_physical_count)
+            .sum()
+    }
+
     /// Total segments across all shards (free + in use + retired) —
     /// the stable denominator for wear fractions.
     pub fn num_segments(&self) -> usize {
@@ -309,7 +318,7 @@ impl std::fmt::Debug for ShardedEngine {
 mod tests {
     use super::*;
     use crate::padding::PaddingType;
-    use e2nvm_sim::{partition_controllers, DeviceConfig, SegmentId};
+    use e2nvm_sim::{partition_controllers, DeviceConfig, LogicalSegment};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -330,7 +339,7 @@ mod tests {
             let content: Vec<u8> = (0..seg_bytes)
                 .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
                 .collect();
-            mc.seed(SegmentId(i), &content).unwrap();
+            mc.seed(LogicalSegment(i), &content).unwrap();
         }
     }
 

@@ -146,12 +146,15 @@ impl EngineTelemetry {
 
     /// Account a permanent segment retirement: bump the counter and
     /// journal a [`Event::SegmentRetired`] so operators can see the
-    /// capacity shrink.
-    pub fn record_retirement(&self, segment: usize) {
+    /// capacity shrink. `segment` is the shard-local logical id the
+    /// engine quarantined; `physical` is the device slot that actually
+    /// wore out (they differ under active wear leveling).
+    pub fn record_retirement(&self, segment: usize, physical: usize) {
         self.retired_segments.inc();
         self.record_event(Event::SegmentRetired {
             shard: self.shard,
             segment,
+            physical,
         });
     }
 

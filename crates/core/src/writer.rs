@@ -11,12 +11,12 @@
 use crate::batch::BatchAccumulator;
 use crate::engine::E2Engine;
 use crate::error::{E2Error, Result};
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
 struct ItemLoc {
-    seg: SegmentId,
+    seg: LogicalSegment,
     offset: usize,
     len: usize,
 }
@@ -29,7 +29,7 @@ pub struct BatchedWriter {
     /// key -> placed location.
     placed: HashMap<u64, ItemLoc>,
     /// Live item count per segment (for recycling fully dead segments).
-    live: HashMap<SegmentId, usize>,
+    live: HashMap<LogicalSegment, usize>,
     /// Keys currently in the open (unplaced) batch.
     pending: HashMap<u64, (usize, usize)>,
 }
@@ -169,7 +169,9 @@ mod tests {
             let content: Vec<u8> = (0..seg_bytes)
                 .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
                 .collect();
-            controller.seed(e2nvm_sim::SegmentId(i), &content).unwrap();
+            controller
+                .seed(e2nvm_sim::LogicalSegment(i), &content)
+                .unwrap();
         }
         let cfg = E2Config::builder()
             .fast(seg_bytes, 2)

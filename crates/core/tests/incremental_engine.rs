@@ -2,7 +2,7 @@
 //! automatic K selection.
 
 use e2nvm_core::{E2Config, E2Engine, E2Error, PaddingType};
-use e2nvm_sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm_sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,7 +21,7 @@ fn engine(segments: usize, seg_bytes: usize, k: usize) -> E2Engine {
         let content: Vec<u8> = (0..seg_bytes)
             .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
             .collect();
-        controller.seed(SegmentId(i), &content).unwrap();
+        controller.seed(LogicalSegment(i), &content).unwrap();
     }
     let cfg = E2Config::builder()
         .fast(seg_bytes, k)

@@ -3,7 +3,7 @@
 //! under interleaved traffic, and batch accumulator integrity.
 
 use e2nvm_core::{BatchAccumulator, DynamicAddressPool, Padder, PaddingLocation, PaddingType};
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::LogicalSegment;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,9 +76,9 @@ proptest! {
         let n = 64;
         let mut dap = DynamicAddressPool::new(k, n, 0);
         for i in 0..n {
-            dap.push(i % k, SegmentId(i)).unwrap();
+            dap.push(i % k, LogicalSegment(i)).unwrap();
         }
-        let mut held: Vec<SegmentId> = Vec::new();
+        let mut held: Vec<LogicalSegment> = Vec::new();
         for (is_pop, c) in ops {
             let cluster = c % k;
             if is_pop {
@@ -115,10 +115,10 @@ proptest! {
         let n = 32;
         let mut dap = DynamicAddressPool::new(k, n, 0);
         for i in 0..n {
-            dap.push(i % k, SegmentId(i)).unwrap();
+            dap.push(i % k, LogicalSegment(i)).unwrap();
         }
-        let mut held: Vec<SegmentId> = Vec::new();
-        let mut retired: Vec<SegmentId> = Vec::new();
+        let mut held: Vec<LogicalSegment> = Vec::new();
+        let mut retired: Vec<LogicalSegment> = Vec::new();
         for (op, x) in ops {
             match op {
                 // Pop from some cluster.
@@ -158,8 +158,8 @@ proptest! {
         }
         // A retrain-style rebuild classifying *every* segment must drop
         // exactly the retired ones.
-        let assignments: Vec<(SegmentId, usize)> =
-            (0..n).map(|i| (SegmentId(i), i % k)).collect();
+        let assignments: Vec<(LogicalSegment, usize)> =
+            (0..n).map(|i| (LogicalSegment(i), i % k)).collect();
         dap.rebuild(k, &assignments);
         prop_assert_eq!(dap.free_count(), n - retired.len());
         for seg in &retired {

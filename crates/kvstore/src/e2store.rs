@@ -12,7 +12,7 @@ use e2nvm_persist::{
     replay_and_truncate, FlushPolicy, PersistTelemetry, PersistenceConfig, ShardState,
     StoreSnapshot, Wal, WalOp, WalSyncer,
 };
-use e2nvm_sim::{MemoryController, SegmentId};
+use e2nvm_sim::{LogicalSegment, MemoryController};
 use e2nvm_telemetry::TelemetryRegistry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -22,7 +22,7 @@ use std::time::Instant;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Loc {
-    seg: SegmentId,
+    seg: LogicalSegment,
     off: usize,
     len: usize,
 }
@@ -30,7 +30,7 @@ struct Loc {
 impl Default for Loc {
     fn default() -> Self {
         Self {
-            seg: SegmentId(usize::MAX),
+            seg: LogicalSegment(usize::MAX),
             off: 0,
             len: 0,
         }
@@ -44,7 +44,7 @@ pub struct E2KvStore {
     /// Live-entry counts for segments shared by a packed
     /// [`NvmKvStore::put_many`] batch; absent segments hold exactly one
     /// entry. A shared segment is recycled only when its count hits 0.
-    live: HashMap<SegmentId, usize>,
+    live: HashMap<LogicalSegment, usize>,
     telemetry: StoreTelemetry,
 }
 
@@ -353,8 +353,14 @@ pub struct WearSummary {
     pub keys: u64,
     /// Free segments still available for placement.
     pub free_segments: u64,
-    /// Segments permanently retired by wear-out.
+    /// Logical segments permanently retired by wear-out (pool
+    /// shrinkage, as the placement layer sees it).
     pub retired_segments: u64,
+    /// Physical slots quarantined by the memory controllers — the
+    /// ground truth of which device segments actually died. Equals
+    /// `retired_segments` under identity mapping; under wear leveling
+    /// it is the count relocations route around.
+    pub retired_physical: u64,
     /// Total segments the store manages (free + in use + retired);
     /// constant over a store's lifetime.
     pub total_segments: u64,
@@ -425,10 +431,12 @@ impl ShardedE2KvStore {
     /// snapshot, so the data dir is replayable from op zero: every later
     /// acked mutation is recoverable as snapshot + WAL suffix).
     ///
-    /// Refuses with [`StoreError::WearLevelingActive`] when a shard's
-    /// controller runs a remapping wear-leveling policy — snapshots
-    /// require the identity mapping of DESIGN.md §10. Pass `registry` to
-    /// publish the `e2nvm_persist_*` series.
+    /// Works under active wear leveling: each shard's snapshot carries
+    /// the controller's [`e2nvm_sim::ControllerState`] (policy state,
+    /// logical→physical remap, quarantined physical slots), so recovery
+    /// resumes the rotation exactly where the crash interrupted it
+    /// (DESIGN.md §14). Pass `registry` to publish the
+    /// `e2nvm_persist_*` series.
     pub fn with_persistence(
         mut self,
         cfg: PersistenceConfig,
@@ -489,14 +497,10 @@ impl ShardedE2KvStore {
                 self.engine
                     .with_shard_engine(i, |e| -> Result<ShardState> {
                         let mc = e.controller();
-                        if mc.wear_leveling_active() {
-                            return Err(StoreError::WearLevelingActive {
-                                policy: mc.wear_leveling_name(),
-                            });
-                        }
                         Ok(ShardState {
                             device_image: e2nvm_sim::snapshot::to_image(mc.device()),
                             state: e.export_state()?,
+                            controller: Some(mc.export_state()),
                         })
                     })?,
             );
@@ -536,9 +540,16 @@ impl ShardedE2KvStore {
         for (i, shard) in snap.shards.iter().enumerate() {
             let device = e2nvm_sim::snapshot::from_image(&shard.device_image)
                 .map_err(|e| StoreError::Persistence(format!("shard {i} device image: {e}")))?;
-            // Snapshots are only taken under identity mapping (§10), so
-            // the restored controller is identity-mapped too.
-            let mc = MemoryController::without_wear_leveling(device);
+            // v2 snapshots carry the controller's translation state
+            // (remap, policy, quarantined slots); v1 snapshots were only
+            // ever taken under identity mapping, so a pass-through
+            // controller reconstructs them faithfully.
+            let mc = match &shard.controller {
+                Some(cs) => MemoryController::from_state(device, cs).map_err(|e| {
+                    StoreError::Persistence(format!("shard {i} controller state: {e}"))
+                })?,
+                None => MemoryController::without_wear_leveling(device),
+            };
             let shard_cfg = E2Config {
                 // Golden-ratio stride, matching ShardedEngine::train.
                 seed: e2cfg
@@ -654,6 +665,13 @@ impl ShardedE2KvStore {
         self.engine.retired_count()
     }
 
+    /// Physical slots quarantined by the shards' memory controllers —
+    /// the device-side counterpart of [`Self::retired_count`], and the
+    /// figure the HEALTH frame reports as ground truth.
+    pub fn retired_physical_count(&self) -> usize {
+        self.engine.retired_physical_count()
+    }
+
     /// Point-in-time wear summary across all shards — what the wire
     /// protocol's HEALTH frame carries and what the cluster layer's
     /// health prober acts on.
@@ -662,6 +680,7 @@ impl ShardedE2KvStore {
             keys: self.engine.len() as u64,
             free_segments: self.engine.free_count() as u64,
             retired_segments: self.engine.retired_count() as u64,
+            retired_physical: self.engine.retired_physical_count() as u64,
             total_segments: self.engine.num_segments() as u64,
         }
     }
@@ -890,7 +909,7 @@ mod tests {
                 .collect();
             engine
                 .controller_mut()
-                .seed(SegmentId(i), &content)
+                .seed(LogicalSegment(i), &content)
                 .unwrap();
         }
         engine.train().unwrap();
@@ -953,7 +972,7 @@ mod tests {
                         let content: Vec<u8> = (0..seg_bytes)
                             .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
                             .collect();
-                        mc.seed(SegmentId(i), &content).unwrap();
+                        mc.seed(LogicalSegment(i), &content).unwrap();
                     }
                     mc
                 })
@@ -1144,42 +1163,130 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    #[test]
-    fn snapshot_refused_under_wear_leveling() {
-        let seg_bytes = 64;
-        let dev = NvmDevice::new(
-            DeviceConfig::builder()
-                .segment_bytes(seg_bytes)
-                .num_segments(33)
-                .build()
-                .unwrap(),
-        );
-        // Random-swap remaps logical→physical segments behind the
-        // engine's back; DESIGN.md §10 forbids snapshotting that.
-        let mut mc = MemoryController::with_random_swap(dev, 4, 99);
+    /// Build a sharded store whose shards all run start-gap wear
+    /// leveling (ψ = `psi`), over `segments` *physical* slots split
+    /// across `num_shards` shards. Each shard's logical capacity is one
+    /// less than its slice of the physical space (the reserved gap).
+    fn wear_leveled_store(
+        num_shards: usize,
+        segments: usize,
+        seg_bytes: usize,
+        psi: u64,
+    ) -> ShardedE2KvStore {
+        let dev_cfg = DeviceConfig::builder()
+            .segment_bytes(seg_bytes)
+            .num_segments(segments)
+            .build()
+            .unwrap();
+        let cfg = kv_cfg(seg_bytes);
         let mut rng = StdRng::seed_from_u64(23);
-        for i in 0..mc.num_segments() {
-            let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
-            let content: Vec<u8> = (0..seg_bytes)
-                .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
-                .collect();
-            mc.seed(SegmentId(i), &content).unwrap();
-        }
-        let engine = ShardedEngine::train(vec![mc], &kv_cfg(seg_bytes)).unwrap();
-        let dir = std::env::temp_dir().join(format!("e2nvm_kv_wl_{}", std::process::id()));
+        let controllers: Vec<MemoryController> =
+            e2nvm_sim::partition_controllers_with(&dev_cfg, num_shards, |dev| {
+                MemoryController::with_start_gap(dev, psi)
+            })
+            .unwrap()
+            .into_iter()
+            .map(|(_, mut mc)| {
+                for i in 0..mc.num_segments() {
+                    let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
+                    let content: Vec<u8> = (0..seg_bytes)
+                        .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
+                        .collect();
+                    mc.seed(LogicalSegment(i), &content).unwrap();
+                }
+                mc
+            })
+            .collect();
+        ShardedE2KvStore::new(ShardedEngine::train(controllers, &cfg).unwrap())
+    }
+
+    /// Per-shard controller state of a recovered/live store, for
+    /// comparing translation layers across a kill.
+    fn controller_states(s: &ShardedE2KvStore) -> Vec<e2nvm_sim::ControllerState> {
+        (0..s.engine().num_shards())
+            .map(|i| {
+                s.engine()
+                    .with_shard_engine(i, |e| e.controller().export_state())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn persistence_roundtrips_under_active_wear_leveling() {
+        let dir = std::env::temp_dir().join(format!(
+            "e2nvm_kv_wl_recover_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
         std::fs::remove_dir_all(&dir).ok();
-        let err = ShardedE2KvStore::new(engine)
-            .with_persistence(
-                PersistenceConfig::builder().data_dir(&dir).build().unwrap(),
-                None,
-            )
-            .unwrap_err();
-        assert_eq!(
-            err,
-            StoreError::WearLevelingActive {
-                policy: "random-swap"
+        let e2cfg = kv_cfg(64);
+        let pcfg = || {
+            PersistenceConfig::builder()
+                .data_dir(&dir)
+                .flush_policy(e2nvm_persist::FlushPolicy::OsOnly)
+                .build()
+                .unwrap()
+        };
+        let mut shadow: std::collections::BTreeMap<u64, Vec<u8>> = Default::default();
+        {
+            // ψ=2 so ordinary test traffic rotates every shard's remap
+            // away from identity while the WAL is live.
+            let mut s = wear_leveled_store(2, 98, 64, 2)
+                .with_persistence(pcfg(), None)
+                .unwrap();
+            for k in 0..40u64 {
+                let v = vec![(k as u8) ^ 0xA5; 24];
+                s.put(k, &v).unwrap();
+                shadow.insert(k, v);
             }
-        );
+            for k in [5u64, 17, 31] {
+                assert!(s.delete(k).unwrap());
+                shadow.remove(&k);
+            }
+            s.commit().unwrap();
+            for cs in controller_states(&s) {
+                assert!(cs.remap.iter().enumerate().any(|(l, &p)| l != p));
+            }
+            // Kill: drop without a final snapshot. The data dir holds
+            // the attach-time snapshot plus every op in the WALs.
+        }
+        let (mut r, report) = ShardedE2KvStore::recover(&pcfg(), &e2cfg, None)
+            .unwrap()
+            .expect("snapshot present");
+        assert_eq!(report.keys, shadow.len());
+        for (k, v) in &shadow {
+            assert_eq!(r.get(*k).unwrap().as_ref(), Some(v), "key {k}");
+        }
+        // The wear-leveling policy survived the kill and kept rotating
+        // through replay: still active, still a consistent bijection.
+        for i in 0..r.engine().num_shards() {
+            r.engine().with_shard_engine(i, |e| {
+                assert!(e.controller().wear_leveling_active());
+                assert_eq!(e.controller().wear_leveling_name(), "start-gap");
+                assert!(e.controller().remap_is_consistent());
+            });
+        }
+        // Second cycle: snapshot the *mid-rotation* state, kill with no
+        // further ops, and recover — the restored controllers must equal
+        // the snapshotted ones exactly (replayed_ops == 0, so nothing
+        // can have evolved).
+        assert!(r.snapshot_now().unwrap() > 0);
+        let frozen = controller_states(&r);
+        assert!(frozen
+            .iter()
+            .any(|cs| cs.remap.iter().enumerate().any(|(l, &p)| l != p)));
+        drop(r);
+        let (mut r2, report2) = ShardedE2KvStore::recover(&pcfg(), &e2cfg, None)
+            .unwrap()
+            .expect("snapshot present");
+        assert_eq!(report2.replayed_ops, 0);
+        assert_eq!(controller_states(&r2), frozen);
+        for (k, v) in &shadow {
+            assert_eq!(r2.get(*k).unwrap().as_ref(), Some(v), "key {k}");
+        }
+        // And the recovered store keeps serving mutations.
+        r2.put(900, b"post-recovery").unwrap();
+        assert_eq!(r2.get(900).unwrap().unwrap(), b"post-recovery");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,7 +12,7 @@
 //! previous segment is recycled into the pool.
 
 use e2nvm_core::{E2Engine, E2Error};
-use e2nvm_sim::{DeviceStats, MemoryController, SegmentId, SimError, WriteReport};
+use e2nvm_sim::{DeviceStats, LogicalSegment, MemoryController, SimError, WriteReport};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -45,8 +45,7 @@ pub enum StoreError {
     Engine(E2Error),
     /// Persistence-layer failure (WAL append, snapshot IO, recovery
     /// decode). Rendered to a string because IO errors are not
-    /// `Clone`/`PartialEq`; match [`StoreError::WearLevelingActive`]
-    /// for the one persistence refusal callers act on programmatically.
+    /// `Clone`/`PartialEq`.
     Persistence(String),
     /// Cluster routing failure: every server in the key's hash-ring
     /// replica set is down or draining, so there is nowhere to route
@@ -74,16 +73,6 @@ pub enum StoreError {
     /// the `e2nvm-cluster` router when every replica rejects an
     /// operation at the store level rather than the transport level.
     Remote(String),
-    /// Snapshot refused: a wear-leveling policy with live remaps is
-    /// active, so the engine's segment ids are logical, not physical —
-    /// a restored snapshot would pin retirement and placement state to
-    /// the wrong physical segments (DESIGN.md §10). Disable wear
-    /// leveling (`MemoryController::without_wear_leveling`) on stores
-    /// that need snapshots.
-    WearLevelingActive {
-        /// `MemoryController::wear_leveling_name()` of the active policy.
-        policy: &'static str,
-    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -109,12 +98,6 @@ impl std::fmt::Display for StoreError {
                  replica acknowledgements"
             ),
             StoreError::Remote(msg) => write!(f, "remote store error: {msg}"),
-            StoreError::WearLevelingActive { policy } => write!(
-                f,
-                "snapshot refused: wear-leveling policy '{policy}' is active and its \
-                 remaps would make restored retirement state point at the wrong \
-                 physical segments (DESIGN.md §10); snapshots require identity mapping"
-            ),
         }
     }
 }
@@ -148,12 +131,7 @@ impl From<E2Error> for StoreError {
 
 impl From<e2nvm_persist::PersistError> for StoreError {
     fn from(e: e2nvm_persist::PersistError) -> Self {
-        match e {
-            e2nvm_persist::PersistError::WearLevelingActive { policy } => {
-                StoreError::WearLevelingActive { policy }
-            }
-            other => StoreError::Persistence(other.to_string()),
-        }
+        StoreError::Persistence(e.to_string())
     }
 }
 
@@ -240,15 +218,15 @@ impl<T: NodeStore + ?Sized> NodeStore for Box<T> {
 /// address order (arbitrary placement — what the paper's baselines do).
 pub struct DirectNodeStore {
     controller: MemoryController,
-    free: VecDeque<SegmentId>,
-    map: HashMap<NodeId, SegmentId>,
+    free: VecDeque<LogicalSegment>,
+    map: HashMap<NodeId, LogicalSegment>,
     next: u64,
 }
 
 impl DirectNodeStore {
     /// Build over a controller, with every segment initially free.
     pub fn new(controller: MemoryController) -> Self {
-        let free = (0..controller.num_segments()).map(SegmentId).collect();
+        let free = (0..controller.num_segments()).map(LogicalSegment).collect();
         Self {
             controller,
             free,
@@ -257,7 +235,7 @@ impl DirectNodeStore {
         }
     }
 
-    fn seg(&self, node: NodeId) -> Result<SegmentId> {
+    fn seg(&self, node: NodeId) -> Result<LogicalSegment> {
         self.map
             .get(&node)
             .copied()
@@ -323,7 +301,7 @@ impl NodeStore for DirectNodeStore {
 /// placed on the most content-similar free segment.
 pub struct E2NodeStore {
     engine: E2Engine,
-    map: HashMap<NodeId, SegmentId>,
+    map: HashMap<NodeId, LogicalSegment>,
     next: u64,
 }
 
@@ -491,7 +469,7 @@ mod tests {
                 .collect();
             engine
                 .controller_mut()
-                .seed(e2nvm_sim::SegmentId(i), &content)
+                .seed(e2nvm_sim::LogicalSegment(i), &content)
                 .unwrap();
         }
         engine.train().unwrap();
@@ -581,7 +559,7 @@ mod tests {
             let content: Vec<u8> = (0..64)
                 .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
                 .collect();
-            d.controller.seed(SegmentId(i), &content).unwrap();
+            d.controller.seed(LogicalSegment(i), &content).unwrap();
         }
         // A slightly larger training budget than `e2()`: with only 5
         // pretrain epochs the joint model's cluster separation is at the
@@ -612,7 +590,7 @@ mod tests {
                     .collect();
                 engine
                     .controller_mut()
-                    .seed(e2nvm_sim::SegmentId(i), &content)
+                    .seed(e2nvm_sim::LogicalSegment(i), &content)
                     .unwrap();
             }
             engine.train().unwrap();

@@ -10,7 +10,7 @@
 
 use e2nvm_core::{E2Config, E2Engine};
 use e2nvm_kvstore::{CacheConfig, CachedKvStore, E2KvStore, NvmKvStore};
-use e2nvm_sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm_sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,7 +73,7 @@ fn twin_store(segments: usize, seg_bytes: usize) -> E2KvStore {
             .collect();
         engine
             .controller_mut()
-            .seed(SegmentId(i), &content)
+            .seed(LogicalSegment(i), &content)
             .unwrap();
     }
     engine.train().unwrap();

@@ -5,19 +5,22 @@
 
 use e2nvm_core::{E2Config, ShardedEngine};
 use e2nvm_kvstore::{NvmKvStore, ShardedE2KvStore, StoreError};
-use e2nvm_sim::{partition_controllers, DeviceConfig, FaultConfig, MemoryController, SegmentId};
+use e2nvm_sim::{DeviceConfig, FaultConfig, LogicalSegment, MemoryController};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
-/// A sharded store over a fault-injecting device. `endurance_bits` is
-/// the mean per-segment endurance budget in programmed bits.
-fn faulty_store(
+/// A sharded store over a fault-injecting device, with each shard
+/// device wrapped by `make` (pass-through or wear-leveling).
+/// `endurance_bits` is the mean per-segment endurance budget in
+/// programmed bits.
+fn faulty_store_with(
     num_shards: usize,
     segments: usize,
     seg_bytes: usize,
     endurance_bits: u64,
     transient_rate: f64,
+    make: impl Fn(e2nvm_sim::NvmDevice) -> MemoryController,
 ) -> ShardedE2KvStore {
     let dev_cfg = DeviceConfig::builder()
         .segment_bytes(seg_bytes)
@@ -38,21 +41,40 @@ fn faulty_store(
         .build()
         .unwrap();
     let mut rng = StdRng::seed_from_u64(23);
-    let controllers: Vec<MemoryController> = partition_controllers(&dev_cfg, num_shards)
-        .unwrap()
-        .into_iter()
-        .map(|(_, mut mc)| {
-            for i in 0..mc.num_segments() {
-                let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
-                let content: Vec<u8> = (0..seg_bytes)
-                    .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
-                    .collect();
-                mc.seed(SegmentId(i), &content).unwrap();
-            }
-            mc
-        })
-        .collect();
+    let controllers: Vec<MemoryController> =
+        e2nvm_sim::partition_controllers_with(&dev_cfg, num_shards, make)
+            .unwrap()
+            .into_iter()
+            .map(|(_, mut mc)| {
+                for i in 0..mc.num_segments() {
+                    let base = if i % 2 == 0 { 0x00u8 } else { 0xFF };
+                    let content: Vec<u8> = (0..seg_bytes)
+                        .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
+                        .collect();
+                    mc.seed(LogicalSegment(i), &content).unwrap();
+                }
+                mc
+            })
+            .collect();
     ShardedE2KvStore::new(ShardedEngine::train(controllers, &cfg).unwrap())
+}
+
+/// Pass-through controllers (no wear leveling) — the original shape.
+fn faulty_store(
+    num_shards: usize,
+    segments: usize,
+    seg_bytes: usize,
+    endurance_bits: u64,
+    transient_rate: f64,
+) -> ShardedE2KvStore {
+    faulty_store_with(
+        num_shards,
+        segments,
+        seg_bytes,
+        endurance_bits,
+        transient_rate,
+        MemoryController::without_wear_leveling,
+    )
 }
 
 /// YCSB-A-flavoured mix (50% update, 40% read, 10% delete) against a
@@ -112,6 +134,42 @@ fn ycsb_survives_segment_retirement_without_data_loss() {
         s.retired_count() >= 1,
         "workload never wore a segment out — endurance budget too high for the test"
     );
+}
+
+#[test]
+fn wear_leveled_ycsb_quarantines_dying_segments_by_physical_id() {
+    // Same endurance pressure as the pass-through test, but every shard
+    // rotates under start-gap (ψ=4). When a write kills a segment, the
+    // engine retires the *logical* id from its pool and the controller
+    // quarantines the *physical* slot the write actually hit — the slot
+    // the device wore out, not whatever the logical id maps to later.
+    let mut s = faulty_store_with(4, 192, 64, 8_000, 0.0, |dev| {
+        MemoryController::with_start_gap(dev, 4)
+    });
+    ycsb_against_shadow(&mut s, 3_000, 60, 41).unwrap();
+    assert!(
+        s.retired_count() >= 1,
+        "workload never wore a segment out — endurance budget too high for the test"
+    );
+    // Dual retirement: one quarantined physical slot per retired
+    // logical id.
+    assert_eq!(s.retired_physical_count(), s.retired_count());
+    let mut audited = 0usize;
+    for i in 0..s.engine().num_shards() {
+        s.engine().with_shard_engine(i, |e| {
+            let mc = e.controller();
+            assert!(mc.remap_is_consistent());
+            for p in mc.retired_physical() {
+                assert!(
+                    mc.device().is_worn_out(p),
+                    "quarantined {p} but the device says it is healthy — \
+                     the wrong (logical-indexed?) slot was retired"
+                );
+                audited += 1;
+            }
+        });
+    }
+    assert_eq!(audited, s.retired_physical_count());
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! The simulated NVM device: a segment pool with cache-line write
 //! semantics and full flip/energy/latency accounting.
 
+use crate::addr::PhysicalSegment;
 use crate::bitops;
 use crate::config::DeviceConfig;
 use crate::error::{Result, SimError};
@@ -11,27 +12,6 @@ use crate::trace::{TraceEvent, WriteTrace};
 use e2nvm_telemetry::TelemetryRegistry;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-
-/// Identifier of one fixed-size segment of the device.
-///
-/// Segment ids are plain indices; the [`crate::MemoryController`] adds a
-/// logical→physical indirection on top when wear leveling is active.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct SegmentId(pub usize);
-
-impl SegmentId {
-    /// Raw index of the segment.
-    #[inline]
-    pub fn index(&self) -> usize {
-        self.0
-    }
-}
-
-impl std::fmt::Display for SegmentId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "seg#{}", self.0)
-    }
-}
 
 /// Accounting for a single write operation.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -131,17 +111,17 @@ impl NvmDevice {
         self.cfg.num_segments
     }
 
-    /// Construct a [`SegmentId`], panicking if out of range. Use
+    /// Construct a [`PhysicalSegment`], panicking if out of range. Use
     /// [`NvmDevice::try_segment`] for fallible construction.
     #[inline]
-    pub fn segment(&self, index: usize) -> SegmentId {
+    pub fn segment(&self, index: usize) -> PhysicalSegment {
         self.try_segment(index).expect("segment index out of range")
     }
 
-    /// Construct a [`SegmentId`], returning an error if out of range.
-    pub fn try_segment(&self, index: usize) -> Result<SegmentId> {
+    /// Construct a [`PhysicalSegment`], returning an error if out of range.
+    pub fn try_segment(&self, index: usize) -> Result<PhysicalSegment> {
         if index < self.cfg.num_segments {
-            Ok(SegmentId(index))
+            Ok(PhysicalSegment(index))
         } else {
             Err(SimError::SegmentOutOfRange {
                 segment: index,
@@ -151,11 +131,11 @@ impl NvmDevice {
     }
 
     /// Iterator over every segment id.
-    pub fn segments(&self) -> impl Iterator<Item = SegmentId> {
-        (0..self.cfg.num_segments).map(SegmentId)
+    pub fn segments(&self) -> impl Iterator<Item = PhysicalSegment> {
+        (0..self.cfg.num_segments).map(PhysicalSegment)
     }
 
-    fn check(&self, seg: SegmentId) -> Result<usize> {
+    fn check(&self, seg: PhysicalSegment) -> Result<usize> {
         if seg.0 >= self.cfg.num_segments {
             return Err(SimError::SegmentOutOfRange {
                 segment: seg.0,
@@ -166,7 +146,7 @@ impl NvmDevice {
     }
 
     /// Read a full segment, with read accounting.
-    pub fn read(&mut self, seg: SegmentId) -> Result<&[u8]> {
+    pub fn read(&mut self, seg: PhysicalSegment) -> Result<&[u8]> {
         let base = self.check(seg)?;
         let lines = self.cfg.lines_per_segment() as u64;
         self.stats.reads += 1;
@@ -179,13 +159,13 @@ impl NvmDevice {
     /// Inspect a segment's content without any accounting. Placement
     /// models use this during training snapshots; it does not model a
     /// media read.
-    pub fn peek(&self, seg: SegmentId) -> &[u8] {
+    pub fn peek(&self, seg: PhysicalSegment) -> &[u8] {
         let base = seg.0 * self.cfg.segment_bytes;
         &self.data[base..base + self.cfg.segment_bytes]
     }
 
     /// Write a full segment. `data.len()` must equal the segment size.
-    pub fn write(&mut self, seg: SegmentId, data: &[u8]) -> Result<WriteReport> {
+    pub fn write(&mut self, seg: PhysicalSegment, data: &[u8]) -> Result<WriteReport> {
         if data.len() != self.cfg.segment_bytes {
             return Err(SimError::SizeMismatch {
                 expected: self.cfg.segment_bytes,
@@ -199,7 +179,12 @@ impl NvmDevice {
     /// applied at cache-line granularity: a partially covered line is
     /// read-modify-written, and any resulting line identical to the
     /// stored line is skipped entirely.
-    pub fn write_at(&mut self, seg: SegmentId, offset: usize, data: &[u8]) -> Result<WriteReport> {
+    pub fn write_at(
+        &mut self,
+        seg: PhysicalSegment,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<WriteReport> {
         let base = self.check(seg)?;
         if offset + data.len() > self.cfg.segment_bytes {
             return Err(SimError::RangeOutOfBounds {
@@ -211,7 +196,7 @@ impl NvmDevice {
         // A worn-out segment rejects every write up front: its cells are
         // stuck, no pulses are issued, nothing is accounted.
         if let Some(f) = &mut self.fault {
-            if f.is_worn(seg.0) {
+            if f.is_worn(seg) {
                 f.record_rejection();
                 self.telemetry.write_failures.inc();
                 return Err(SimError::SegmentWornOut {
@@ -338,7 +323,7 @@ impl NvmDevice {
         Ok(report)
     }
 
-    fn account(&mut self, seg: SegmentId, bits_requested: u64, report: &WriteReport) {
+    fn account(&mut self, seg: PhysicalSegment, bits_requested: u64, report: &WriteReport) {
         self.stats.writes += 1;
         self.stats.lines_written += report.lines_written;
         self.stats.lines_skipped += report.lines_skipped;
@@ -375,7 +360,13 @@ impl NvmDevice {
     /// rewriting both segments are charged — the paper notes wear
     /// leveling "may introduce more bit flips ... due to the swap
     /// operation".
-    pub fn swap_segments(&mut self, a: SegmentId, b: SegmentId) -> Result<WriteReport> {
+    ///
+    /// Transient program-and-verify failures are retried in place (a
+    /// bounded number of times, each retry re-programming only the bits
+    /// that failed), modeling the controller hardware's retry loop: a
+    /// half-landed exchange must not escape, because the caller updates
+    /// its remap table only on success.
+    pub fn swap_segments(&mut self, a: PhysicalSegment, b: PhysicalSegment) -> Result<WriteReport> {
         self.check(a)?;
         self.check(b)?;
         if a == b {
@@ -389,12 +380,102 @@ impl NvmDevice {
         self.telemetry.reads.add(2);
         self.stats.energy_pj += 2.0 * self.cfg.energy.read_energy_pj(lines);
         self.stats.latency_ns += 2.0 * self.cfg.latency.read_ns(lines);
-        let mut report = self.write_at(a, 0, &b_content)?;
-        let r2 = self.write_at(b, 0, &a_content)?;
+        let mut report = self.write_retrying_transients(a, &b_content)?;
+        let r2 = self.write_retrying_transients(b, &a_content)?;
         report.merge(&r2);
         self.stats.swaps += 1;
         self.telemetry.swaps.inc();
         Ok(report)
+    }
+
+    /// Full-segment write that retries transient failures in place
+    /// (relocation traffic only — user writes surface transients to the
+    /// engine, which owns the retry budget). Each failed attempt
+    /// partially programs the segment, so retries converge on the
+    /// remaining diff; all issued pulses stay accounted.
+    pub(crate) fn write_retrying_transients(
+        &mut self,
+        seg: PhysicalSegment,
+        data: &[u8],
+    ) -> Result<WriteReport> {
+        const MAX_ATTEMPTS: u32 = 16;
+        let mut merged = WriteReport::default();
+        for _ in 0..MAX_ATTEMPTS - 1 {
+            match self.write(seg, data) {
+                Ok(r) => {
+                    merged.merge(&r);
+                    return Ok(merged);
+                }
+                Err(SimError::WriteFailed { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let r = self.write(seg, data)?;
+        merged.merge(&r);
+        Ok(merged)
+    }
+
+    /// Programming pulses a full-segment [`NvmDevice::write`] of `data`
+    /// to `seg` would issue, computed without performing it: the
+    /// content diff under media DCW, or every bit of each changed line
+    /// without. Used by the wear-leveling relocation pre-check.
+    pub fn write_programmed_bits(&self, seg: PhysicalSegment, data: &[u8]) -> Result<u64> {
+        let base = self.check(seg)?;
+        if data.len() != self.cfg.segment_bytes {
+            return Err(SimError::SizeMismatch {
+                expected: self.cfg.segment_bytes,
+                actual: data.len(),
+            });
+        }
+        let line = self.cfg.cache_line_bytes;
+        let seg_len = self.cfg.segment_bytes;
+        let mut programmed = 0u64;
+        let mut li = 0;
+        while li * line < seg_len {
+            let lstart = li * line;
+            let lend = (lstart + line).min(seg_len);
+            let old = &self.data[base + lstart..base + lend];
+            let new = &data[lstart..lend];
+            let flips = bitops::hamming(old, new);
+            if flips > 0 {
+                programmed += if self.cfg.media_dcw {
+                    flips
+                } else {
+                    ((lend - lstart) * 8) as u64
+                };
+            }
+            li += 1;
+        }
+        Ok(programmed)
+    }
+
+    /// Whether a full-segment write of `data` to `seg` could cross the
+    /// segment's endurance limit (or `seg` is already worn out). Always
+    /// `false` without fault injection.
+    ///
+    /// The check is exact when transient faults are off. With a nonzero
+    /// transient rate a failed program-and-verify re-programs the
+    /// remaining diff on retry, so a 4x headroom margin is required —
+    /// conservative, never optimistic. The controller uses this to keep
+    /// wear-leveling relocations from ever being the write that kills a
+    /// segment: relocations that cannot prove headroom are skipped, so
+    /// wear-out only happens on user writes, where the engine's
+    /// retire-and-replace path guarantees no data is lost.
+    pub fn write_would_wear_out(&self, seg: PhysicalSegment, data: &[u8]) -> Result<bool> {
+        let Some(f) = &self.fault else {
+            return Ok(false);
+        };
+        if f.is_worn(seg) {
+            return Ok(true);
+        }
+        let programmed = self.write_programmed_bits(seg, data)?;
+        let margin = if f.config().transient_rate > 0.0 {
+            4
+        } else {
+            1
+        };
+        let headroom = f.limit(seg).saturating_sub(f.programmed_bits(seg));
+        Ok(programmed.saturating_mul(margin) >= headroom)
     }
 
     /// Fill the whole pool with random bytes *without* accounting — used
@@ -404,7 +485,7 @@ impl NvmDevice {
     }
 
     /// Overwrite a segment's content without accounting (seed state).
-    pub fn seed_segment(&mut self, seg: SegmentId, data: &[u8]) -> Result<()> {
+    pub fn seed_segment(&mut self, seg: PhysicalSegment, data: &[u8]) -> Result<()> {
         let base = self.check(seg)?;
         if data.len() != self.cfg.segment_bytes {
             return Err(SimError::SizeMismatch {
@@ -446,8 +527,8 @@ impl NvmDevice {
 
     /// Whether `seg` has worn out (always `false` without fault
     /// injection).
-    pub fn is_worn_out(&self, seg: SegmentId) -> bool {
-        self.fault.as_ref().is_some_and(|f| f.is_worn(seg.0))
+    pub fn is_worn_out(&self, seg: PhysicalSegment) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.is_worn(seg))
     }
 
     /// Number of worn-out segments (0 without fault injection).
@@ -459,6 +540,13 @@ impl NvmDevice {
     /// writes per segment plus (when per-bit tracking is on) flipped
     /// bits aggregated per segment. Arrays are `null` when the
     /// corresponding granularity is not tracked.
+    ///
+    /// Array indices are **physical** segment ids (the document says so
+    /// in its `address_space` field): wear lives on the medium, so a
+    /// heatmap taken under an active wear-leveling remap does *not*
+    /// line up with the engine's logical ids. For a logical-indexed
+    /// view translated through the live remap, use
+    /// [`crate::MemoryController::wear_heatmap_json`].
     pub fn wear_heatmap_json(&self) -> String {
         fn array<T: std::fmt::Display>(values: Option<impl Iterator<Item = T>>) -> String {
             match values {
@@ -476,7 +564,8 @@ impl NvmDevice {
                 .map(|seg| seg.iter().map(|&b| b as u64).sum::<u64>())
         }));
         format!(
-            "{{\"num_segments\":{},\"segment_bytes\":{},\"per_segment_writes\":{},\
+            "{{\"address_space\":\"physical\",\"num_segments\":{},\"segment_bytes\":{},\
+             \"per_segment_writes\":{},\
              \"per_segment_flips\":{},\"max_segment_writes\":{}}}",
             self.cfg.num_segments,
             self.cfg.segment_bytes,
@@ -619,7 +708,7 @@ mod tests {
     fn out_of_range_errors() {
         let mut dev = small_device();
         assert!(dev.try_segment(8).is_err());
-        assert!(dev.write(SegmentId(9), &vec![0u8; 256]).is_err());
+        assert!(dev.write(PhysicalSegment(9), &vec![0u8; 256]).is_err());
         let seg = dev.segment(0);
         assert!(matches!(
             dev.write_at(seg, 250, &[0u8; 10]),
@@ -903,7 +992,7 @@ mod tests {
         let mut guarded = faulty_device(u64::MAX >> 8, 0.0);
         let mut rng = StdRng::seed_from_u64(99);
         for i in 0..200u64 {
-            let seg = SegmentId((i % 8) as usize);
+            let seg = PhysicalSegment((i % 8) as usize);
             let mut data = vec![0u8; 256];
             rng.fill(&mut data[..]);
             let a = plain.write(seg, &data).unwrap();
@@ -911,7 +1000,10 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(plain.stats(), guarded.stats());
-        assert_eq!(plain.peek(SegmentId(3)), guarded.peek(SegmentId(3)));
+        assert_eq!(
+            plain.peek(PhysicalSegment(3)),
+            guarded.peek(PhysicalSegment(3))
+        );
         assert_eq!(guarded.fault_stats(), crate::fault::FaultStats::default());
     }
 

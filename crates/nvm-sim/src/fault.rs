@@ -33,6 +33,7 @@
 //!   with the count of bits that failed verification. Retrying the same
 //!   write programs only the remaining bits and usually succeeds.
 
+use crate::addr::PhysicalSegment;
 use crate::error::{Result, SimError};
 use serde::{Deserialize, Serialize};
 
@@ -177,8 +178,8 @@ impl FaultModel {
 
     /// Whether `segment` has worn out (writes rejected, content frozen).
     #[inline]
-    pub fn is_worn(&self, segment: usize) -> bool {
-        self.worn.get(segment).copied().unwrap_or(false)
+    pub fn is_worn(&self, segment: PhysicalSegment) -> bool {
+        self.worn.get(segment.index()).copied().unwrap_or(false)
     }
 
     /// Number of worn-out segments.
@@ -186,19 +187,25 @@ impl FaultModel {
         self.stats.worn_out_segments
     }
 
-    /// Indices of all worn-out segments, ascending.
-    pub fn worn_segments(&self) -> Vec<usize> {
-        (0..self.worn.len()).filter(|&s| self.worn[s]).collect()
+    /// All worn-out physical segments, ascending.
+    pub fn worn_segments(&self) -> Vec<PhysicalSegment> {
+        (0..self.worn.len())
+            .filter(|&s| self.worn[s])
+            .map(PhysicalSegment)
+            .collect()
     }
 
     /// This segment's endurance limit in programmed bits.
-    pub fn limit(&self, segment: usize) -> u64 {
-        self.limits.get(segment).copied().unwrap_or(u64::MAX)
+    pub fn limit(&self, segment: PhysicalSegment) -> u64 {
+        self.limits
+            .get(segment.index())
+            .copied()
+            .unwrap_or(u64::MAX)
     }
 
     /// Lifetime programmed-bit total of `segment`.
-    pub fn programmed_bits(&self, segment: usize) -> u64 {
-        self.programmed.get(segment).copied().unwrap_or(0)
+    pub fn programmed_bits(&self, segment: PhysicalSegment) -> u64 {
+        self.programmed.get(segment.index()).copied().unwrap_or(0)
     }
 
     /// Cumulative fault counters.
@@ -422,14 +429,14 @@ mod tests {
             },
             4,
         );
-        let limit = m.limit(2);
+        let limit = m.limit(PhysicalSegment(2));
         assert!(!m.on_programmed(2, limit - 1));
-        assert!(!m.is_worn(2));
+        assert!(!m.is_worn(PhysicalSegment(2)));
         assert!(m.on_programmed(2, 1)); // crossing
-        assert!(m.is_worn(2));
+        assert!(m.is_worn(PhysicalSegment(2)));
         assert!(!m.on_programmed(2, 1000)); // already worn: no second event
         assert_eq!(m.stats().worn_out_segments, 1);
-        assert_eq!(m.worn_segments(), vec![2]);
+        assert_eq!(m.worn_segments(), vec![PhysicalSegment(2)]);
     }
 
     #[test]

@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod addr;
 pub mod bitops;
 pub mod config;
 pub mod controller;
@@ -73,16 +74,24 @@ pub mod telemetry;
 pub mod trace;
 pub mod wear_leveling;
 
+#[allow(deprecated)]
+pub use addr::SegmentId;
+pub use addr::{LogicalSegment, PhysicalSegment, SegmentRemap};
 pub use config::{DeviceConfig, DeviceConfigBuilder, WearTracking};
-pub use controller::MemoryController;
-pub use device::{NvmDevice, SegmentId, WriteReport};
+pub use controller::{ControllerState, MemoryController};
+pub use device::{NvmDevice, WriteReport};
 pub use energy::{EnergyCategory, EnergyParams};
 pub use error::{Result, SimError};
 pub use fault::{FaultConfig, FaultModel, FaultStats};
 pub use latency::LatencyParams;
 pub use meter::EnergyMeter;
-pub use partition::{partition_controllers, partition_device, partition_segments, SegmentRange};
+pub use partition::{
+    partition_controllers, partition_controllers_with, partition_device, partition_segments,
+    SegmentRange,
+};
 pub use stats::DeviceStats;
 pub use telemetry::DeviceTelemetry;
 pub use trace::{TraceEvent, WriteTrace};
-pub use wear_leveling::{NoWearLeveling, RandomSwap, StartGap, SwapAction, WearLeveler};
+pub use wear_leveling::{
+    NoWearLeveling, RandomSwap, RetiredSet, StartGap, SwapAction, WearLeveler, WearPolicyState,
+};

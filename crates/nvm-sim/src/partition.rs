@@ -8,10 +8,21 @@
 //! [`NvmDevice`] per shard so that device accounting (flips, energy,
 //! latency, wear) stays per-shard and can be re-aggregated with
 //! [`DeviceStats::merge`](crate::DeviceStats::merge).
+//!
+//! Partition math is **logical-space only**: a [`SegmentRange`]
+//! translates between global and shard-local [`LogicalSegment`]s, and
+//! each shard's controller owns its own logical→physical remap below
+//! that. The two layers must not be conflated — a shard's *physical*
+//! slot count always equals its range length, but its *logical*
+//! capacity can be smaller (start-gap reserves one slot), so sizing
+//! software structures off `range.len` instead of
+//! [`MemoryController::num_segments`] is exactly the logical/physical
+//! mixing bug the typed ids exist to prevent.
 
+use crate::addr::LogicalSegment;
 use crate::config::DeviceConfig;
 use crate::controller::MemoryController;
-use crate::device::{NvmDevice, SegmentId};
+use crate::device::NvmDevice;
 use crate::error::{Result, SimError};
 
 /// A contiguous run of global segment ids owned by one shard.
@@ -24,28 +35,29 @@ pub struct SegmentRange {
 }
 
 impl SegmentRange {
-    /// Whether a global segment id falls in this range.
+    /// Whether a global logical segment id falls in this range.
     #[inline]
-    pub fn contains(&self, global: SegmentId) -> bool {
+    pub fn contains(&self, global: LogicalSegment) -> bool {
         let i = global.index();
         i >= self.start && i < self.start + self.len
     }
 
-    /// Translate a shard-local segment id to its global id.
+    /// Translate a shard-local logical segment id to its global id.
     ///
     /// # Panics
     /// Panics if `local` is out of range.
     #[inline]
-    pub fn to_global(&self, local: SegmentId) -> SegmentId {
+    pub fn to_global(&self, local: LogicalSegment) -> LogicalSegment {
         assert!(local.index() < self.len, "local segment out of range");
-        SegmentId(self.start + local.index())
+        LogicalSegment(self.start + local.index())
     }
 
-    /// Translate a global segment id to a shard-local one, if owned.
+    /// Translate a global logical segment id to a shard-local one, if
+    /// owned.
     #[inline]
-    pub fn to_local(&self, global: SegmentId) -> Option<SegmentId> {
+    pub fn to_local(&self, global: LogicalSegment) -> Option<LogicalSegment> {
         self.contains(global)
-            .then(|| SegmentId(global.index() - self.start))
+            .then(|| LogicalSegment(global.index() - self.start))
     }
 
     /// One-past-the-end global segment id.
@@ -108,15 +120,30 @@ pub fn partition_controllers(
     cfg: &DeviceConfig,
     shards: usize,
 ) -> Result<Vec<(SegmentRange, MemoryController)>> {
+    partition_controllers_with(cfg, shards, MemoryController::without_wear_leveling)
+}
+
+/// Like [`partition_controllers`], but each shard device is wrapped by
+/// `make` — e.g. `|dev| MemoryController::with_start_gap(dev, 64)` for
+/// a wear-leveled sharded stack. Note a wear-leveling controller may
+/// expose *fewer* logical segments than the shard's physical range
+/// (start-gap reserves one slot); size software structures off
+/// [`MemoryController::num_segments`], never off `range.len`.
+pub fn partition_controllers_with(
+    cfg: &DeviceConfig,
+    shards: usize,
+    make: impl Fn(NvmDevice) -> MemoryController,
+) -> Result<Vec<(SegmentRange, MemoryController)>> {
     Ok(partition_device(cfg, shards)?
         .into_iter()
-        .map(|(range, dev)| (range, MemoryController::without_wear_leveling(dev)))
+        .map(|(range, dev)| (range, make(dev)))
         .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::addr::PhysicalSegment;
     use crate::stats::DeviceStats;
 
     #[test]
@@ -147,12 +174,12 @@ mod tests {
         let ranges = partition_segments(10, 3).unwrap();
         let r = ranges[1];
         for i in 0..r.len {
-            let global = r.to_global(SegmentId(i));
+            let global = r.to_global(LogicalSegment(i));
             assert!(r.contains(global));
-            assert_eq!(r.to_local(global), Some(SegmentId(i)));
+            assert_eq!(r.to_local(global), Some(LogicalSegment(i)));
         }
-        assert!(!r.contains(SegmentId(0)));
-        assert_eq!(r.to_local(SegmentId(0)), None);
+        assert!(!r.contains(LogicalSegment(0)));
+        assert_eq!(r.to_local(LogicalSegment(0)), None);
     }
 
     #[test]
@@ -169,7 +196,7 @@ mod tests {
         );
         // Write to shard 0 only; shard 1 sees no traffic.
         let (_, dev0) = &mut shards[0];
-        dev0.write(SegmentId(0), &[0xFF; 64]).unwrap();
+        dev0.write(PhysicalSegment(0), &[0xFF; 64]).unwrap();
         assert_eq!(shards[0].1.stats().writes, 1);
         assert_eq!(shards[1].1.stats().writes, 0);
         // Merged stats equal the sum over shards.
@@ -191,6 +218,39 @@ mod tests {
         let shards = partition_controllers(&cfg, 4).unwrap();
         for (range, mc) in &shards {
             assert_eq!(mc.num_segments(), range.len);
+        }
+    }
+
+    #[test]
+    fn wear_leveled_shards_reserve_gap_capacity() {
+        // Regression pin for the logical/physical mixing bug: under
+        // start-gap a shard's logical capacity is one less than its
+        // physical range, and shard-local logical ids stay valid across
+        // relocations.
+        let cfg = DeviceConfig::builder()
+            .segment_bytes(64)
+            .num_segments(12)
+            .build()
+            .unwrap();
+        let mut shards =
+            partition_controllers_with(&cfg, 3, |dev| MemoryController::with_start_gap(dev, 1))
+                .unwrap();
+        for (range, mc) in &mut shards {
+            assert_eq!(range.len, 4, "physical slots per shard");
+            assert_eq!(mc.num_segments(), 3, "logical capacity excludes the gap");
+            for round in 0..10usize {
+                for l in 0..mc.num_segments() {
+                    mc.write(LogicalSegment(l), &[round as u8; 64]).unwrap();
+                }
+            }
+            assert!(!mc.remap().is_identity(), "psi=1 must have rotated");
+            assert!(mc.remap_is_consistent());
+            // Every shard-local logical id still resolves; range-sized
+            // ids (the old bug) do not.
+            for l in 0..mc.num_segments() {
+                assert!(mc.peek(LogicalSegment(l)).is_ok());
+            }
+            assert!(mc.peek(LogicalSegment(range.len - 1)).is_err());
         }
     }
 }

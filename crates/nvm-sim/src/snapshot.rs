@@ -15,8 +15,9 @@
 //! they are measurement state, not device state. Version-1 images
 //! (no fault section) are still read.
 
+use crate::addr::PhysicalSegment;
 use crate::config::{DeviceConfig, WearTracking};
-use crate::device::{NvmDevice, SegmentId};
+use crate::device::NvmDevice;
 use crate::energy::EnergyParams;
 use crate::error::{Result, SimError};
 use crate::fault::FaultConfig;
@@ -244,7 +245,7 @@ pub fn from_image(image: &[u8]) -> Result<NvmDevice> {
     let mut device = NvmDevice::new(builder.build()?);
     for i in 0..num_segments {
         device.seed_segment(
-            SegmentId(i),
+            PhysicalSegment(i),
             &contents[i * segment_bytes..(i + 1) * segment_bytes],
         )?;
     }
@@ -295,7 +296,7 @@ mod tests {
         dev.fill_random(&mut rng);
         for round in 0..5u8 {
             for i in 0..8 {
-                dev.write(SegmentId(i), &[round.wrapping_mul(37); 64])
+                dev.write(PhysicalSegment(i), &[round.wrapping_mul(37); 64])
                     .unwrap();
             }
         }
@@ -308,7 +309,10 @@ mod tests {
         let image = to_image(&dev);
         let restored = from_image(&image).unwrap();
         for i in 0..8 {
-            assert_eq!(restored.peek(SegmentId(i)), dev.peek(SegmentId(i)));
+            assert_eq!(
+                restored.peek(PhysicalSegment(i)),
+                dev.peek(PhysicalSegment(i))
+            );
         }
         assert_eq!(
             restored.wear().per_segment_writes(),
@@ -327,7 +331,10 @@ mod tests {
         let path = std::env::temp_dir().join("e2nvm_device_image_test.bin");
         save(&dev, &path).unwrap();
         let restored = load(&path).unwrap();
-        assert_eq!(restored.peek(SegmentId(3)), dev.peek(SegmentId(3)));
+        assert_eq!(
+            restored.peek(PhysicalSegment(3)),
+            dev.peek(PhysicalSegment(3))
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -348,13 +355,13 @@ mod tests {
         let mut dev = NvmDevice::new(cfg);
         // Wear segment 0 out; accumulate partial wear on segment 1.
         loop {
-            let a = dev.write(SegmentId(0), &[0xFFu8; 64]);
-            let b = dev.write(SegmentId(0), &[0x00u8; 64]);
+            let a = dev.write(PhysicalSegment(0), &[0xFFu8; 64]);
+            let b = dev.write(PhysicalSegment(0), &[0x00u8; 64]);
             if a.is_err() || b.is_err() {
                 break;
             }
         }
-        dev.write(SegmentId(1), &[0xA5u8; 64]).unwrap();
+        dev.write(PhysicalSegment(1), &[0xA5u8; 64]).unwrap();
         let orig = dev.fault_state().unwrap();
         let restored = from_image(&to_image(&dev)).unwrap();
         let f = restored.fault_state().unwrap();
@@ -362,10 +369,13 @@ mod tests {
         assert_eq!(f.programmed_totals(), orig.programmed_totals());
         assert_eq!(f.worn_flags(), orig.worn_flags());
         assert_eq!(f.draw_count(), orig.draw_count());
-        assert!(restored.is_worn_out(SegmentId(0)));
+        assert!(restored.is_worn_out(PhysicalSegment(0)));
         assert_eq!(restored.worn_out_count(), 1);
         // Worn segments keep rejecting writes after restore.
-        assert!(restored.clone().write(SegmentId(0), &[0x11u8; 64]).is_err());
+        assert!(restored
+            .clone()
+            .write(PhysicalSegment(0), &[0x11u8; 64])
+            .is_err());
     }
 
     #[test]
@@ -376,7 +386,10 @@ mod tests {
         image[4..6].copy_from_slice(&1u16.to_le_bytes());
         assert_eq!(image.pop(), Some(0), "fault tag of a faultless device");
         let restored = from_image(&image).unwrap();
-        assert_eq!(restored.peek(SegmentId(3)), dev.peek(SegmentId(3)));
+        assert_eq!(
+            restored.peek(PhysicalSegment(3)),
+            dev.peek(PhysicalSegment(3))
+        );
         assert!(restored.fault_state().is_none());
     }
 
@@ -406,9 +419,9 @@ mod tests {
             .build()
             .unwrap();
         let mut dev = NvmDevice::new(cfg);
-        dev.seed_segment(SegmentId(2), &[9u8; 32]).unwrap();
+        dev.seed_segment(PhysicalSegment(2), &[9u8; 32]).unwrap();
         let restored = from_image(&to_image(&dev)).unwrap();
-        assert_eq!(restored.peek(SegmentId(2)), &[9u8; 32]);
+        assert_eq!(restored.peek(PhysicalSegment(2)), &[9u8; 32]);
         assert!(restored.wear().per_segment_writes().is_none());
     }
 }

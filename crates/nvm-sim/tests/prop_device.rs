@@ -3,7 +3,10 @@
 //! controller's remap must stay a bijection under arbitrary traffic.
 
 use e2nvm_sim::bitops::hamming;
-use e2nvm_sim::{DeviceConfig, FaultConfig, MemoryController, NvmDevice, SegmentId, WearTracking};
+use e2nvm_sim::{
+    DeviceConfig, FaultConfig, LogicalSegment, MemoryController, NvmDevice, PhysicalSegment,
+    WearTracking,
+};
 use proptest::prelude::*;
 
 fn segment_data(len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -84,12 +87,12 @@ proptest! {
         let mut shadow: Vec<Vec<u8>> = vec![vec![0u8; 128]; 6];
         for (seg, fill) in writes {
             let data = vec![fill; 128];
-            mc.write(SegmentId(seg), &data).unwrap();
+            mc.write(LogicalSegment(seg), &data).unwrap();
             shadow[seg] = data;
             prop_assert!(mc.remap_is_consistent());
         }
         for (i, expect) in shadow.iter().enumerate() {
-            prop_assert_eq!(mc.peek(SegmentId(i)).unwrap(), &expect[..]);
+            prop_assert_eq!(mc.peek(LogicalSegment(i)).unwrap(), &expect[..]);
         }
     }
 
@@ -105,12 +108,12 @@ proptest! {
         let mut shadow: Vec<Vec<u8>> = vec![vec![0u8; 128]; 5];
         for (seg, fill) in writes {
             let data = vec![fill; 128];
-            mc.write(SegmentId(seg), &data).unwrap();
+            mc.write(LogicalSegment(seg), &data).unwrap();
             shadow[seg] = data;
             prop_assert!(mc.remap_is_consistent());
         }
         for (i, expect) in shadow.iter().enumerate() {
-            prop_assert_eq!(mc.peek(SegmentId(i)).unwrap(), &expect[..]);
+            prop_assert_eq!(mc.peek(LogicalSegment(i)).unwrap(), &expect[..]);
         }
     }
 
@@ -183,13 +186,13 @@ proptest! {
         let mut plain = NvmDevice::new(plain_cfg);
         let mut guarded = NvmDevice::new(guarded_cfg);
         for (seg, data) in &writes {
-            let a = plain.write(SegmentId(*seg), data).unwrap();
-            let b = guarded.write(SegmentId(*seg), data).unwrap();
+            let a = plain.write(PhysicalSegment(*seg), data).unwrap();
+            let b = guarded.write(PhysicalSegment(*seg), data).unwrap();
             prop_assert_eq!(a, b);
         }
         prop_assert_eq!(plain.stats(), guarded.stats());
         for seg in 0..4 {
-            prop_assert_eq!(plain.peek(SegmentId(seg)), guarded.peek(SegmentId(seg)));
+            prop_assert_eq!(plain.peek(PhysicalSegment(seg)), guarded.peek(PhysicalSegment(seg)));
         }
         prop_assert_eq!(guarded.fault_stats(), e2nvm_sim::FaultStats::default());
         prop_assert_eq!(guarded.worn_out_count(), 0);
@@ -222,14 +225,64 @@ proptest! {
         let mut a = build();
         let mut b = build();
         for (seg, data) in &writes {
-            let ra = a.write(SegmentId(*seg), data);
-            let rb = b.write(SegmentId(*seg), data);
+            let ra = a.write(PhysicalSegment(*seg), data);
+            let rb = b.write(PhysicalSegment(*seg), data);
             prop_assert_eq!(ra, rb);
         }
         prop_assert_eq!(a.stats(), b.stats());
         prop_assert_eq!(a.fault_stats(), b.fault_stats());
         for seg in 0..4 {
-            prop_assert_eq!(a.peek(SegmentId(seg)), b.peek(SegmentId(seg)));
+            prop_assert_eq!(a.peek(PhysicalSegment(seg)), b.peek(PhysicalSegment(seg)));
         }
+    }
+
+    /// The translation layer stays a bijection under arbitrary
+    /// policy-generated SwapAction sequences interleaved with
+    /// retirements: every logical id round-trips through the remap, no
+    /// two logicals share a physical slot, and a retired physical keeps
+    /// (or loses to the gap walk) exactly its own preimage — it is
+    /// never silently reassigned to a *different* logical id.
+    #[test]
+    fn remap_stays_bijective_under_swaps_and_retirement(
+        ops in proptest::collection::vec((0usize..5, any::<u8>(), any::<u8>()), 1..120),
+        psi in 1u64..4,
+        random_swap in any::<bool>(),
+    ) {
+        let cfg = DeviceConfig::builder().segment_bytes(64).num_segments(6).build().unwrap();
+        let mut mc = if random_swap {
+            MemoryController::with_random_swap(NvmDevice::new(cfg), psi, 7)
+        } else {
+            MemoryController::with_start_gap(NvmDevice::new(cfg), psi)
+        };
+        let logical_n = mc.num_segments();
+        let mut retired_owner: Vec<(PhysicalSegment, LogicalSegment)> = Vec::new();
+        for (seg, fill, retire_draw) in ops {
+            let retire = retire_draw < 13; // ~5% of ops retire
+            let seg = seg % logical_n;
+            mc.write(LogicalSegment(seg), &[fill; 64]).unwrap();
+            if retire {
+                let phys = mc.retire(LogicalSegment(seg)).unwrap();
+                prop_assert!(mc.is_retired(phys));
+                retired_owner.push((phys, LogicalSegment(seg)));
+            }
+            // Bijection both ways, every step.
+            prop_assert!(mc.remap_is_consistent());
+            for l in 0..logical_n {
+                let p = mc.remap().physical(LogicalSegment(l)).unwrap();
+                prop_assert_eq!(mc.remap().logical(p), Some(LogicalSegment(l)));
+            }
+            // Quarantine sticks to the physical slot, and the slot is
+            // never handed to a different logical id.
+            for &(phys, owner) in &retired_owner {
+                prop_assert!(mc.is_retired(phys));
+                let now = mc.remap().logical(phys);
+                prop_assert!(
+                    now == Some(owner) || now.is_none(),
+                    "retired {} reassigned from {} to {:?}", phys, owner, now
+                );
+            }
+        }
+        prop_assert_eq!(mc.retired_physical().len(),
+            retired_owner.iter().map(|(p, _)| p).collect::<std::collections::HashSet<_>>().len());
     }
 }

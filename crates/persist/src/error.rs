@@ -13,14 +13,6 @@ pub enum PersistError {
     /// The persisted state does not fit the runtime it is being
     /// restored into (geometry or shard-count mismatch).
     Mismatch(String),
-    /// Snapshotting was refused because the memory controller's
-    /// wear-leveling policy can remap logical→physical segments, so
-    /// restored retirement state (kept on logical ids, DESIGN.md §10)
-    /// could point at the wrong physical segments after a restart.
-    WearLevelingActive {
-        /// Name of the active wear-leveling policy.
-        policy: &'static str,
-    },
     /// A snapshot was requested but the engine has never been trained —
     /// there is no model or placement state worth persisting yet.
     NotTrained,
@@ -32,12 +24,6 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "persistence I/O error: {e}"),
             PersistError::Corrupt(msg) => write!(f, "corrupt persistence artifact: {msg}"),
             PersistError::Mismatch(msg) => write!(f, "persisted state mismatch: {msg}"),
-            PersistError::WearLevelingActive { policy } => write!(
-                f,
-                "refusing to snapshot: wear-leveling policy '{policy}' remaps segments, \
-                 so logical retirement state would lie about physical segments after \
-                 restore (DESIGN.md §10); snapshot requires the identity mapping"
-            ),
             PersistError::NotTrained => {
                 write!(f, "refusing to snapshot: engine has not been trained yet")
             }

@@ -99,11 +99,11 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        dev.seed_segment(e2nvm_sim::SegmentId(1), &[7u8; 64])
+        dev.seed_segment(e2nvm_sim::PhysicalSegment(1), &[7u8; 64])
             .unwrap();
         save_device(&dev, &path).unwrap();
         let restored = load_device(&path).unwrap();
-        assert_eq!(restored.peek(e2nvm_sim::SegmentId(1)), &[7u8; 64]);
+        assert_eq!(restored.peek(e2nvm_sim::PhysicalSegment(1)), &[7u8; 64]);
         std::fs::remove_file(&path).ok();
         assert!(load_device(&path).is_err());
     }

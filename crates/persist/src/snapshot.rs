@@ -1,11 +1,19 @@
 //! Full-system snapshots: one atomic file capturing, per shard, the
 //! device image (contents + wear + fault state, via
-//! `e2nvm_sim::snapshot`) and the engine's durable state (model
-//! weights, retirement, key index, via `e2nvm_core::EngineState`).
+//! `e2nvm_sim::snapshot`), the engine's durable state (model weights,
+//! retirement, key index, via `e2nvm_core::EngineState`), and the
+//! memory controller's translation state (wear-leveling policy,
+//! logical→physical remap, quarantined physical slots, via
+//! `e2nvm_sim::ControllerState`).
 //!
 //! Format (little-endian): magic `E2SS`, version, shard count, one
 //! [`ShardState`] block per shard, then a CRC-32 trailer over
-//! everything before it. [`StoreSnapshot::save_atomic`] writes to a
+//! everything before it. Version 2 appends a controller section to
+//! each shard block; version 1 files (no controller section) still
+//! load, with [`ShardState::controller`] set to `None` — v1 snapshots
+//! were only ever taken under the identity mapping, so "no controller
+//! state" and "pass-through controller" coincide.
+//! [`StoreSnapshot::save_atomic`] writes to a
 //! temp file, fsyncs, renames over `snapshot.e2s` and fsyncs the
 //! directory, so a crash mid-snapshot leaves the previous snapshot
 //! intact — and because WAL replay is idempotent (records are
@@ -15,16 +23,21 @@
 use crate::crc::crc32;
 use crate::error::{PersistError, Result};
 use e2nvm_core::EngineState;
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::{ControllerState, LogicalSegment, PhysicalSegment, WearPolicyState};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"E2SS";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 /// Sanity bound on any length field during decode; larger values are
 /// treated as corruption, not allocation requests.
 const MAX_FIELD: u64 = 1 << 32;
+
+/// Policy tags for the controller section (version 2).
+const POLICY_NONE: u16 = 0;
+const POLICY_START_GAP: u16 = 1;
+const POLICY_RANDOM_SWAP: u16 = 2;
 
 /// One shard's persisted state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +47,10 @@ pub struct ShardState {
     pub device_image: Vec<u8>,
     /// Engine state: serialized model, retired segments, key index.
     pub state: EngineState,
+    /// Controller state: wear-leveling policy, logical→physical remap,
+    /// quarantined physical slots. `None` when loaded from a version-1
+    /// snapshot, which implies a pass-through (identity) controller.
+    pub controller: Option<ControllerState>,
 }
 
 /// A whole store's snapshot: one [`ShardState`] per shard, in shard
@@ -51,6 +68,35 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
     put_u64(buf, b.len() as u64);
     buf.extend_from_slice(b);
+}
+
+fn put_controller(buf: &mut Vec<u8>, cs: &ControllerState) {
+    let (tag, fields): (u16, Vec<u64>) = match cs.policy {
+        WearPolicyState::None => (POLICY_NONE, Vec::new()),
+        WearPolicyState::StartGap { psi, writes, gap } => {
+            (POLICY_START_GAP, vec![psi, writes, gap.index() as u64])
+        }
+        WearPolicyState::RandomSwap {
+            psi,
+            seed,
+            writes,
+            draws,
+        } => (POLICY_RANDOM_SWAP, vec![psi, seed, writes, draws]),
+    };
+    buf.extend_from_slice(&tag.to_le_bytes());
+    for v in fields {
+        put_u64(buf, v);
+    }
+    put_u64(buf, cs.remap.len() as u64);
+    for &p in &cs.remap {
+        // `usize::MAX` is the unmapped-gap sentinel; widen it to the
+        // u64 sentinel so the value survives on any pointer width.
+        put_u64(buf, if p == usize::MAX { u64::MAX } else { p as u64 });
+    }
+    put_u64(buf, cs.retired.len() as u64);
+    for &r in &cs.retired {
+        buf.push(u8::from(r));
+    }
 }
 
 struct Cursor<'a> {
@@ -88,6 +134,59 @@ impl<'a> Cursor<'a> {
         let n = self.len()?;
         Ok(self.take(n)?.to_vec())
     }
+    fn controller(&mut self) -> Result<ControllerState> {
+        let policy = match self.u16()? {
+            POLICY_NONE => WearPolicyState::None,
+            POLICY_START_GAP => WearPolicyState::StartGap {
+                psi: self.u64()?,
+                writes: self.u64()?,
+                gap: PhysicalSegment(self.len()?),
+            },
+            POLICY_RANDOM_SWAP => WearPolicyState::RandomSwap {
+                psi: self.u64()?,
+                seed: self.u64()?,
+                writes: self.u64()?,
+                draws: self.u64()?,
+            },
+            other => {
+                return Err(PersistError::Corrupt(format!(
+                    "unknown wear policy tag {other}"
+                )))
+            }
+        };
+        let n = self.len()?;
+        let mut remap = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let v = self.u64()?;
+            remap.push(if v == u64::MAX {
+                usize::MAX
+            } else if v > MAX_FIELD {
+                return Err(PersistError::Corrupt(format!(
+                    "implausible remap entry {v}"
+                )));
+            } else {
+                v as usize
+            });
+        }
+        let nr = self.len()?;
+        let mut retired = Vec::with_capacity(nr.min(1 << 20));
+        for _ in 0..nr {
+            retired.push(match self.take(1)?[0] {
+                0 => false,
+                1 => true,
+                b => {
+                    return Err(PersistError::Corrupt(format!(
+                        "retired flag must be 0 or 1, got {b}"
+                    )))
+                }
+            });
+        }
+        Ok(ControllerState {
+            policy,
+            remap,
+            retired,
+        })
+    }
 }
 
 impl StoreSnapshot {
@@ -111,6 +210,13 @@ impl StoreSnapshot {
                 put_u64(&mut buf, off as u64);
                 put_u64(&mut buf, len as u64);
             }
+            match &shard.controller {
+                Some(cs) => {
+                    buf.extend_from_slice(&1u16.to_le_bytes());
+                    put_controller(&mut buf, cs);
+                }
+                None => buf.extend_from_slice(&0u16.to_le_bytes()),
+            }
         }
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
@@ -133,7 +239,7 @@ impl StoreSnapshot {
             return Err(PersistError::Corrupt("not a store snapshot".into()));
         }
         let version = c.u16()?;
-        if version != VERSION {
+        if version != 1 && version != VERSION {
             return Err(PersistError::Corrupt(format!(
                 "unknown snapshot version {version}"
             )));
@@ -146,17 +252,32 @@ impl StoreSnapshot {
             let n_retired = c.len()?;
             let mut retired = Vec::with_capacity(n_retired.min(1 << 20));
             for _ in 0..n_retired {
-                retired.push(SegmentId(c.len()?));
+                retired.push(LogicalSegment(c.len()?));
             }
             let n_entries = c.len()?;
             let mut entries = Vec::with_capacity(n_entries.min(1 << 20));
             for _ in 0..n_entries {
                 let key = c.u64()?;
-                let seg = SegmentId(c.len()?);
+                let seg = LogicalSegment(c.len()?);
                 let off = c.len()?;
                 let len = c.len()?;
                 entries.push((key, seg, off, len));
             }
+            // v1 shard blocks end here; v2 appends the controller
+            // section behind a presence tag.
+            let controller = if version >= 2 {
+                match c.u16()? {
+                    0 => None,
+                    1 => Some(c.controller()?),
+                    other => {
+                        return Err(PersistError::Corrupt(format!(
+                            "controller presence tag must be 0 or 1, got {other}"
+                        )))
+                    }
+                }
+            } else {
+                None
+            };
             shards.push(ShardState {
                 device_image,
                 state: EngineState {
@@ -164,6 +285,7 @@ impl StoreSnapshot {
                     retired,
                     entries,
                 },
+                controller,
             });
         }
         if c.pos != body.len() {
@@ -221,9 +343,21 @@ mod tests {
                     device_image: vec![1, 2, 3, 4],
                     state: EngineState {
                         model: vec![9; 17],
-                        retired: vec![SegmentId(3), SegmentId(7)],
-                        entries: vec![(42, SegmentId(1), 0, 64), (43, SegmentId(2), 64, 32)],
+                        retired: vec![LogicalSegment(3), LogicalSegment(7)],
+                        entries: vec![
+                            (42, LogicalSegment(1), 0, 64),
+                            (43, LogicalSegment(2), 64, 32),
+                        ],
                     },
+                    controller: Some(ControllerState {
+                        policy: WearPolicyState::StartGap {
+                            psi: 64,
+                            writes: 129,
+                            gap: PhysicalSegment(5),
+                        },
+                        remap: vec![0, 1, 2, 3, 4, 6, 7, 8],
+                        retired: vec![false, false, false, true, false, false, false, true, false],
+                    }),
                 },
                 ShardState {
                     device_image: Vec::new(),
@@ -232,6 +366,25 @@ mod tests {
                         retired: Vec::new(),
                         entries: Vec::new(),
                     },
+                    controller: None,
+                },
+                ShardState {
+                    device_image: vec![5],
+                    state: EngineState {
+                        model: Vec::new(),
+                        retired: Vec::new(),
+                        entries: Vec::new(),
+                    },
+                    controller: Some(ControllerState {
+                        policy: WearPolicyState::RandomSwap {
+                            psi: 16,
+                            seed: 0xE2,
+                            writes: 40,
+                            draws: 3,
+                        },
+                        remap: vec![2, 0, 1],
+                        retired: vec![false, true, false],
+                    }),
                 },
             ],
         }
@@ -242,6 +395,41 @@ mod tests {
         let snap = sample();
         let restored = StoreSnapshot::from_bytes(&snap.to_bytes()).unwrap();
         assert_eq!(restored, snap);
+    }
+
+    #[test]
+    fn version_1_snapshots_still_load() {
+        // Hand-encode the v1 layout (no controller section) and check
+        // it decodes with `controller: None` for every shard.
+        let shards = sample().shards;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        put_u64(&mut buf, shards.len() as u64);
+        for shard in &shards {
+            put_bytes(&mut buf, &shard.device_image);
+            put_bytes(&mut buf, &shard.state.model);
+            put_u64(&mut buf, shard.state.retired.len() as u64);
+            for seg in &shard.state.retired {
+                put_u64(&mut buf, seg.index() as u64);
+            }
+            put_u64(&mut buf, shard.state.entries.len() as u64);
+            for &(key, seg, off, len) in &shard.state.entries {
+                put_u64(&mut buf, key);
+                put_u64(&mut buf, seg.index() as u64);
+                put_u64(&mut buf, off as u64);
+                put_u64(&mut buf, len as u64);
+            }
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let restored = StoreSnapshot::from_bytes(&buf).unwrap();
+        assert_eq!(restored.shards.len(), shards.len());
+        for (got, want) in restored.shards.iter().zip(&shards) {
+            assert_eq!(got.device_image, want.device_image);
+            assert_eq!(got.state, want.state);
+            assert_eq!(got.controller, None);
+        }
     }
 
     #[test]

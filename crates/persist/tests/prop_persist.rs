@@ -6,7 +6,7 @@ use e2nvm_core::EngineState;
 use e2nvm_persist::{
     crc32, decode_records, encode_record, replay_and_truncate, ShardState, StoreSnapshot, WalOp,
 };
-use e2nvm_sim::SegmentId;
+use e2nvm_sim::{ControllerState, LogicalSegment, PhysicalSegment, WearPolicyState};
 use proptest::prelude::*;
 
 fn wal_op() -> impl Strategy<Value = WalOp> {
@@ -29,6 +29,43 @@ fn encode_all(ops: &[WalOp]) -> Vec<u8> {
     buf
 }
 
+fn wear_policy() -> impl Strategy<Value = WearPolicyState> {
+    prop_oneof![
+        Just(WearPolicyState::None),
+        (any::<u64>(), any::<u64>(), 0usize..10_000).prop_map(|(psi, writes, gap)| {
+            WearPolicyState::StartGap {
+                psi,
+                writes,
+                gap: PhysicalSegment(gap),
+            }
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(psi, seed, writes, draws)| WearPolicyState::RandomSwap {
+                psi,
+                seed,
+                writes,
+                draws,
+            }
+        ),
+    ]
+}
+
+fn controller_state() -> impl Strategy<Value = Option<ControllerState>> {
+    (
+        any::<bool>(),
+        wear_policy(),
+        proptest::collection::vec(0usize..10_000, 0..12),
+        proptest::collection::vec(any::<bool>(), 0..12),
+    )
+        .prop_map(|(present, policy, remap, retired)| {
+            present.then_some(ControllerState {
+                policy,
+                remap,
+                retired,
+            })
+        })
+}
+
 fn shard_state() -> impl Strategy<Value = ShardState> {
     (
         proptest::collection::vec(any::<u8>(), 0..96),
@@ -38,18 +75,22 @@ fn shard_state() -> impl Strategy<Value = ShardState> {
             (any::<u64>(), 0usize..10_000, 0usize..4096, 0usize..4096),
             0..8,
         ),
+        controller_state(),
     )
-        .prop_map(|(device_image, model, retired, entries)| ShardState {
-            device_image,
-            state: EngineState {
-                model,
-                retired: retired.into_iter().map(SegmentId).collect(),
-                entries: entries
-                    .into_iter()
-                    .map(|(key, seg, off, len)| (key, SegmentId(seg), off, len))
-                    .collect(),
+        .prop_map(
+            |(device_image, model, retired, entries, controller)| ShardState {
+                device_image,
+                state: EngineState {
+                    model,
+                    retired: retired.into_iter().map(LogicalSegment).collect(),
+                    entries: entries
+                        .into_iter()
+                        .map(|(key, seg, off, len)| (key, LogicalSegment(seg), off, len))
+                        .collect(),
+                },
+                controller,
             },
-        })
+        )
 }
 
 proptest! {

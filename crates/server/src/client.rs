@@ -324,7 +324,7 @@ impl Client {
     }
 
     /// The server's wear summary: live keys plus free / retired /
-    /// total segment counts, as one fixed 32-byte binary frame. This
+    /// total segment counts, as one fixed 40-byte binary frame. This
     /// is the probe the cluster health monitor polls — cheap enough to
     /// call every few hundred milliseconds, unlike parsing
     /// [`metrics`](Self::metrics) text.

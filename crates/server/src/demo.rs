@@ -8,7 +8,10 @@
 
 use e2nvm_core::{E2Config, PaddingType, ShardedEngine};
 use e2nvm_kvstore::ShardedE2KvStore;
-use e2nvm_sim::{partition_controllers, DeviceConfig, FaultConfig, MemoryController, SegmentId};
+use e2nvm_sim::{
+    partition_controllers_with, DeviceConfig, FaultConfig, LogicalSegment, MemoryController,
+    NvmDevice,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,6 +47,31 @@ pub fn demo_store_with_fault(
     seed: u64,
     fault: Option<FaultConfig>,
 ) -> ShardedE2KvStore {
+    demo_store_with_controllers(
+        shards,
+        total_segments,
+        seg_bytes,
+        seed,
+        fault,
+        MemoryController::without_wear_leveling,
+    )
+}
+
+/// The fully general bootstrap: [`demo_store_with_fault`], with each
+/// shard device wrapped by `make` — e.g.
+/// `|dev| MemoryController::with_start_gap(dev, 64)` for a server whose
+/// shards rotate under wear leveling. A wear-leveling controller may
+/// expose one fewer logical segment than its physical slice (start-gap
+/// reserves a gap slot), which this helper accounts for by seeding
+/// through the controller's *logical* capacity.
+pub fn demo_store_with_controllers(
+    shards: usize,
+    total_segments: usize,
+    seg_bytes: usize,
+    seed: u64,
+    fault: Option<FaultConfig>,
+    make: impl Fn(NvmDevice) -> MemoryController,
+) -> ShardedE2KvStore {
     let mut builder = DeviceConfig::builder()
         .segment_bytes(seg_bytes)
         .num_segments(total_segments);
@@ -53,7 +81,7 @@ pub fn demo_store_with_fault(
     let dev_cfg = builder.build().expect("valid device config");
     let cfg = demo_config(seg_bytes, seed);
     let mut rng = StdRng::seed_from_u64(seed);
-    let controllers: Vec<MemoryController> = partition_controllers(&dev_cfg, shards)
+    let controllers: Vec<MemoryController> = partition_controllers_with(&dev_cfg, shards, make)
         .expect("partition")
         .into_iter()
         .map(|(_, mut mc)| {
@@ -62,7 +90,7 @@ pub fn demo_store_with_fault(
                 let content: Vec<u8> = (0..seg_bytes)
                     .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
                     .collect();
-                mc.seed(SegmentId(i), &content).expect("seed segment");
+                mc.seed(LogicalSegment(i), &content).expect("seed segment");
             }
             mc
         })

@@ -10,7 +10,7 @@
 //! offset  size  field
 //! 0       4     body_len  u32 LE, bytes after the 8-byte header
 //! 4       1     magic     0xE2
-//! 5       1     version   0x01
+//! 5       1     version   0x02
 //! 6       1     code      request: opcode · response: status
 //! 7       1     aux       request: 0x00 (reserved) · response: echoed opcode
 //! 8       ...   body      opcode/status-specific payload
@@ -31,8 +31,10 @@ use std::fmt;
 pub const MAGIC: u8 = 0xE2;
 
 /// Current protocol version. Bumped only for incompatible layout
-/// changes; see the versioning rules in `PROTOCOL.md`.
-pub const VERSION: u8 = 0x01;
+/// changes; see the versioning rules in `PROTOCOL.md`. Version 2
+/// reshaped the `HEALTH` response body (32 → 40 bytes, adding
+/// `retired_physical`).
+pub const VERSION: u8 = 0x02;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 8;
@@ -73,10 +75,14 @@ pub enum Opcode {
     /// (0 when the server runs without persistence).
     Flush = 0x07,
     /// Wear/health summary. Empty body; the OK response carries a
-    /// fixed 32-byte body (`keys`, `free_segments`, `retired_segments`,
-    /// `total_segments`, all `u64` LE) — cheap enough for a cluster
-    /// health prober to poll every few hundred milliseconds, unlike
-    /// the METRICS text exposition.
+    /// fixed 40-byte body (`keys`, `free_segments`, `retired_segments`,
+    /// `retired_physical`, `total_segments`, all `u64` LE) — cheap
+    /// enough for a cluster health prober to poll every few hundred
+    /// milliseconds, unlike the METRICS text exposition.
+    /// `retired_physical` counts the physical slots quarantined by the
+    /// memory controllers — the device-side ground truth, which can
+    /// only be reported because retirement is keyed on
+    /// `PhysicalSegment` ids end to end.
     Health = 0x08,
     /// Streaming range scan. Same 20-byte body as [`Opcode::Scan`]
     /// (`lo u64, hi u64, limit u32`, 0 = unlimited), but the server
@@ -573,10 +579,11 @@ pub fn encode_response(resp: &Response, echo: Option<Opcode>, out: &mut Vec<u8>)
             out.extend_from_slice(&bytes.to_le_bytes());
         }
         Response::Health(wear) => {
-            put_header(out, 32, Status::Ok as u8, aux);
+            put_header(out, 40, Status::Ok as u8, aux);
             out.extend_from_slice(&wear.keys.to_le_bytes());
             out.extend_from_slice(&wear.free_segments.to_le_bytes());
             out.extend_from_slice(&wear.retired_segments.to_le_bytes());
+            out.extend_from_slice(&wear.retired_physical.to_le_bytes());
             out.extend_from_slice(&wear.total_segments.to_le_bytes());
         }
         Response::Error {
@@ -763,16 +770,17 @@ pub fn parse_response(frame: &RawFrame<'_>) -> Result<Response, FrameError> {
                     Ok(Response::Flushed(take_u64(body, 0).unwrap()))
                 }
                 Opcode::Health => {
-                    if body.len() != 32 {
+                    if body.len() != 40 {
                         return Err(FrameError::BadBody(
-                            "HEALTH response must be exactly 32 bytes",
+                            "HEALTH response must be exactly 40 bytes",
                         ));
                     }
                     Ok(Response::Health(WearSummary {
                         keys: take_u64(body, 0).unwrap(),
                         free_segments: take_u64(body, 8).unwrap(),
                         retired_segments: take_u64(body, 16).unwrap(),
-                        total_segments: take_u64(body, 24).unwrap(),
+                        retired_physical: take_u64(body, 24).unwrap(),
+                        total_segments: take_u64(body, 32).unwrap(),
                     }))
                 }
                 Opcode::Stats | Opcode::Metrics => {
@@ -970,6 +978,7 @@ mod tests {
                     keys: 512,
                     free_segments: 40,
                     retired_segments: 7,
+                    retired_physical: 7,
                     total_segments: 2048,
                 }),
                 Some(Opcode::Health),

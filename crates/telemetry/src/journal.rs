@@ -72,6 +72,11 @@ pub enum Event {
         shard: usize,
         /// The retired segment (shard-local logical id).
         segment: usize,
+        /// The physical slot that actually wore out and was
+        /// quarantined — under active wear leveling this differs from
+        /// the logical id, and it is the id wear heatmaps and the
+        /// HEALTH summary are keyed by.
+        physical: usize,
     },
     /// The network serving layer bound its listener and began
     /// accepting connections.
@@ -292,8 +297,14 @@ impl TimedEvent {
             Event::SegmentWornOut { segment } => {
                 fields.push_str(&format!(",\"segment\":{segment}"));
             }
-            Event::SegmentRetired { shard, segment } => {
-                fields.push_str(&format!(",\"shard\":{shard},\"segment\":{segment}"));
+            Event::SegmentRetired {
+                shard,
+                segment,
+                physical,
+            } => {
+                fields.push_str(&format!(
+                    ",\"shard\":{shard},\"segment\":{segment},\"physical\":{physical}"
+                ));
             }
             Event::ServerStarted { port } => {
                 fields.push_str(&format!(",\"port\":{port}"));
@@ -390,6 +401,7 @@ mod tests {
         j.record(Event::SegmentRetired {
             shard: 2,
             segment: 17,
+            physical: 19,
         });
         let snap = j.snapshot();
         let a = snap[0].to_json();

@@ -11,7 +11,7 @@
 
 use e2nvm::core::{E2Config, PaddingType, ShardedEngine};
 use e2nvm::kvstore::{NvmKvStore, ShardedE2KvStore, StoreError};
-use e2nvm::sim::{partition_controllers, DeviceConfig, FaultConfig, SegmentId};
+use e2nvm::sim::{partition_controllers, DeviceConfig, FaultConfig, LogicalSegment};
 use e2nvm::telemetry::{Event, TelemetryRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,7 +47,7 @@ fn main() {
                 let content: Vec<u8> = (0..SEG_BYTES)
                     .map(|_| if rng.gen::<f32>() < 0.06 { !base } else { base })
                     .collect();
-                mc.seed(SegmentId(i), &content).expect("seed");
+                mc.seed(LogicalSegment(i), &content).expect("seed");
             }
             mc
         })

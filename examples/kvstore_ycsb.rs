@@ -8,7 +8,7 @@
 
 use e2nvm::core::{E2Config, E2Engine};
 use e2nvm::kvstore::{E2KvStore, NvmKvStore};
-use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm::sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
 use e2nvm::workloads::{Operation, Ycsb};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,7 +47,7 @@ fn main() {
     // Seed the pool with class-structured residue.
     for i in 0..SEGMENTS {
         let content = value_for(i as u64, rng.gen());
-        controller.seed(SegmentId(i), &content).expect("seed");
+        controller.seed(LogicalSegment(i), &content).expect("seed");
     }
     let cfg = E2Config::builder()
         .fast(SEGMENT, 10)

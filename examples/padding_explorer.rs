@@ -8,7 +8,7 @@
 //! ```
 
 use e2nvm::core::{E2Config, E2Engine, Padder, PaddingLocation, PaddingType};
-use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm::sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
 use e2nvm::workloads::DatasetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,7 +64,7 @@ fn main() {
     );
     let mut controller = MemoryController::without_wear_leveling(device);
     for (i, content) in old.iter().enumerate() {
-        controller.seed(SegmentId(i), content).expect("seed");
+        controller.seed(LogicalSegment(i), content).expect("seed");
     }
     let mut engine = E2Engine::new(
         controller,

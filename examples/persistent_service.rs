@@ -8,7 +8,7 @@
 //! ```
 
 use e2nvm::core::{E2Config, E2Engine, SharedEngine};
-use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm::sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
 use e2nvm::workloads::DatasetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +33,7 @@ fn main() {
     );
     let mut controller = MemoryController::without_wear_leveling(device);
     for (i, r) in residents.iter().enumerate() {
-        controller.seed(SegmentId(i), r).expect("seed");
+        controller.seed(LogicalSegment(i), r).expect("seed");
     }
     let cfg = E2Config::builder()
         .fast(SEGMENT, 6)

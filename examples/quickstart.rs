@@ -6,7 +6,7 @@
 //! ```
 
 use e2nvm::core::{E2Config, E2Engine};
-use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm::sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,7 +29,7 @@ fn main() {
         let content: Vec<u8> = (0..256)
             .map(|_| if rng.gen::<f32>() < 0.06 { !base } else { base })
             .collect();
-        controller.seed(SegmentId(i), &content).expect("seed");
+        controller.seed(LogicalSegment(i), &content).expect("seed");
     }
 
     // 3. Train the placement model (VAE encoder + K-means on its latent

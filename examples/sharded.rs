@@ -7,7 +7,7 @@
 //! ```
 
 use e2nvm::core::{E2Config, PaddingType, ShardedEngine};
-use e2nvm::sim::{partition_controllers, DeviceConfig, SegmentId};
+use e2nvm::sim::{partition_controllers, DeviceConfig, LogicalSegment};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,7 +35,7 @@ fn main() {
                 let content: Vec<u8> = (0..SEG_BYTES)
                     .map(|_| if rng.gen::<f32>() < 0.06 { !base } else { base })
                     .collect();
-                mc.seed(SegmentId(i), &content).expect("seed");
+                mc.seed(LogicalSegment(i), &content).expect("seed");
             }
             println!(
                 "shard over global segments {}..{} ready",

@@ -36,7 +36,7 @@ fn main() {
                 let content: Vec<u8> = (0..SEG_BYTES)
                     .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
                     .collect();
-                mc.seed(SegmentId(i), &content).expect("seed");
+                mc.seed(LogicalSegment(i), &content).expect("seed");
             }
             mc
         })

@@ -10,7 +10,7 @@
 //! ```
 
 use e2nvm::core::{E2Config, E2Engine};
-use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm::sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
 use e2nvm::workloads::VideoDataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,7 +48,7 @@ fn main() {
         );
         let mut controller = MemoryController::without_wear_leveling(device);
         for (i, frame) in old_frames.iter().enumerate() {
-            controller.seed(SegmentId(i), frame).expect("seed");
+            controller.seed(LogicalSegment(i), frame).expect("seed");
         }
         controller
     };
@@ -84,7 +84,7 @@ fn main() {
     // camera-2 residue, as arbitrary allocation would.
     for (i, frame) in new_frames.iter().enumerate() {
         controller
-            .write_at(SegmentId((i * 7 + 3) % SEGMENTS), 0, frame)
+            .write_at(LogicalSegment((i * 7 + 3) % SEGMENTS), 0, frame)
             .expect("write");
     }
     let naive = controller.stats().clone();

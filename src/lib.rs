@@ -80,7 +80,8 @@ pub mod prelude {
     pub use e2nvm_persist::{FlushPolicy, PersistenceConfig, PersistenceConfigBuilder};
     pub use e2nvm_server::{Client, Server, ServerConfig, ServerConfigBuilder, ServerHandle};
     pub use e2nvm_sim::{
-        DeviceConfig, DeviceStats, FaultConfig, MemoryController, NvmDevice, SegmentId,
+        DeviceConfig, DeviceStats, FaultConfig, LogicalSegment, MemoryController, NvmDevice,
+        PhysicalSegment, SegmentRemap,
     };
     pub use e2nvm_telemetry::{Event, EventJournal, TelemetryRegistry};
 }

@@ -3,7 +3,7 @@
 //! paper's core behavioural claims end to end.
 
 use e2nvm::core::{E2Config, E2Engine, E2Error, PaddingType};
-use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm::sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
 use e2nvm::workloads::DatasetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,7 +20,7 @@ fn engine_over(kind: DatasetKind, segment_bytes: usize, segments: usize, k: usiz
     );
     let mut controller = MemoryController::without_wear_leveling(device);
     for (i, c) in contents.iter().enumerate() {
-        controller.seed(SegmentId(i), c).unwrap();
+        controller.seed(LogicalSegment(i), c).unwrap();
     }
     let cfg = E2Config::builder()
         .fast(segment_bytes, k)
@@ -72,10 +72,12 @@ fn placement_beats_round_robin_on_clusterable_data() {
     );
     let mut controller = MemoryController::without_wear_leveling(device);
     for (i, c) in contents.iter().enumerate() {
-        controller.seed(SegmentId(i), c).unwrap();
+        controller.seed(LogicalSegment(i), c).unwrap();
     }
     for (i, v) in incoming.iter().enumerate() {
-        controller.write_at(SegmentId(i % segments), 0, v).unwrap();
+        controller
+            .write_at(LogicalSegment(i % segments), 0, v)
+            .unwrap();
     }
     let naive_flips = controller.stats().bits_flipped;
 
@@ -197,7 +199,7 @@ fn engine_over_wear_leveled_controller() {
     );
     let mut controller = MemoryController::with_random_swap(device, 7, 0xE2);
     for (i, c) in contents.iter().enumerate() {
-        controller.seed(SegmentId(i), c).unwrap();
+        controller.seed(LogicalSegment(i), c).unwrap();
     }
     let cfg = E2Config::builder()
         .fast(segment_bytes, 3)

@@ -6,7 +6,7 @@ use e2nvm::core::{E2Config, E2Engine, PaddingType};
 use e2nvm::kvstore::{
     BPlusTree, DirectNodeStore, E2NodeStore, FpTree, NoveLsm, NvmKvStore, PathHashing, WiscKey,
 };
-use e2nvm::sim::{DeviceConfig, MemoryController, NvmDevice, SegmentId};
+use e2nvm::sim::{DeviceConfig, LogicalSegment, MemoryController, NvmDevice};
 use e2nvm::workloads::{DatasetKind, Operation, Ycsb};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,7 +34,7 @@ fn e2_store() -> E2NodeStore {
     let mut rng = StdRng::seed_from_u64(41);
     let residents = DatasetKind::MnistLike.generate_sized(SEGMENTS, SEGMENT, &mut rng);
     for (i, r) in residents.iter().enumerate() {
-        controller.seed(SegmentId(i), r).unwrap();
+        controller.seed(LogicalSegment(i), r).unwrap();
     }
     let cfg = E2Config::builder()
         .fast(SEGMENT, 4)
@@ -127,7 +127,7 @@ fn batched_writer_with_dataset_values() {
     let mut rng = StdRng::seed_from_u64(5);
     let residents = DatasetKind::PubMed.generate_sized(SEGMENTS, SEGMENT, &mut rng);
     for (i, r) in residents.iter().enumerate() {
-        controller.seed(SegmentId(i), r).unwrap();
+        controller.seed(LogicalSegment(i), r).unwrap();
     }
     let cfg = E2Config::builder()
         .fast(SEGMENT, 4)
@@ -163,7 +163,7 @@ fn datasets_roundtrip_through_e2_kv() {
     let mut rng = StdRng::seed_from_u64(17);
     let residents = DatasetKind::CifarLike.generate_sized(SEGMENTS, SEGMENT, &mut rng);
     for (i, r) in residents.iter().enumerate() {
-        controller.seed(SegmentId(i), r).unwrap();
+        controller.seed(LogicalSegment(i), r).unwrap();
     }
     let cfg = E2Config::builder()
         .fast(SEGMENT, 4)

@@ -5,7 +5,7 @@
 //! shard).
 
 use e2nvm::core::{E2Config, E2Engine, PaddingType, ShardedEngine};
-use e2nvm::sim::{partition_controllers, DeviceConfig, MemoryController, SegmentId};
+use e2nvm::sim::{partition_controllers, DeviceConfig, LogicalSegment, MemoryController};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,7 +36,7 @@ fn seed_pool(mc: &mut MemoryController, stream: u64) {
         let content: Vec<u8> = (0..SEG_BYTES)
             .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
             .collect();
-        mc.seed(SegmentId(i), &content).unwrap();
+        mc.seed(LogicalSegment(i), &content).unwrap();
     }
 }
 

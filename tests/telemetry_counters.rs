@@ -32,7 +32,7 @@ fn seed_pool(mc: &mut MemoryController, stream: u64) {
         let content: Vec<u8> = (0..SEG_BYTES)
             .map(|_| if rng.gen::<f32>() < 0.05 { !base } else { base })
             .collect();
-        mc.seed(SegmentId(i), &content).unwrap();
+        mc.seed(LogicalSegment(i), &content).unwrap();
     }
 }
 
